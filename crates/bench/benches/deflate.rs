@@ -1,0 +1,48 @@
+//! DEFLATE substrate throughput on checkpoint-shaped data.
+//!
+//! The paper's Figure 9 breakdown shows gzip dominating compression
+//! time; these benches quantify our from-scratch codec at each level on
+//! the two payload shapes the pipeline produces: raw f64 mesh bytes
+//! (the lossless baseline path of Figure 6) and the formatted lossy
+//! stream (mostly repeated u8 indexes).
+
+use ckpt_bench::{raw_bytes, temperature_nicam};
+use ckpt_core::{Compressor, CompressorConfig, Container};
+use ckpt_deflate::{gzip, Level};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_gzip_mesh_bytes(c: &mut Criterion) {
+    let raw = raw_bytes(&temperature_nicam());
+    let mut group = c.benchmark_group("gzip_raw_mesh_1p5MB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    for level in [Level::Fast, Level::Default, Level::Best] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{level:?}")), &raw, |b, r| {
+            b.iter(|| black_box(gzip::compress(r, level).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gzip_formatted_stream(c: &mut Criterion) {
+    // The formatted (pre-gzip) lossy stream: what the pipeline actually
+    // feeds to gzip.
+    let t = temperature_nicam();
+    let cfg = CompressorConfig::paper_proposed().with_container(Container::None);
+    let formatted = Compressor::new(cfg).unwrap().compress(&t).unwrap().bytes;
+    let mut group = c.benchmark_group("gzip_formatted_stream");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(formatted.len() as u64));
+    group.bench_function("compress_default", |b| {
+        b.iter(|| black_box(gzip::compress(&formatted, Level::Default).len()))
+    });
+    let packed = gzip::compress(&formatted, Level::Default);
+    group.bench_function("decompress", |b| {
+        b.iter(|| black_box(gzip::decompress(&packed).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gzip_mesh_bytes, bench_gzip_formatted_stream);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end pipeline benches: the numbers behind Figures 6, 7 and 9.
+//!
+//! Measures full compress/decompress on the paper-shaped 1.5 MB array
+//! for both quantizers, the container ablation (gzip vs temp-file gzip
+//! vs in-memory zlib vs none), and the multi-level wavelet extension.
+
+use ckpt_bench::temperature_nicam;
+use ckpt_core::{Compressor, CompressorConfig, Container};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let t = temperature_nicam();
+    let mut group = c.benchmark_group("pipeline_compress_1p5MB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((t.len() * 8) as u64));
+    for (label, cfg) in [
+        ("simple_n128", CompressorConfig::paper_simple()),
+        ("proposed_n128", CompressorConfig::paper_proposed()),
+        ("proposed_n1", CompressorConfig::paper_proposed().with_n(1)),
+    ] {
+        let comp = Compressor::new(cfg).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &t, |b, t| {
+            b.iter(|| black_box(comp.compress(t).unwrap().bytes.len()))
+        });
+    }
+    group.finish();
+
+    let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    let packed = comp.compress(&t).unwrap();
+    let mut group = c.benchmark_group("pipeline_decompress_1p5MB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((t.len() * 8) as u64));
+    group.bench_function("proposed_n128", |b| {
+        b.iter(|| black_box(Compressor::decompress(&packed.bytes).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_containers(c: &mut Criterion) {
+    let t = temperature_nicam();
+    let mut group = c.benchmark_group("container_ablation");
+    group.sample_size(10);
+    for (label, container) in [
+        ("gzip", Container::Gzip),
+        ("tempfile_gzip", Container::TempFileGzip),
+        ("zlib_in_memory", Container::Zlib),
+        ("none", Container::None),
+    ] {
+        let comp =
+            Compressor::new(CompressorConfig::paper_proposed().with_container(container)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &t, |b, t| {
+            b.iter(|| black_box(comp.compress(t).unwrap().bytes.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wavelet_levels(c: &mut Criterion) {
+    let t = temperature_nicam();
+    let mut group = c.benchmark_group("wavelet_depth_ablation");
+    group.sample_size(10);
+    for levels in [1usize, 2, 3] {
+        let comp =
+            Compressor::new(CompressorConfig::paper_proposed().with_levels(levels)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &t, |b, t| {
+            b.iter(|| black_box(comp.compress(t).unwrap().bytes.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_containers, bench_wavelet_levels);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Quantizer throughput and the spike-detection ablation.
+//!
+//! Design-choice benches called out in DESIGN.md §5: the cost of the
+//! proposed method's extra histogram pass over the simple method, and
+//! the effect of the spike partition count `d`.
+
+use ckpt_quant::{quantize, Method, QuantConfig};
+use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// A realistic high-band stream: transform the NICAM-shaped field and
+/// concatenate its high bands.
+fn high_band_stream() -> Vec<f64> {
+    let mut field = generate(&FieldSpec::nicam_like(FieldKind::Temperature, 7));
+    ckpt_wavelet::forward(&mut field).unwrap();
+    let mut stream = Vec::new();
+    for band in ckpt_wavelet::subband::high_subbands(field.shape()).unwrap() {
+        stream.extend(field.read_block(&band.start, &band.size).unwrap());
+    }
+    stream
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let stream = high_band_stream();
+    let mut group = c.benchmark_group("quantize_high_bands");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes((stream.len() * 8) as u64));
+    for method in [Method::Simple, Method::Proposed] {
+        let cfg = QuantConfig { method, n: 128, d: 64 };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &stream,
+            |b, s| b.iter(|| black_box(quantize(s, &cfg).unwrap().indexes.len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_spike_partitions(c: &mut Criterion) {
+    let stream = high_band_stream();
+    let mut group = c.benchmark_group("spike_partition_count_d");
+    group.sample_size(20);
+    for d in [16usize, 64, 256, 1024] {
+        let cfg = QuantConfig { method: Method::Proposed, n: 128, d };
+        group.bench_with_input(BenchmarkId::from_parameter(d), &stream, |b, s| {
+            b.iter(|| black_box(quantize(s, &cfg).unwrap().raw.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let stream = high_band_stream();
+    let q = quantize(&stream, &QuantConfig { method: Method::Proposed, n: 128, d: 64 }).unwrap();
+    let mut group = c.benchmark_group("dequantize");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes((stream.len() * 8) as u64));
+    group.bench_function("reconstruct", |b| b.iter(|| black_box(q.reconstruct().len())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_spike_partitions, bench_reconstruct);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Climate-proxy and restart-path benches.
+//!
+//! * stepping cost at test and paper grid sizes (the compute the
+//!   checkpoints protect),
+//! * full checkpoint write cost (all four variables, lossy vs raw),
+//! * restart cost: parse + dequantize + inverse transform — the paper's
+//!   recovery-time side.
+
+use ckpt_core::{Compressor, CompressorConfig};
+use ckpt_sim::{ClimateSim, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    group.sample_size(10);
+    for (label, cfg) in
+        [("small_96x16x2", SimConfig::small(1)), ("nicam_1156x82x2", SimConfig::nicam_like(1))]
+    {
+        let mut sim = ClimateSim::new(cfg);
+        sim.run(10); // spin up past the initial transient
+        group.throughput(Throughput::Elements(cfg.volume() as u64));
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                sim.step();
+                black_box(sim.step_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_write(c: &mut Criterion) {
+    let cfg = SimConfig::nicam_like(2);
+    let mut sim = ClimateSim::new(cfg);
+    sim.run(20);
+    let compressor = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    let mut group = c.benchmark_group("sim_checkpoint_4vars_6MB");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(4 * cfg.variable_bytes() as u64));
+    group.bench_function("lossy_proposed", |b| {
+        b.iter(|| black_box(sim.checkpoint(Some(&compressor)).unwrap().0.len()))
+    });
+    group.bench_function("raw", |b| {
+        b.iter(|| black_box(sim.checkpoint(None).unwrap().0.len()))
+    });
+    group.finish();
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let cfg = SimConfig::nicam_like(3);
+    let mut sim = ClimateSim::new(cfg);
+    sim.run(20);
+    let compressor = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    let (image, _) = sim.checkpoint(Some(&compressor)).unwrap();
+    let (raw_image, _) = sim.checkpoint(None).unwrap();
+    let mut group = c.benchmark_group("sim_restart_4vars");
+    group.sample_size(10);
+    group.bench_function("from_lossy", |b| {
+        b.iter(|| black_box(ClimateSim::restore(cfg, &image).unwrap().step_count()))
+    });
+    group.bench_function("from_raw", |b| {
+        b.iter(|| black_box(ClimateSim::restore(cfg, &raw_image).unwrap().step_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_checkpoint_write, bench_restart);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Wavelet transform throughput and the O(n) scaling claim.
+//!
+//! Section III claims the whole pipeline is O(n) in checkpoint size
+//! (unlike O(n log n) alternatives); the transform is its data-touching
+//! core. These benches measure forward/inverse at growing sizes — the
+//! per-element time should stay flat.
+
+use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+use ckpt_wavelet::{MultiLevel, WaveletPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_forward_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wavelet_forward_scaling");
+    group.sample_size(20);
+    for &nx in &[128usize, 256, 512, 1024] {
+        let spec = FieldSpec {
+            dims: vec![nx, 82, 2],
+            kind: FieldKind::Temperature,
+            seed: 1,
+            harmonics: 8,
+            noise_amp: 1e-4,
+        };
+        let field = generate(&spec);
+        group.throughput(Throughput::Bytes((field.len() * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nx), &field, |b, f| {
+            b.iter(|| {
+                let mut w = f.clone();
+                ckpt_wavelet::forward(&mut w).unwrap();
+                black_box(w.as_slice()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let field = generate(&FieldSpec::nicam_like(FieldKind::Temperature, 1));
+    let mut group = c.benchmark_group("wavelet_nicam_array");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes((field.len() * 8) as u64));
+    group.bench_function("forward", |b| {
+        b.iter(|| {
+            let mut w = field.clone();
+            ckpt_wavelet::forward(&mut w).unwrap();
+            black_box(w.as_slice()[0])
+        })
+    });
+    group.bench_function("forward_inverse", |b| {
+        b.iter(|| {
+            let mut w = field.clone();
+            ckpt_wavelet::forward(&mut w).unwrap();
+            ckpt_wavelet::inverse(&mut w).unwrap();
+            black_box(w.as_slice()[0])
+        })
+    });
+    group.bench_function("forward_3_levels", |b| {
+        let ml = MultiLevel::new(WaveletPlan { levels: 3 });
+        b.iter(|| {
+            let mut w = field.clone();
+            ml.forward(&mut w).unwrap();
+            black_box(w.as_slice()[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_scaling, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 9 reproduction: estimated overall checkpoint time vs
+//! parallelism, with the measured compression-stage breakdown.
+//!
+//! Procedure, exactly as Section IV-D: measure the per-process
+//! compression cost (1.5 MB array, temp-file gzip mode — the paper's
+//! implementation gzips via the filesystem) on this host, take the
+//! measured compression rate, then combine with the analytical I/O
+//! model (20 GB/s shared PFS, weak scaling). Compression time is
+//! constant in P; I/O grows linearly; the compressed line is flatter
+//! and crosses below the uncompressed line (paper: around P ≈ 768).
+
+use ckpt_bench::{median_time, ms, temperature_nicam};
+use ckpt_cluster::{CompressionProfile, IoModel, ScalingTable};
+use ckpt_core::{Compressor, CompressorConfig, Container, StageTimings};
+
+fn main() {
+    let t = temperature_nicam();
+    let cfg = CompressorConfig::paper_proposed().with_container(Container::TempFileGzip);
+    let compressor = Compressor::new(cfg).unwrap();
+
+    // Measure the per-process compression profile (median of 5).
+    let mut timings = StageTimings::new();
+    let mut rate = 0.0f64;
+    let _ = median_time(5, || {
+        let packed = compressor.compress(&t).unwrap();
+        timings = packed.timings;
+        rate = packed.stats.compression_rate() / 100.0;
+    });
+
+    println!("=== Figure 9: overall checkpoint time vs parallelism ===");
+    println!();
+    println!("measured per-process compression profile (1.5 MB array):");
+    for (label, d) in timings.breakdown() {
+        println!("  {:<30} {:>9} ms", label, ms(d));
+    }
+    println!("  {:<30} {:>9} ms", "total compression", ms(timings.total()));
+    println!("  compression rate               {:>8.2} %", rate * 100.0);
+    println!();
+
+    let table = ScalingTable::new(IoModel::paper(), CompressionProfile { rate, timings });
+    println!(
+        "{:>8}{:>16}{:>16}{:>16}{:>12}",
+        "P", "w/o comp [ms]", "comp I/O [ms]", "w/ comp [ms]", "saving"
+    );
+    for row in table.sweep((1..=8).map(|i| i * 256)) {
+        println!(
+            "{:>8}{:>16.2}{:>16.2}{:>16.2}{:>11.1}%",
+            row.processes,
+            row.uncompressed * 1e3,
+            row.compressed_io * 1e3,
+            row.compressed_total() * 1e3,
+            row.saving() * 100.0
+        );
+    }
+    println!();
+    match table.crossover(1 << 24) {
+        Some(p) => println!("crossover: compression wins beyond P = {p} (paper: ~768)"),
+        None => println!("crossover: none within 2^24 processes"),
+    }
+    println!(
+        "asymptotic saving: {:.1}% (paper: ~81% at cr = 19%)",
+        table.asymptotic_saving() * 100.0
+    );
+
+    // Ablation: the paper says the temp-file cost "will be mostly
+    // eliminated by compressing with zlib in memory".
+    let zlib_cfg = CompressorConfig::paper_proposed().with_container(Container::Zlib);
+    let zlib_comp = Compressor::new(zlib_cfg).unwrap();
+    let mut zlib_timings = StageTimings::new();
+    let _ = median_time(5, || {
+        zlib_timings = zlib_comp.compress(&t).unwrap().timings;
+    });
+    println!();
+    println!(
+        "ablation (paper's stated future fix): in-memory zlib total = {} ms vs temp-file gzip {} ms",
+        ms(zlib_timings.total()),
+        ms(timings.total())
+    );
+}

@@ -1,0 +1,131 @@
+//! # ckpt-bench
+//!
+//! Shared harness for the figure/table reproduction binaries (one per
+//! figure of the paper's evaluation, see DESIGN.md §4) and the criterion
+//! benches.
+//!
+//! Binaries (`cargo run --release -p ckpt-bench --bin <name>`):
+//!
+//! | binary      | reproduces                                            |
+//! |-------------|-------------------------------------------------------|
+//! | `table1`    | Table I (host spec + model parameters)                |
+//! | `fig6`      | Fig. 6: gzip vs lossy (simple/proposed, n = 128)      |
+//! | `fig7`      | Fig. 7: compression rate vs division number           |
+//! | `fig8`      | Fig. 8: average relative error vs division number     |
+//! | `fig9`      | Fig. 9: checkpoint time vs parallelism, stage stack   |
+//! | `fig10`     | Fig. 10: post-restart error evolution                 |
+//! | `all_arrays`| Section IV-C in-text per-array ranges                 |
+
+use ckpt_core::metrics::RelativeError;
+use ckpt_core::{Compressed, Compressor, CompressorConfig};
+use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+use ckpt_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// The paper's default evaluation subject: the temperature array of the
+/// NICAM-shaped mesh (1156 × 82 × 2, 1.5 MB of f64).
+pub fn temperature_nicam() -> Tensor<f64> {
+    generate(&FieldSpec::nicam_like(FieldKind::Temperature, 2015))
+}
+
+/// All four physical arrays at NICAM shape, with their names.
+pub fn all_nicam_arrays() -> Vec<(&'static str, Tensor<f64>)> {
+    FieldKind::ALL
+        .iter()
+        .map(|&k| (k.name(), generate(&FieldSpec::nicam_like(k, 2015))))
+        .collect()
+}
+
+/// Serializes a tensor to its raw little-endian bytes (what an
+/// uncompressed checkpoint writes).
+pub fn raw_bytes(t: &Tensor<f64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(t.len() * 8);
+    for &v in t.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Compresses and measures the roundtrip error in one call.
+pub fn compress_and_measure(
+    tensor: &Tensor<f64>,
+    cfg: CompressorConfig,
+) -> (Compressed, RelativeError) {
+    let compressor = Compressor::new(cfg).expect("valid config");
+    let packed = compressor.compress(tensor).expect("compression succeeds");
+    let restored = Compressor::decompress(&packed.bytes).expect("decompression succeeds");
+    let err = ckpt_core::metrics::relative_error(tensor, &restored).expect("same shape");
+    (packed, err)
+}
+
+/// Median wall time of `runs` executions of `f` (warm: one discarded
+/// warm-up run).
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs >= 1);
+    f(); // warm-up
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Prints a fixed-width table row to stdout.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, &w)| format!("{c:>w$}"))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// The division numbers the paper sweeps in Figures 7 and 8.
+pub const DIVISION_NUMBERS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nicam_array_is_paper_sized() {
+        let t = temperature_nicam();
+        assert_eq!(t.dims(), &[1156, 82, 2]);
+        assert_eq!(raw_bytes(&t).len(), 1_516_672);
+    }
+
+    #[test]
+    fn all_arrays_have_names_and_shapes() {
+        let arrays = all_nicam_arrays();
+        assert_eq!(arrays.len(), 4);
+        assert!(arrays.iter().any(|(n, _)| *n == "temperature"));
+        for (_, t) in &arrays {
+            assert_eq!(t.dims(), &[1156, 82, 2]);
+        }
+    }
+
+    #[test]
+    fn compress_and_measure_is_sane() {
+        let t = ckpt_tensor::fields::generate(&FieldSpec::small(FieldKind::Temperature, 1));
+        let (packed, err) = compress_and_measure(&t, CompressorConfig::paper_proposed());
+        assert!(packed.stats.compression_rate() < 100.0);
+        assert!(err.average < 0.01);
+    }
+
+    #[test]
+    fn median_time_returns_positive() {
+        let d = median_time(3, || {
+            std::hint::black_box((0..10_000).sum::<u64>());
+        });
+        assert!(d >= Duration::ZERO); // just runs
+    }
+}

@@ -1,0 +1,270 @@
+//! The `ckpt` subcommands.
+
+use crate::args::{parse_dims, Args};
+use ckpt_core::bound::compress_bounded;
+#[cfg(test)]
+use ckpt_core::metrics::relative_error;
+use ckpt_core::{Compressor, CompressorConfig, Container};
+use ckpt_quant::Method;
+use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+use ckpt_tensor::Tensor;
+
+pub const USAGE: &str = "\
+ckpt — wavelet-based lossy checkpoint compression (IPDPS'15 reproduction)
+
+USAGE:
+  ckpt compress   <in.f64> --dims AxBxC [--method proposed|simple|lloyd] [--n 1..256]
+                  [--d 64] [--levels 1] [--kernel haar|cdf53|cdf97]
+                  [--container gzip|zlib|tempfile|none]
+                  [--bound FRACTION] [-o out.wck]
+  ckpt decompress <in.wck> [-o out.f64]
+  ckpt info       <in.wck>
+  ckpt gen        --dims AxBxC [--kind temperature|pressure|wind_u|wind_v]
+                  [--seed N] -o out.f64
+
+Raw array files are row-major little-endian f64.";
+
+fn read_raw_tensor(path: &str, dims: &[usize]) -> Result<Tensor<f64>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let volume: usize = dims.iter().product();
+    if bytes.len() != volume * 8 {
+        return Err(format!(
+            "{path}: {} bytes but dims {dims:?} imply {}",
+            bytes.len(),
+            volume * 8
+        ));
+    }
+    let data: Vec<f64> =
+        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+    Tensor::from_vec(dims, data).map_err(|e| e.to_string())
+}
+
+fn write_raw_tensor(path: &str, t: &Tensor<f64>) -> Result<(), String> {
+    let mut bytes = Vec::with_capacity(t.len() * 8);
+    for &v in t.as_slice() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn config_from(args: &Args) -> Result<CompressorConfig, String> {
+    let mut cfg = CompressorConfig::paper_proposed();
+    cfg = match args.get("method").unwrap_or("proposed") {
+        "proposed" => cfg.with_method(Method::Proposed),
+        "simple" => cfg.with_method(Method::Simple),
+        "lloyd" => cfg.with_method(Method::Lloyd),
+        other => return Err(format!("unknown --method {other:?}")),
+    };
+    cfg = cfg.with_n(args.get_or("n", 128usize)?);
+    cfg = cfg.with_d(args.get_or("d", 64usize)?);
+    cfg = cfg.with_levels(args.get_or("levels", 1usize)?);
+    cfg = match args.get("kernel").unwrap_or("haar") {
+        "haar" => cfg.with_kernel(ckpt_wavelet::Kernel::Haar),
+        "cdf53" => cfg.with_kernel(ckpt_wavelet::Kernel::Cdf53),
+        "cdf97" => cfg.with_kernel(ckpt_wavelet::Kernel::Cdf97),
+        other => return Err(format!("unknown --kernel {other:?}")),
+    };
+    cfg = match args.get("container").unwrap_or("gzip") {
+        "gzip" => cfg.with_container(Container::Gzip),
+        "zlib" => cfg.with_container(Container::Zlib),
+        "tempfile" => cfg.with_container(Container::TempFileGzip),
+        "none" => cfg.with_container(Container::None),
+        other => return Err(format!("unknown --container {other:?}")),
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+pub fn compress(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.one_positional("input file")?;
+    let dims = parse_dims(args.get("dims").ok_or("--dims is required for compress")?)?;
+    let tensor = read_raw_tensor(input, &dims)?;
+    let cfg = config_from(&args)?;
+    let out_path = args.get("out").map(str::to_string).unwrap_or(format!("{input}.wck"));
+
+    let (bytes, rate, err) = if let Some(bound_raw) = args.get("bound") {
+        let bound: f64 =
+            bound_raw.parse().map_err(|_| format!("invalid --bound {bound_raw:?}"))?;
+        let r = compress_bounded(&tensor, cfg, bound).map_err(|e| e.to_string())?;
+        eprintln!("bound {bound} met with n = {} ({} probes)", r.n, r.probes);
+        (r.compressed.bytes, r.compressed.stats.compression_rate(), Some(r.error))
+    } else {
+        let compressor = Compressor::new(cfg).map_err(|e| e.to_string())?;
+        let packed = compressor.compress(&tensor).map_err(|e| e.to_string())?;
+        (packed.bytes, packed.stats.compression_rate(), None)
+    };
+
+    std::fs::write(&out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!(
+        "{input} ({} bytes) -> {out_path} ({} bytes), compression rate {rate:.2}%",
+        tensor.len() * 8,
+        bytes.len()
+    );
+    if let Some(e) = err {
+        eprintln!("measured avg relative error {:.6}%", e.average_percent());
+    }
+    Ok(())
+}
+
+pub fn decompress(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.one_positional("input file")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let tensor = Compressor::decompress(&bytes).map_err(|e| e.to_string())?;
+    let out_path = args
+        .get("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}.f64", input.trim_end_matches(".wck")));
+    write_raw_tensor(&out_path, &tensor)?;
+    eprintln!("{input} -> {out_path}, dims {:?}", tensor.dims());
+    Ok(())
+}
+
+pub fn info(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.one_positional("input file")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let tensor = Compressor::decompress(&bytes).map_err(|e| e.to_string())?;
+    let (lo, hi) = tensor.min_max();
+    println!("file            : {input}");
+    println!("compressed bytes: {}", bytes.len());
+    println!("dims            : {:?}", tensor.dims());
+    println!("elements        : {}", tensor.len());
+    println!("raw bytes       : {}", tensor.len() * 8);
+    println!(
+        "compression rate: {:.2}%",
+        100.0 * bytes.len() as f64 / (tensor.len() * 8) as f64
+    );
+    println!("value range     : [{lo}, {hi}]");
+    println!("mean            : {}", tensor.mean());
+    Ok(())
+}
+
+pub fn gen(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let dims = parse_dims(args.get("dims").ok_or("--dims is required for gen")?)?;
+    let out = args.get("out").ok_or("-o/--out is required for gen")?;
+    let kind = match args.get("kind").unwrap_or("temperature") {
+        "temperature" => FieldKind::Temperature,
+        "pressure" => FieldKind::Pressure,
+        "wind_u" => FieldKind::WindU,
+        "wind_v" => FieldKind::WindV,
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    let seed = args.get_or("seed", 7u64)?;
+    let spec = FieldSpec { dims: dims.clone(), kind, seed, harmonics: 12, noise_amp: 1e-4 };
+    let tensor = generate(&spec);
+    write_raw_tensor(out, &tensor)?;
+    eprintln!("generated {} field {:?} -> {out} ({} bytes)", kind.name(), dims, tensor.len() * 8);
+    Ok(())
+}
+
+/// Verifies a compress/decompress cycle on a tensor (used by tests).
+#[cfg(test)]
+pub fn roundtrip_error(t: &Tensor<f64>, cfg: CompressorConfig) -> f64 {
+    let c = Compressor::new(cfg).unwrap();
+    let packed = c.compress(t).unwrap();
+    let restored = Compressor::decompress(&packed.bytes).unwrap();
+    relative_error(t, &restored).unwrap().average
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempfile(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("ckpt-cli-test-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn gen_compress_decompress_cycle() {
+        let raw = tempfile("a.f64");
+        let wck = tempfile("a.wck");
+        let back = tempfile("a.back.f64");
+
+        gen(&["--dims".into(), "32x8x2".into(), "-o".into(), raw.clone()]).unwrap();
+        compress(&[
+            raw.clone(),
+            "--dims".into(),
+            "32x8x2".into(),
+            "--n".into(),
+            "64".into(),
+            "-o".into(),
+            wck.clone(),
+        ])
+        .unwrap();
+        decompress(&[wck.clone(), "-o".into(), back.clone()]).unwrap();
+
+        let original = read_raw_tensor(&raw, &[32, 8, 2]).unwrap();
+        let restored = read_raw_tensor(&back, &[32, 8, 2]).unwrap();
+        let err = relative_error(&original, &restored).unwrap();
+        assert!(err.average < 0.01, "{}", err.average);
+
+        let compressed_len = std::fs::metadata(&wck).unwrap().len();
+        assert!(compressed_len < std::fs::metadata(&raw).unwrap().len());
+
+        info(std::slice::from_ref(&wck)).unwrap();
+        for p in [raw, wck, back] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn bounded_compress_cli_path() {
+        let raw = tempfile("b.f64");
+        let wck = tempfile("b.wck");
+        gen(&["--dims".into(), "64x16".into(), "-o".into(), raw.clone()]).unwrap();
+        compress(&[
+            raw.clone(),
+            "--dims".into(),
+            "64x16".into(),
+            "--bound".into(),
+            "0.001".into(),
+            "-o".into(),
+            wck.clone(),
+        ])
+        .unwrap();
+        assert!(std::fs::metadata(&wck).unwrap().len() > 0);
+        let _ = std::fs::remove_file(raw);
+        let _ = std::fs::remove_file(wck);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let raw = tempfile("c.f64");
+        std::fs::write(&raw, [0u8; 24]).unwrap();
+        let err = compress(&[raw.clone(), "--dims".into(), "2x2".into()]).unwrap_err();
+        assert!(err.contains("imply"), "{err}");
+        let _ = std::fs::remove_file(raw);
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        assert!(config_from(&Args::parse(&["--method".into(), "magic".into()]).unwrap()).is_err());
+        assert!(config_from(&Args::parse(&["--n".into(), "0".into()]).unwrap()).is_err());
+        assert!(
+            config_from(&Args::parse(&["--container".into(), "7z".into()]).unwrap()).is_err()
+        );
+        assert!(gen(&["--dims".into(), "4x4".into()]).is_err()); // missing -o
+    }
+
+    #[test]
+    fn simple_and_proposed_both_reachable_from_cli_config() {
+        let t = generate(&FieldSpec::small(FieldKind::Temperature, 5));
+        let simple = config_from(
+            &Args::parse(&["--method".into(), "simple".into(), "--n".into(), "16".into()])
+                .unwrap(),
+        )
+        .unwrap();
+        let proposed = config_from(
+            &Args::parse(&["--method".into(), "proposed".into(), "--n".into(), "16".into()])
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(roundtrip_error(&t, proposed) <= roundtrip_error(&t, simple));
+    }
+}

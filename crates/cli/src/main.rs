@@ -1,0 +1,47 @@
+//! `ckpt` — command-line front end for the lossy checkpoint compressor.
+//!
+//! ```text
+//! ckpt compress   <in.f64> --dims 1156x82x2 [--method proposed|simple]
+//!                 [--n 128] [--d 64] [--levels 1] [--container gzip|zlib|none]
+//!                 [--bound 0.001] [-o out.wck]
+//! ckpt decompress <in.wck> [-o out.f64]
+//! ckpt info       <in.wck>
+//! ckpt gen        --dims 1156x82x2 [--kind temperature] [--seed 7] -o out.f64
+//! ```
+//!
+//! Raw array files are little-endian f64, row-major — the layout a
+//! Fortran/C application's checkpoint write produces for one variable.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return Err("missing subcommand".into());
+    };
+    match cmd.as_str() {
+        "compress" => commands::compress(rest),
+        "decompress" => commands::decompress(rest),
+        "info" => commands::info(rest),
+        "gen" => commands::gen(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}; try `ckpt help`")),
+    }
+}

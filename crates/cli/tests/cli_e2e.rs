@@ -1,0 +1,123 @@
+//! End-to-end tests of the installed `ckpt` binary (spawned as a real
+//! process via `CARGO_BIN_EXE_ckpt`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ckpt"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ckpt-e2e-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn full_gen_compress_info_decompress_flow() {
+    let raw = tmp("flow.f64");
+    let wck = tmp("flow.wck");
+    let back = tmp("flow.back.f64");
+
+    let st = bin()
+        .args(["gen", "--dims", "64x16x2", "--kind", "pressure", "-o"])
+        .arg(&raw)
+        .status()
+        .unwrap();
+    assert!(st.success());
+    assert_eq!(std::fs::metadata(&raw).unwrap().len(), 64 * 16 * 2 * 8);
+
+    let st = bin()
+        .arg("compress")
+        .arg(&raw)
+        .args(["--dims", "64x16x2", "--method", "proposed", "--n", "64", "-o"])
+        .arg(&wck)
+        .status()
+        .unwrap();
+    assert!(st.success());
+    let compressed = std::fs::metadata(&wck).unwrap().len();
+    assert!(compressed < 64 * 16 * 2 * 8, "must shrink: {compressed}");
+
+    let out = bin().arg("info").arg(&wck).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[64, 16, 2]"), "info output: {text}");
+    assert!(text.contains("compression rate"));
+
+    let st = bin().arg("decompress").arg(&wck).arg("-o").arg(&back).status().unwrap();
+    assert!(st.success());
+    assert_eq!(std::fs::metadata(&back).unwrap().len(), 64 * 16 * 2 * 8);
+
+    // Values close to the original.
+    let a = std::fs::read(&raw).unwrap();
+    let b = std::fs::read(&back).unwrap();
+    let to_f64 = |v: &[u8]| -> Vec<f64> {
+        v.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    };
+    let (a, b) = (to_f64(&a), to_f64(&b));
+    let lo = a.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max_err = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs() / (hi - lo))
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 0.01, "relative error {max_err}");
+
+    for p in [raw, wck, back] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn helpful_errors_and_usage() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success(), "no args must fail");
+
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    // compress without --dims
+    let out = bin().args(["compress", "/nonexistent.f64"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dims"));
+}
+
+#[test]
+fn bounded_mode_via_cli() {
+    let raw = tmp("bound.f64");
+    let wck = tmp("bound.wck");
+    assert!(bin()
+        .args(["gen", "--dims", "128x16", "-o"])
+        .arg(&raw)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .arg("compress")
+        .arg(&raw)
+        .args(["--dims", "128x16", "--bound", "0.001", "-o"])
+        .arg(&wck)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bound"), "{stderr}");
+    let _ = std::fs::remove_file(raw);
+    let _ = std::fs::remove_file(wck);
+}
+
+#[test]
+fn corrupt_input_reports_cleanly() {
+    let bad = tmp("corrupt.wck");
+    std::fs::write(&bad, b"this is not a checkpoint stream").unwrap();
+    let out = bin().arg("decompress").arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+    let _ = std::fs::remove_file(bad);
+}

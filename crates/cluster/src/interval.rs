@@ -1,0 +1,236 @@
+//! Checkpoint-interval optimization (Young/Daly) under lossy
+//! compression.
+//!
+//! The paper's conclusion names "optimizing checkpoint frequency by
+//! checkpointing model for lossy compression" as future work; its
+//! related work leans on the multi-level checkpointing models of Moody
+//! et al. This module implements the classical single-level theory so
+//! the repository can quantify the *system-level* consequence of
+//! compression: a cheaper checkpoint (smaller `C`) both shortens the
+//! optimal interval and shrinks the steady-state waste.
+//!
+//! First-order waste model for interval `τ`, checkpoint cost `C`,
+//! restart cost `R`, and exponential failures with mean `M` (MTBF):
+//!
+//! ```text
+//! waste(τ) ≈ C/τ + (τ + C)/(2M) + R/M
+//! ```
+//!
+//! minimized by Young's `τ* = sqrt(2 C M)`; Daly's refinement adds
+//! higher-order terms that matter when `C` is not ≪ `M`.
+
+/// Parameters of the renewal model, all in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalModel {
+    /// Time to write one checkpoint (with or without compression).
+    pub checkpoint_cost: f64,
+    /// Time to read a checkpoint and resume.
+    pub restart_cost: f64,
+    /// Mean time between failures.
+    pub mtbf: f64,
+}
+
+impl IntervalModel {
+    /// Validates the parameters.
+    // Negated comparisons are deliberate: they reject NaN parameters too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.checkpoint_cost > 0.0) {
+            return Err(format!("checkpoint cost {} must be > 0", self.checkpoint_cost));
+        }
+        if self.restart_cost < 0.0 {
+            return Err("restart cost must be >= 0".into());
+        }
+        if !(self.mtbf > self.checkpoint_cost) {
+            return Err(format!(
+                "MTBF {} must exceed checkpoint cost {}",
+                self.mtbf, self.checkpoint_cost
+            ));
+        }
+        Ok(())
+    }
+
+    /// Young's first-order optimal interval `sqrt(2 C M)`.
+    pub fn young_interval(&self) -> f64 {
+        (2.0 * self.checkpoint_cost * self.mtbf).sqrt()
+    }
+
+    /// Daly's higher-order optimal interval (valid for `C < 2M`).
+    pub fn daly_interval(&self) -> f64 {
+        let c = self.checkpoint_cost;
+        let m = self.mtbf;
+        if c >= 2.0 * m {
+            return m; // degenerate regime: checkpoint as fast as possible
+        }
+        let x = (c / (2.0 * m)).sqrt();
+        (2.0 * c * m).sqrt() * (1.0 + x / 3.0 + (c / (2.0 * m)) / 9.0) - c
+    }
+
+    /// Steady-state fraction of time wasted (checkpoint overhead plus
+    /// expected rework and restart) at interval `tau`.
+    pub fn waste_fraction(&self, tau: f64) -> f64 {
+        assert!(tau > 0.0, "interval must be positive");
+        self.checkpoint_cost / tau
+            + (tau + self.checkpoint_cost) / (2.0 * self.mtbf)
+            + self.restart_cost / self.mtbf
+    }
+
+    /// Numerically minimizes [`IntervalModel::waste_fraction`] over a
+    /// grid — used to validate the closed forms and for regimes outside
+    /// their assumptions.
+    pub fn best_interval_numeric(&self, lo: f64, hi: f64, steps: usize) -> f64 {
+        assert!(lo > 0.0 && hi > lo && steps >= 2);
+        let mut best = lo;
+        let mut best_w = f64::INFINITY;
+        for k in 0..=steps {
+            let tau = lo * (hi / lo).powf(k as f64 / steps as f64);
+            let w = self.waste_fraction(tau);
+            if w < best_w {
+                best_w = w;
+                best = tau;
+            }
+        }
+        best
+    }
+
+    /// Expected wall-clock time to complete `work` seconds of useful
+    /// compute at interval `tau` (first-order).
+    pub fn expected_makespan(&self, work: f64, tau: f64) -> f64 {
+        work * (1.0 + self.waste_fraction(tau))
+    }
+}
+
+/// The compression pay-off at the interval level: given the same
+/// machine (MTBF) and the same application, compare optimal-interval
+/// waste with and without compression.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalComparison {
+    /// Optimal interval and waste without compression.
+    pub uncompressed: (f64, f64),
+    /// Optimal interval and waste with compression.
+    pub compressed: (f64, f64),
+}
+
+impl IntervalComparison {
+    /// Builds the comparison from two checkpoint costs (seconds) under
+    /// a common MTBF; restart costs scale with checkpoint size too.
+    pub fn build(
+        cost_uncompressed: f64,
+        cost_compressed: f64,
+        restart_ratio: f64,
+        mtbf: f64,
+    ) -> Self {
+        let eval = |c: f64| {
+            let m = IntervalModel {
+                checkpoint_cost: c,
+                restart_cost: c * restart_ratio,
+                mtbf,
+            };
+            let tau = m.young_interval();
+            (tau, m.waste_fraction(tau))
+        };
+        IntervalComparison {
+            uncompressed: eval(cost_uncompressed),
+            compressed: eval(cost_compressed),
+        }
+    }
+
+    /// Relative reduction of steady-state waste from compression.
+    pub fn waste_reduction(&self) -> f64 {
+        1.0 - self.compressed.1 / self.uncompressed.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(c: f64, m: f64) -> IntervalModel {
+        IntervalModel { checkpoint_cost: c, restart_cost: c, mtbf: m }
+    }
+
+    #[test]
+    fn young_formula_exact() {
+        let m = model(10.0, 20_000.0);
+        assert!((m.young_interval() - (2.0f64 * 10.0 * 20_000.0).sqrt()).abs() < 1e-9);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn closed_forms_agree_with_numeric_optimum() {
+        for (c, mtbf) in [(1.0, 3600.0), (10.0, 3600.0), (30.0, 7200.0)] {
+            let m = model(c, mtbf);
+            let numeric = m.best_interval_numeric(c, mtbf, 4000);
+            let young = m.young_interval();
+            // Young is within a few percent of the numeric optimum in
+            // the C << M regime.
+            assert!(
+                (young - numeric).abs() / numeric < 0.05,
+                "C={c} M={mtbf}: young {young} vs numeric {numeric}"
+            );
+            // And the waste at Young's tau is near-minimal.
+            let w_young = m.waste_fraction(young);
+            let w_best = m.waste_fraction(numeric);
+            assert!(w_young <= w_best * 1.01);
+        }
+    }
+
+    #[test]
+    fn daly_close_to_young_when_c_small() {
+        let m = model(1.0, 86_400.0);
+        let rel = (m.daly_interval() - m.young_interval()).abs() / m.young_interval();
+        assert!(rel < 0.02, "rel diff {rel}");
+    }
+
+    #[test]
+    fn waste_is_convex_around_optimum() {
+        let m = model(10.0, 10_000.0);
+        let tau = m.young_interval();
+        let w = m.waste_fraction(tau);
+        assert!(m.waste_fraction(tau * 0.5) > w);
+        assert!(m.waste_fraction(tau * 2.0) > w);
+    }
+
+    #[test]
+    fn cheaper_checkpoints_shorten_interval_and_cut_waste() {
+        // The paper's 81% checkpoint-time cut, pushed through the
+        // interval model.
+        let cmp = IntervalComparison::build(100.0, 19.0, 1.0, 4.0 * 3600.0);
+        let (tau_u, w_u) = cmp.uncompressed;
+        let (tau_c, w_c) = cmp.compressed;
+        assert!(tau_c < tau_u, "compression shortens the optimal interval");
+        assert!(w_c < w_u, "and cuts steady-state waste");
+        // sqrt scaling: waste ratio ~ sqrt(cost ratio) = sqrt(0.19) ~ 0.44.
+        let reduction = cmp.waste_reduction();
+        assert!(
+            (0.35..0.75).contains(&reduction),
+            "waste reduction {reduction} outside sqrt-law ballpark"
+        );
+    }
+
+    #[test]
+    fn makespan_grows_with_waste() {
+        let m = model(10.0, 3600.0);
+        let tau = m.young_interval();
+        let base = m.expected_makespan(1e6, tau);
+        assert!(base > 1e6);
+        assert!(m.expected_makespan(1e6, tau * 10.0) > base);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        assert!(model(0.0, 100.0).validate().is_err());
+        assert!(model(10.0, 5.0).validate().is_err());
+        assert!(
+            IntervalModel { checkpoint_cost: 1.0, restart_cost: -1.0, mtbf: 100.0 }
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn degenerate_daly_regime_is_bounded() {
+        let m = model(100.0, 120.0);
+        assert!(m.daly_interval() <= 120.0);
+    }
+}

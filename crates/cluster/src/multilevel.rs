@@ -1,0 +1,191 @@
+//! Two-level checkpointing model (the related-work context).
+//!
+//! The paper positions lossy compression alongside multi-level
+//! checkpointing (Moody et al., its references [3]/[25]): write cheap
+//! local (L1) checkpoints often and expensive parallel-filesystem (L2)
+//! checkpoints rarely; most failures recover from L1, catastrophic ones
+//! need L2. This module implements the steady-state waste model for
+//! that scheme so the repository can answer the combination question
+//! the paper leaves to future work: *how much does lossy compression
+//! help a multi-level scheme*, given that it shrinks both levels'
+//! checkpoint costs?
+//!
+//! First-order model (per unit time), with L1 interval `τ1` and an L2
+//! checkpoint replacing every k-th L1:
+//!
+//! ```text
+//! overhead  = c1/τ1 + (c2 − c1)/(k·τ1)
+//! rework    ≈ (τ1 + c1)/(2·M1)  +  (k·τ1 + c2)/(2·M2)
+//! restart   ≈ r1/M1 + r2/M2
+//! ```
+//!
+//! where `M1` is the MTBF of L1-recoverable failures and `M2` of
+//! failures requiring L2.
+
+/// Parameters of the two-level scheme, all times in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoLevelModel {
+    /// L1 (node-local) checkpoint cost.
+    pub c1: f64,
+    /// L2 (parallel filesystem) checkpoint cost.
+    pub c2: f64,
+    /// L1 restart cost.
+    pub r1: f64,
+    /// L2 restart cost.
+    pub r2: f64,
+    /// MTBF of failures recoverable from L1.
+    pub mtbf1: f64,
+    /// MTBF of failures that need L2 (lost node, filesystem-visible).
+    pub mtbf2: f64,
+}
+
+impl TwoLevelModel {
+    /// Validates the parameters.
+    // Negated comparisons are deliberate: they reject NaN parameters too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.c1 > 0.0 && self.c2 >= self.c1) {
+            return Err("need 0 < c1 <= c2".into());
+        }
+        if self.r1 < 0.0 || self.r2 < 0.0 {
+            return Err("restart costs must be >= 0".into());
+        }
+        if !(self.mtbf1 > self.c1) || !(self.mtbf2 > self.c2) {
+            return Err("MTBFs must exceed the corresponding checkpoint costs".into());
+        }
+        Ok(())
+    }
+
+    /// Steady-state waste fraction for L1 interval `tau1` and one L2
+    /// checkpoint every `k` L1 intervals.
+    pub fn waste(&self, tau1: f64, k: u32) -> f64 {
+        assert!(tau1 > 0.0 && k >= 1);
+        let k = k as f64;
+        let overhead = self.c1 / tau1 + (self.c2 - self.c1) / (k * tau1);
+        let rework =
+            (tau1 + self.c1) / (2.0 * self.mtbf1) + (k * tau1 + self.c2) / (2.0 * self.mtbf2);
+        let restart = self.r1 / self.mtbf1 + self.r2 / self.mtbf2;
+        overhead + rework + restart
+    }
+
+    /// Grid-searches `(tau1, k)` for minimum waste. Returns
+    /// `(tau1, k, waste)`.
+    pub fn optimize(&self) -> (f64, u32, f64) {
+        let mut best = (self.c1 * 2.0, 1u32, f64::INFINITY);
+        // tau1 from c1 up to mtbf1, log-spaced; k over powers up to 256.
+        for step in 0..=400 {
+            let tau1 = self.c1 * (self.mtbf1 / self.c1).powf(step as f64 / 400.0);
+            for k in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+                let w = self.waste(tau1, k);
+                if w < best.2 {
+                    best = (tau1, k, w);
+                }
+            }
+        }
+        best
+    }
+
+    /// Applies a compression rate (fraction of original size) to both
+    /// levels' checkpoint and restart costs, modelling the paper's
+    /// pipeline in front of each level. The compression compute time
+    /// `comp` is added to each checkpoint.
+    pub fn with_compression(&self, rate: f64, comp: f64) -> TwoLevelModel {
+        assert!(rate > 0.0 && rate <= 1.0);
+        TwoLevelModel {
+            c1: self.c1 * rate + comp,
+            c2: self.c2 * rate + comp,
+            r1: self.r1 * rate + comp,
+            r2: self.r2 * rate + comp,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TwoLevelModel {
+        TwoLevelModel {
+            c1: 2.0,
+            c2: 60.0,
+            r1: 2.0,
+            r2: 60.0,
+            mtbf1: 4.0 * 3600.0,
+            mtbf2: 48.0 * 3600.0,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        model().validate().unwrap();
+        let mut m = model();
+        m.c2 = 1.0;
+        assert!(m.validate().is_err());
+        let mut m = model();
+        m.mtbf1 = 1.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn k1_degenerates_to_single_level_l2() {
+        // With k = 1 every checkpoint is an L2 checkpoint: waste should
+        // match the single-level formula with cost c2.
+        let m = model();
+        let tau = 600.0;
+        let w = m.waste(tau, 1);
+        let single = m.c2 / tau
+            + (tau + m.c1) / (2.0 * m.mtbf1)
+            + (tau + m.c2) / (2.0 * m.mtbf2)
+            + m.r1 / m.mtbf1
+            + m.r2 / m.mtbf2;
+        assert!((w - single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_k_exceeds_one_when_l2_is_expensive_and_rare() {
+        let (tau1, k, w) = model().optimize();
+        assert!(k > 1, "cheap-frequent L1 must win: k = {k}");
+        assert!(tau1 > model().c1);
+        assert!(w < 0.2, "waste {w} should be modest");
+        // The optimum beats both pure strategies sampled on the grid.
+        assert!(w <= model().waste(tau1, 1));
+    }
+
+    #[test]
+    fn waste_is_convex_in_tau_around_optimum() {
+        let m = model();
+        let (tau1, k, w) = m.optimize();
+        assert!(m.waste(tau1 * 0.4, k) > w);
+        assert!(m.waste(tau1 * 2.5, k) > w);
+    }
+
+    #[test]
+    fn compression_cuts_two_level_waste() {
+        // The future-work question: the paper's pipeline (rate ~0.25,
+        // compression a few seconds at scale) in front of both levels.
+        let base = model();
+        let compressed = base.with_compression(0.25, 0.5);
+        compressed.validate().unwrap();
+        let (_, _, w_base) = base.optimize();
+        let (_, _, w_comp) = compressed.optimize();
+        assert!(
+            w_comp < w_base,
+            "compression must reduce optimal waste: {w_comp} vs {w_base}"
+        );
+        // Of the same order the sqrt-law predicts.
+        assert!(w_comp > w_base * 0.3);
+    }
+
+    #[test]
+    fn heavier_l2_failures_push_k_down() {
+        // If L2-class failures are common, the scheme needs frequent L2
+        // checkpoints (smaller k).
+        let rare = model();
+        let mut frequent = model();
+        frequent.mtbf2 = 2.0 * 3600.0;
+        let (_, k_rare, _) = rare.optimize();
+        let (_, k_freq, _) = frequent.optimize();
+        assert!(k_freq <= k_rare, "k {k_freq} should not exceed {k_rare}");
+    }
+}

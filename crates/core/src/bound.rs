@@ -1,0 +1,144 @@
+//! Error-bound-driven compression.
+//!
+//! The paper's Section IV-C closes with: *"In future, we will provide
+//! more intuitive capability, which can control the errors by specifying
+//! a value, such as tolerable degree of errors."* This module implements
+//! that future work: given a tolerable **average relative error**
+//! (Eq. 6), it searches the division number `n` (the only free accuracy
+//! knob at fixed method/`d`) for the smallest value meeting the bound —
+//! smallest, because compression rate degrades as `n` grows (Fig. 7).
+
+use crate::codec::{Compressed, Compressor};
+use crate::config::CompressorConfig;
+use crate::metrics::{relative_error, RelativeError};
+use crate::{CkptError, Result};
+use ckpt_tensor::Tensor;
+
+/// Outcome of a bounded compression.
+#[derive(Debug)]
+pub struct BoundedResult {
+    /// The division number that met the bound.
+    pub n: usize,
+    /// The compressed stream at that `n`.
+    pub compressed: Compressed,
+    /// The measured error at that `n`.
+    pub error: RelativeError,
+    /// How many candidate `n` values were evaluated.
+    pub probes: usize,
+}
+
+/// Compresses `tensor` with the smallest division number whose measured
+/// average relative error is `<= bound` (a fraction, e.g. `0.001` for
+/// 0.1%). Errors with [`CkptError::BoundUnreachable`] if even `n = 256`
+/// misses the bound.
+// The negated comparison deliberately rejects NaN bounds as well.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn compress_bounded(
+    tensor: &Tensor<f64>,
+    base: CompressorConfig,
+    bound: f64,
+) -> Result<BoundedResult> {
+    if !(bound > 0.0) || !bound.is_finite() {
+        return Err(CkptError::Format(format!("error bound {bound} must be positive")));
+    }
+    let mut probes = 0usize;
+    let mut measure = |n: usize| -> Result<(Compressed, RelativeError)> {
+        probes += 1;
+        let compressor = Compressor::new(base.with_n(n))?;
+        let compressed = compressor.compress(tensor)?;
+        let restored = Compressor::decompress(&compressed.bytes)?;
+        let error = relative_error(tensor, &restored)?;
+        Ok((compressed, error))
+    };
+
+    // Doubling scan: error decreases (weakly) with n, so find the first
+    // power of two that satisfies the bound.
+    let mut lo = 1usize; // largest known-failing n (0 = none yet)
+    let mut n = 1usize;
+    let (mut best_n, mut best_c, mut best_e) = loop {
+        let (c, e) = measure(n)?;
+        if e.average <= bound {
+            break (n, c, e);
+        }
+        lo = n;
+        if n >= 256 {
+            return Err(CkptError::BoundUnreachable { requested: bound, achieved: e.average });
+        }
+        n = (n * 2).min(256);
+    };
+
+    // Binary refine between the failing lo and the succeeding best_n.
+    let mut failing = if best_n == 1 { 0 } else { lo };
+    while best_n - failing > 1 {
+        let mid = (failing + best_n) / 2;
+        let (c, e) = measure(mid)?;
+        if e.average <= bound {
+            best_n = mid;
+            best_c = c;
+            best_e = e;
+        } else {
+            failing = mid;
+        }
+    }
+
+    Ok(BoundedResult { n: best_n, compressed: best_c, error: best_e, probes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+
+    fn field() -> Tensor<f64> {
+        generate(&FieldSpec::small(FieldKind::Temperature, 9))
+    }
+
+    #[test]
+    fn meets_the_requested_bound() {
+        let t = field();
+        for bound in [1e-2, 1e-3, 1e-4] {
+            let r = compress_bounded(&t, CompressorConfig::paper_proposed(), bound).unwrap();
+            assert!(r.error.average <= bound, "bound {bound}: got {}", r.error.average);
+            assert!(r.n >= 1 && r.n <= 256);
+        }
+    }
+
+    #[test]
+    fn smaller_bound_needs_larger_n() {
+        let t = field();
+        let loose = compress_bounded(&t, CompressorConfig::paper_proposed(), 1e-2).unwrap();
+        let tight = compress_bounded(&t, CompressorConfig::paper_proposed(), 1e-4).unwrap();
+        assert!(tight.n >= loose.n, "tight n {} < loose n {}", tight.n, loose.n);
+    }
+
+    #[test]
+    fn unreachable_bound_errors() {
+        let t = field();
+        let err = compress_bounded(&t, CompressorConfig::paper_simple(), 1e-15);
+        assert!(matches!(err, Err(CkptError::BoundUnreachable { .. })));
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        let t = field();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(compress_bounded(&t, CompressorConfig::paper_proposed(), bad).is_err());
+        }
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let t = field();
+        let r = compress_bounded(&t, CompressorConfig::paper_proposed(), 1e-4).unwrap();
+        assert!(r.probes <= 18, "{} probes", r.probes);
+    }
+
+    #[test]
+    fn result_stream_decompresses() {
+        let t = field();
+        let r = compress_bounded(&t, CompressorConfig::paper_proposed(), 1e-3).unwrap();
+        let back = Compressor::decompress(&r.compressed.bytes).unwrap();
+        let e = relative_error(&t, &back).unwrap();
+        assert!((e.average - r.error.average).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,327 @@
+//! Multi-variable checkpoint container.
+//!
+//! A checkpoint holds every physical-quantity array of one application
+//! time step (the paper checkpoints NICAM's pressure, temperature and
+//! wind arrays together). Each variable is stored either lossily (the
+//! Section III pipeline) or raw (the no-compression baseline), with its
+//! name and the application step recorded so a restart can rebind
+//! variables by name.
+
+use crate::codec::{Compressed, Compressor};
+use crate::timing::StageTimings;
+use crate::wire::{ByteReader, ByteWriter};
+use crate::{CkptError, Result};
+use ckpt_tensor::Tensor;
+use std::io::{Read, Write};
+
+const MAGIC: u32 = u32::from_le_bytes(*b"CKPT");
+const VERSION: u8 = 1;
+
+/// Storage mode of one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarMode {
+    /// Lossy pipeline output (self-describing WCK1 stream).
+    Lossy,
+    /// Raw little-endian f64 tensor (no compression).
+    Raw,
+}
+
+struct Entry {
+    name: String,
+    mode: VarMode,
+    payload: Vec<u8>,
+}
+
+/// Accumulates variables into a checkpoint image.
+pub struct CheckpointBuilder {
+    step: u64,
+    entries: Vec<Entry>,
+    timings: StageTimings,
+}
+
+impl CheckpointBuilder {
+    /// Starts a checkpoint for an application time step.
+    pub fn new(step: u64) -> Self {
+        CheckpointBuilder { step, entries: Vec::new(), timings: StageTimings::new() }
+    }
+
+    /// Adds a variable through the lossy pipeline; returns the per-array
+    /// compression record.
+    pub fn add_lossy(
+        &mut self,
+        name: &str,
+        tensor: &Tensor<f64>,
+        compressor: &Compressor,
+    ) -> Result<Compressed> {
+        self.check_name(name)?;
+        let compressed = compressor.compress(tensor)?;
+        self.timings += compressed.timings;
+        self.entries.push(Entry {
+            name: name.to_string(),
+            mode: VarMode::Lossy,
+            payload: compressed.bytes.clone(),
+        });
+        Ok(compressed)
+    }
+
+    /// Adds a variable uncompressed (the baseline mode, and the right
+    /// choice for non-smooth arrays the pipeline would not help).
+    pub fn add_raw(&mut self, name: &str, tensor: &Tensor<f64>) -> Result<()> {
+        self.check_name(name)?;
+        let mut w = ByteWriter::with_capacity(16 + tensor.len() * 8);
+        w.put_u8(tensor.ndim() as u8);
+        for &d in tensor.dims() {
+            w.put_u64(d as u64);
+        }
+        w.put_f64_slice(tensor.as_slice());
+        self.entries.push(Entry { name: name.to_string(), mode: VarMode::Raw, payload: w.into_bytes() });
+        Ok(())
+    }
+
+    fn check_name(&self, name: &str) -> Result<()> {
+        if name.is_empty() {
+            return Err(CkptError::Format("variable name must be non-empty".into()));
+        }
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(CkptError::Format(format!("duplicate variable name {name:?}")));
+        }
+        Ok(())
+    }
+
+    /// Accumulated compression-stage timings across all lossy variables.
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    /// Number of variables added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no variables have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the checkpoint image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u8(VERSION);
+        w.put_u64(self.step);
+        w.put_u16(self.entries.len() as u16);
+        for e in &self.entries {
+            w.put_str(&e.name);
+            w.put_u8(match e.mode {
+                VarMode::Lossy => 0,
+                VarMode::Raw => 1,
+            });
+            w.put_u64(e.payload.len() as u64);
+            w.put_bytes(&e.payload);
+        }
+        w.into_bytes()
+    }
+
+    /// Writes the checkpoint image to a sink; returns bytes written.
+    pub fn write_to<W: Write>(self, sink: &mut W) -> Result<usize> {
+        let bytes = self.into_bytes();
+        sink.write_all(&bytes)?;
+        Ok(bytes.len())
+    }
+}
+
+/// A parsed checkpoint image.
+pub struct Checkpoint {
+    step: u64,
+    entries: Vec<Entry>,
+}
+
+impl Checkpoint {
+    /// Parses a checkpoint image from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_u32()? != MAGIC {
+            return Err(CkptError::Format("bad checkpoint magic".into()));
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(CkptError::Format(format!("unsupported checkpoint version {version}")));
+        }
+        let step = r.get_u64()?;
+        let count = r.get_u16()? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = r.get_str()?;
+            let mode = match r.get_u8()? {
+                0 => VarMode::Lossy,
+                1 => VarMode::Raw,
+                m => return Err(CkptError::Format(format!("unknown variable mode {m}"))),
+            };
+            let len = r.get_u64()? as usize;
+            let payload = r.get_bytes(len)?.to_vec();
+            entries.push(Entry { name, mode, payload });
+        }
+        r.expect_end()?;
+        Ok(Checkpoint { step, entries })
+    }
+
+    /// Reads a checkpoint image from a source (e.g. a file).
+    pub fn read_from<R: Read>(source: &mut R) -> Result<Self> {
+        let mut bytes = Vec::new();
+        source.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// The application time step this checkpoint captured.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Variable names, in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Storage mode of a variable.
+    pub fn mode(&self, name: &str) -> Option<VarMode> {
+        self.entries.iter().find(|e| e.name == name).map(|e| e.mode)
+    }
+
+    /// Restores one variable to a tensor (decompressing if lossy).
+    pub fn restore(&self, name: &str) -> Result<Tensor<f64>> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| CkptError::Format(format!("no variable named {name:?}")))?;
+        match entry.mode {
+            VarMode::Lossy => Compressor::decompress(&entry.payload),
+            VarMode::Raw => {
+                let mut r = ByteReader::new(&entry.payload);
+                let ndim = r.get_u8()? as usize;
+                let mut dims = Vec::with_capacity(ndim);
+                for _ in 0..ndim {
+                    dims.push(r.get_u64()? as usize);
+                }
+                let volume: usize = dims.iter().product();
+                let data = r.get_f64_slice(volume)?;
+                r.expect_end()?;
+                Ok(Tensor::from_vec(&dims, data)?)
+            }
+        }
+    }
+
+    /// Total image size in bytes when re-serialized (header + payloads).
+    pub fn payload_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.payload.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompressorConfig;
+    use crate::metrics::relative_error;
+    use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+
+    fn fields() -> Vec<(&'static str, Tensor<f64>)> {
+        FieldKind::ALL
+            .iter()
+            .map(|&k| (k.name(), generate(&FieldSpec::small(k, 5))))
+            .collect()
+    }
+
+    #[test]
+    fn full_checkpoint_roundtrip() {
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let vars = fields();
+        let mut b = CheckpointBuilder::new(720);
+        for (name, t) in &vars {
+            b.add_lossy(name, t, &comp).unwrap();
+        }
+        assert_eq!(b.len(), 4);
+        let bytes = b.into_bytes();
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ck.step(), 720);
+        assert_eq!(ck.names(), vec!["pressure", "temperature", "wind_u", "wind_v"]);
+        for (name, t) in &vars {
+            let restored = ck.restore(name).unwrap();
+            let e = relative_error(t, &restored).unwrap();
+            assert!(e.average < 0.01, "{name}: {}", e.average);
+            assert_eq!(ck.mode(name), Some(VarMode::Lossy));
+        }
+    }
+
+    #[test]
+    fn raw_variables_are_bit_exact() {
+        let (_, t) = fields().remove(0);
+        let mut b = CheckpointBuilder::new(1);
+        b.add_raw("exact", &t).unwrap();
+        let ck = Checkpoint::from_bytes(&b.into_bytes()).unwrap();
+        let restored = ck.restore("exact").unwrap();
+        assert_eq!(restored.as_slice(), t.as_slice());
+        assert_eq!(ck.mode("exact"), Some(VarMode::Raw));
+    }
+
+    #[test]
+    fn mixed_modes_coexist() {
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let vars = fields();
+        let mut b = CheckpointBuilder::new(7);
+        b.add_lossy("lossy", &vars[0].1, &comp).unwrap();
+        b.add_raw("raw", &vars[1].1).unwrap();
+        let ck = Checkpoint::from_bytes(&b.into_bytes()).unwrap();
+        assert_eq!(ck.names().len(), 2);
+        assert_eq!(ck.restore("raw").unwrap().as_slice(), vars[1].1.as_slice());
+        assert!(ck.restore("lossy").is_ok());
+    }
+
+    #[test]
+    fn duplicate_and_missing_names_rejected() {
+        let (_, t) = fields().remove(0);
+        let mut b = CheckpointBuilder::new(0);
+        b.add_raw("x", &t).unwrap();
+        assert!(b.add_raw("x", &t).is_err());
+        assert!(b.add_raw("", &t).is_err());
+        let ck = Checkpoint::from_bytes(&b.into_bytes()).unwrap();
+        assert!(ck.restore("missing").is_err());
+    }
+
+    #[test]
+    fn io_write_read_roundtrip() {
+        let (_, t) = fields().remove(0);
+        let mut b = CheckpointBuilder::new(3);
+        b.add_raw("v", &t).unwrap();
+        let mut buf = Vec::new();
+        let written = b.write_to(&mut buf).unwrap();
+        assert_eq!(written, buf.len());
+        let ck = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(ck.step(), 3);
+    }
+
+    #[test]
+    fn corrupt_images_error() {
+        let (_, t) = fields().remove(0);
+        let mut b = CheckpointBuilder::new(0);
+        b.add_raw("v", &t).unwrap();
+        let bytes = b.into_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = 0;
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        let mut bad = bytes;
+        bad.push(1);
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn timings_accumulate_across_variables() {
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let vars = fields();
+        let mut b = CheckpointBuilder::new(0);
+        for (name, t) in &vars {
+            b.add_lossy(name, t, &comp).unwrap();
+        }
+        assert!(b.timings().total() > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,177 @@
+//! Pipeline configuration.
+
+use crate::{CkptError, Result};
+use ckpt_deflate::Level;
+use ckpt_quant::{Method, QuantConfig};
+use ckpt_wavelet::{Kernel, WaveletPlan};
+
+/// Final entropy-coding container applied over the formatted output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Container {
+    /// gzip, as the paper's implementation uses.
+    Gzip,
+    /// zlib in memory — the improvement Section IV-D sketches.
+    Zlib,
+    /// gzip via a temporary file, reproducing the paper's measured
+    /// "temporal file write for gzip" overhead bar in Figure 9.
+    TempFileGzip,
+    /// No final pass (exposes the formatted size for analysis).
+    None,
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressorConfig {
+    /// Quantizer method and parameters (`n`, `d`).
+    pub quant: QuantConfig,
+    /// Wavelet decomposition depth (the paper uses a single level).
+    pub plan: WaveletPlan,
+    /// DEFLATE effort for the final pass.
+    pub level: Level,
+    /// Which container wraps the formatted bytes.
+    pub container: Container,
+    /// Ablation switch: also quantize the low band (the paper keeps it
+    /// exact; turning this on shows why).
+    pub quantize_low_band: bool,
+    /// Byte-shuffle the floating-point sections before the container —
+    /// the "more appropriate than gzip" improvement the paper's
+    /// Section IV-D sketches as future work. Off by default (the paper's
+    /// configuration).
+    pub byte_shuffle: bool,
+    /// Wavelet kernel: the paper's Haar, or CDF 5/3 (JPEG 2000's
+    /// lossless kernel) as the "improved algorithm" extension.
+    pub kernel: Kernel,
+}
+
+impl CompressorConfig {
+    /// The paper's headline configuration: proposed quantizer, n = 128,
+    /// d = 64, single level, gzip.
+    pub fn paper_proposed() -> Self {
+        CompressorConfig {
+            quant: QuantConfig { method: Method::Proposed, n: 128, d: 64 },
+            plan: WaveletPlan::SINGLE,
+            level: Level::Default,
+            container: Container::Gzip,
+            quantize_low_band: false,
+            byte_shuffle: false,
+            kernel: Kernel::Haar,
+        }
+    }
+
+    /// The paper's simple-quantizer baseline at n = 128.
+    pub fn paper_simple() -> Self {
+        CompressorConfig {
+            quant: QuantConfig { method: Method::Simple, n: 128, d: 64 },
+            ..Self::paper_proposed()
+        }
+    }
+
+    /// Sets the division number `n` (Figures 7/8 sweep this).
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.quant.n = n;
+        self
+    }
+
+    /// Sets the quantizer method.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.quant.method = method;
+        self
+    }
+
+    /// Sets the spike partition count `d`.
+    pub fn with_d(mut self, d: usize) -> Self {
+        self.quant.d = d;
+        self
+    }
+
+    /// Sets the container.
+    pub fn with_container(mut self, container: Container) -> Self {
+        self.container = container;
+        self
+    }
+
+    /// Sets the wavelet depth.
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        self.plan = WaveletPlan { levels };
+        self
+    }
+
+    /// Sets the DEFLATE effort.
+    pub fn with_level(mut self, level: Level) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Enables byte-shuffle preconditioning of the f64 sections.
+    pub fn with_byte_shuffle(mut self, on: bool) -> Self {
+        self.byte_shuffle = on;
+        self
+    }
+
+    /// Selects the wavelet kernel.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        self.quant.validate().map_err(CkptError::from)?;
+        if self.plan.levels == 0 {
+            return Err(CkptError::Format("wavelet levels must be >= 1".into()));
+        }
+        if self.plan.levels > 32 {
+            return Err(CkptError::Format("wavelet levels > 32 unsupported".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CompressorConfig {
+    fn default() -> Self {
+        Self::paper_proposed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_iv() {
+        let c = CompressorConfig::paper_proposed();
+        assert_eq!(c.quant.method, Method::Proposed);
+        assert_eq!(c.quant.n, 128);
+        assert_eq!(c.quant.d, 64);
+        assert_eq!(c.plan.levels, 1);
+        assert_eq!(c.container, Container::Gzip);
+        assert!(!c.quantize_low_band);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = CompressorConfig::paper_proposed()
+            .with_n(16)
+            .with_d(32)
+            .with_method(Method::Simple)
+            .with_levels(2)
+            .with_container(Container::Zlib)
+            .with_level(Level::Fast);
+        assert_eq!(c.quant.n, 16);
+        assert_eq!(c.quant.d, 32);
+        assert_eq!(c.quant.method, Method::Simple);
+        assert_eq!(c.plan.levels, 2);
+        assert_eq!(c.container, Container::Zlib);
+        assert_eq!(c.level, Level::Fast);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CompressorConfig::paper_proposed().with_n(0).validate().is_err());
+        assert!(CompressorConfig::paper_proposed().with_n(300).validate().is_err());
+        assert!(CompressorConfig::paper_proposed().with_levels(0).validate().is_err());
+        assert!(CompressorConfig::paper_proposed().with_levels(64).validate().is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Unified error type for the compression pipeline.
+
+use ckpt_deflate::DeflateError;
+use ckpt_quant::QuantError;
+use ckpt_tensor::TensorError;
+use std::fmt;
+
+/// Any failure in compression, decompression, or checkpoint I/O.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Shape/axis/block errors from the tensor substrate.
+    Tensor(TensorError),
+    /// Quantizer parameter or stream errors.
+    Quant(QuantError),
+    /// DEFLATE/gzip/zlib errors.
+    Deflate(DeflateError),
+    /// Malformed compressed-array or checkpoint framing.
+    Format(String),
+    /// Filesystem I/O during checkpoint read/write or temp-file gzip.
+    Io(std::io::Error),
+    /// Error-bound search could not meet the requested bound.
+    BoundUnreachable { requested: f64, achieved: f64 },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CkptError::Quant(e) => write!(f, "quantizer error: {e}"),
+            CkptError::Deflate(e) => write!(f, "deflate error: {e}"),
+            CkptError::Format(why) => write!(f, "format error: {why}"),
+            CkptError::Io(e) => write!(f, "io error: {e}"),
+            CkptError::BoundUnreachable { requested, achieved } => write!(
+                f,
+                "error bound {requested} unreachable; best achieved {achieved}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Tensor(e) => Some(e),
+            CkptError::Quant(e) => Some(e),
+            CkptError::Deflate(e) => Some(e),
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CkptError {
+    fn from(e: TensorError) -> Self {
+        CkptError::Tensor(e)
+    }
+}
+
+impl From<QuantError> for CkptError {
+    fn from(e: QuantError) -> Self {
+        CkptError::Quant(e)
+    }
+}
+
+impl From<DeflateError> for CkptError {
+    fn from(e: DeflateError) -> Self {
+        CkptError::Deflate(e)
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CkptError = TensorError::EmptyShape.into();
+        assert!(e.to_string().contains("tensor"));
+        let e: CkptError = QuantError::BadDivisionNumber(0).into();
+        assert!(e.to_string().contains("quantizer"));
+        let e: CkptError = DeflateError::UnexpectedEof.into();
+        assert!(e.to_string().contains("deflate"));
+        let e = CkptError::Format("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = CkptError::BoundUnreachable { requested: 1e-9, achieved: 1e-3 };
+        assert!(e.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e: CkptError = TensorError::EmptyShape.into();
+        assert!(e.source().is_some());
+        assert!(CkptError::Format("x".into()).source().is_none());
+    }
+}

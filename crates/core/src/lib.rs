@@ -1,0 +1,53 @@
+//! # ckpt-core
+//!
+//! The paper's contribution: floating-point lossy compression for
+//! application-level checkpoints (Section III), end to end:
+//!
+//! 1. **Wavelet transformation** — Haar, over every axis
+//!    ([`ckpt_wavelet`]),
+//! 2. **Quantization** — simple or spike-detecting proposed method
+//!    ([`ckpt_quant`]),
+//! 3. **Encoding** — one-byte indexes into the average table plus a
+//!    bitmap of quantized positions,
+//! 4. **Formatting** — the Figure 5 byte layout ([`wire`]/[`codec`]),
+//! 5. **gzip** — DEFLATE over the formatted output ([`ckpt_deflate`]),
+//!    optionally via a temporary file to reproduce the paper's measured
+//!    "temporal file write" overhead.
+//!
+//! The high-level entry points are [`Compressor`] (single arrays) and
+//! [`checkpoint`] (multi-variable checkpoint files). [`metrics`]
+//! implements the paper's compression rate (Eq. 5) and relative error
+//! (Eq. 6); [`bound`] adds the error-bound-driven mode the paper lists
+//! as future work.
+//!
+//! ```
+//! use ckpt_core::{Compressor, CompressorConfig};
+//! use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+//!
+//! let field = generate(&FieldSpec::small(FieldKind::Temperature, 1));
+//! let compressor = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+//! let packed = compressor.compress(&field).unwrap();
+//! let restored = Compressor::decompress(&packed.bytes).unwrap();
+//! let err = ckpt_core::metrics::relative_error(&field, &restored).unwrap();
+//! assert!(err.average < 0.01); // << 1% average relative error
+//! assert!(packed.stats.compression_rate() < 60.0); // way below gzip's ~85%
+//! ```
+
+pub mod bound;
+pub mod checkpoint;
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod incremental;
+pub mod metrics;
+pub mod shuffle;
+pub mod timing;
+pub mod wire;
+
+pub use codec::{CompressStats, Compressed, Compressor};
+pub use config::{CompressorConfig, Container};
+pub use error::CkptError;
+pub use timing::StageTimings;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CkptError>;

@@ -1,0 +1,161 @@
+//! The paper's evaluation metrics.
+//!
+//! * Compression rate, Equation 5: `cr = cs_comp / cs_orig × 100`
+//!   (percent; **lower is better** — the paper reports gzip at 86.78%
+//!   and the lossy pipeline at 11–29%).
+//! * Relative error, Equation 6:
+//!   `re_i = |x_i − x̃_i| / (max_j x_j − min_j x_j)`, with the average
+//!   `Σ re_i / m` and maximum `max_i re_i` reported per array
+//!   (Section IV-C).
+
+use crate::{CkptError, Result};
+use ckpt_tensor::Tensor;
+
+/// Relative-error summary of a reconstructed array against its original.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeError {
+    /// Mean of Eq. 6 over all elements (fraction, not percent).
+    pub average: f64,
+    /// Maximum of Eq. 6 over all elements (fraction, not percent).
+    pub max: f64,
+    /// The normalising value range `max_j x_j − min_j x_j`.
+    pub range: f64,
+}
+
+impl RelativeError {
+    /// Average as a percentage (the unit of Figures 8 and 10).
+    pub fn average_percent(&self) -> f64 {
+        self.average * 100.0
+    }
+
+    /// Maximum as a percentage.
+    pub fn max_percent(&self) -> f64 {
+        self.max * 100.0
+    }
+}
+
+/// Computes Eq. 6 statistics between an original tensor and its lossy
+/// reconstruction.
+///
+/// A degenerate range (constant original array) reports zero error when
+/// the reconstruction is identical, else infinite — mirroring the
+/// division in the paper's definition.
+pub fn relative_error(original: &Tensor<f64>, restored: &Tensor<f64>) -> Result<RelativeError> {
+    if original.dims() != restored.dims() {
+        return Err(CkptError::Format(format!(
+            "shape mismatch: {:?} vs {:?}",
+            original.dims(),
+            restored.dims()
+        )));
+    }
+    relative_error_slices(original.as_slice(), restored.as_slice())
+}
+
+/// Slice-level variant of [`relative_error`].
+pub fn relative_error_slices(original: &[f64], restored: &[f64]) -> Result<RelativeError> {
+    if original.len() != restored.len() {
+        return Err(CkptError::Format("length mismatch".into()));
+    }
+    if original.is_empty() {
+        return Err(CkptError::Format("empty arrays have no error".into()));
+    }
+    let mut lo = original[0];
+    let mut hi = original[0];
+    for &v in original {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    let range = hi - lo;
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    for (&x, &y) in original.iter().zip(restored) {
+        let abs = (x - y).abs();
+        let re = if range > 0.0 {
+            abs / range
+        } else if abs == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        sum += re;
+        if re > max {
+            max = re;
+        }
+    }
+    Ok(RelativeError { average: sum / original.len() as f64, max, range })
+}
+
+/// Equation 5: compressed size over original size, in percent. Lower is
+/// better.
+pub fn compression_rate(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    if original_bytes == 0 {
+        return 0.0;
+    }
+    compressed_bytes as f64 / original_bytes as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_arrays_have_zero_error() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let e = relative_error(&t, &t).unwrap();
+        assert_eq!(e.average, 0.0);
+        assert_eq!(e.max, 0.0);
+        assert_eq!(e.range, 3.0);
+    }
+
+    #[test]
+    fn equation_6_hand_case() {
+        // Original range 10; one element off by 1 -> re = 0.1 there.
+        let a = Tensor::from_vec(&[4], vec![0.0, 5.0, 5.0, 10.0]).unwrap();
+        let b = Tensor::from_vec(&[4], vec![0.0, 6.0, 5.0, 10.0]).unwrap();
+        let e = relative_error(&a, &b).unwrap();
+        assert!((e.max - 0.1).abs() < 1e-12);
+        assert!((e.average - 0.025).abs() < 1e-12);
+        assert!((e.average_percent() - 2.5).abs() < 1e-12);
+        assert!((e.max_percent() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_array_edge_cases() {
+        let a = Tensor::from_vec(&[2], vec![3.0, 3.0]).unwrap();
+        let e = relative_error(&a, &a).unwrap();
+        assert_eq!(e.average, 0.0);
+        let b = Tensor::from_vec(&[2], vec![3.0, 4.0]).unwrap();
+        let e = relative_error(&a, &b).unwrap();
+        assert!(e.max.is_infinite());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::<f64>::zeros(&[2, 2]).unwrap();
+        let b = Tensor::<f64>::zeros(&[4]).unwrap();
+        assert!(relative_error(&a, &b).is_err());
+    }
+
+    #[test]
+    fn compression_rate_examples() {
+        // The paper's gzip result: 86.78% of original.
+        assert!((compression_rate(10_000, 8_678) - 86.78).abs() < 1e-9);
+        assert_eq!(compression_rate(100, 100), 100.0);
+        assert_eq!(compression_rate(0, 50), 0.0);
+        // Expansion shows as > 100%.
+        assert!(compression_rate(100, 120) > 100.0);
+    }
+
+    #[test]
+    fn error_is_normalised_by_range_not_magnitude() {
+        // Same absolute error on a wider-range array => smaller re.
+        let narrow =
+            relative_error_slices(&[0.0, 1.0], &[0.5, 1.0]).unwrap();
+        let wide = relative_error_slices(&[0.0, 100.0], &[0.5, 100.0]).unwrap();
+        assert!(narrow.max > wide.max * 50.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Little-endian byte framing for the compressed-array and checkpoint
+//! formats. Self-contained (no serde): the format is part of the
+//! reproduction and must be byte-stable.
+
+use crate::CkptError;
+
+/// Append-only byte buffer with typed little-endian writers.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sized buffer.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Bulk little-endian f64 write.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// A length-prefixed UTF-8 string (u16 length).
+    pub fn put_str(&mut self, s: &str) {
+        assert!(s.len() <= u16::MAX as usize, "string too long for wire format");
+        self.put_u16(s.len() as u16);
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// New reader at offset 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.pos + n > self.data.len() {
+            return Err(CkptError::Format(format!(
+                "truncated stream: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.data.len() - self.pos
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        self.take(n)
+    }
+
+    /// Bulk f64 read.
+    pub fn get_f64_slice(&mut self, n: usize) -> Result<Vec<f64>, CkptError> {
+        let raw = self.take(n * 8)?;
+        Ok(raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CkptError> {
+        let len = self.get_u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| CkptError::Format("invalid UTF-8 in string field".into()))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Errors unless the stream is fully consumed (guards against
+    /// trailing garbage).
+    pub fn expect_end(&self) -> Result<(), CkptError> {
+        if self.remaining() != 0 {
+            return Err(CkptError::Format(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_types_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEADBEEF);
+        w.put_u64(0x0102030405060708);
+        w.put_f64(-1234.5678);
+        w.put_str("temperature");
+        w.put_f64_slice(&[1.5, -2.5]);
+        w.put_bytes(&[9, 9, 9]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0102030405060708);
+        assert_eq!(r.get_f64().unwrap(), -1234.5678);
+        assert_eq!(r.get_str().unwrap(), "temperature");
+        assert_eq!(r.get_f64_slice(2).unwrap(), vec![1.5, -2.5]);
+        assert_eq!(r.get_bytes(3).unwrap(), &[9, 9, 9]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected_with_offset() {
+        let mut w = ByteWriter::new();
+        w.put_u32(7);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..2]);
+        let err = r.get_u32().unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.get_u8().unwrap();
+        assert!(r.expect_end().is_err());
+        r.get_u8().unwrap();
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn nan_and_infinity_preserved() {
+        let mut w = ByteWriter::new();
+        w.put_f64(f64::NAN);
+        w.put_f64(f64::INFINITY);
+        w.put_f64(f64::NEG_INFINITY);
+        w.put_f64(-0.0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.get_f64().unwrap(), f64::NEG_INFINITY);
+        assert!(r.get_f64().unwrap().is_sign_negative());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u16(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_str().is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Adler-32 (RFC 1950 §8), as zlib stores it.
+
+const MOD: u32 = 65_521;
+/// Largest n such that 255 * n * (n+1) / 2 + (n+1) * (MOD-1) < 2^32.
+const NMAX: usize = 5552;
+
+/// Incremental Adler-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Fresh checksum state (value 1, per the RFC).
+    pub fn new() -> Self {
+        Adler32 { a: 1, b: 0 }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(NMAX) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= MOD;
+            self.b %= MOD;
+        }
+    }
+
+    /// Final checksum value.
+    pub fn finalize(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// One-shot Adler-32 of a buffer.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut c = Adler32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024D_0127);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255).cycle().take(100_000).collect();
+        let whole = adler32(&data);
+        let mut c = Adler32::new();
+        for chunk in data.chunks(999) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), whole);
+    }
+
+    #[test]
+    fn no_overflow_on_all_0xff() {
+        // Exercises the NMAX deferred-modulo path.
+        let data = vec![0xFFu8; 1_000_000];
+        let _ = adler32(&data);
+    }
+}

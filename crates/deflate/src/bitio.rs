@@ -1,0 +1,259 @@
+//! LSB-first bit streams, as DEFLATE defines them (RFC 1951 §3.1.1):
+//! data elements are packed starting from the least-significant bit of
+//! each byte; Huffman codes are packed most-significant-bit first *of the
+//! code*, which callers handle by reversing code bits before writing.
+
+use crate::DeflateError;
+
+/// Bit writer accumulating into a byte vector, LSB-first.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bit accumulator; bits fill from the LSB upward.
+    acc: u64,
+    /// Number of valid bits in `acc` (< 8 after a flush).
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `count` bits of `bits` (count <= 57 per call).
+    #[inline]
+    pub fn write_bits(&mut self, bits: u64, count: u32) {
+        debug_assert!(count <= 57, "bit count {count} too large for accumulator");
+        debug_assert!(count == 64 || bits < (1u64 << count), "extraneous high bits");
+        self.acc |= bits << self.nbits;
+        self.nbits += count;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends whole bytes; the stream must be byte-aligned (used for
+    /// stored blocks).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(self.nbits, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Current length in bits (for cost accounting).
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+
+    /// Finishes the stream, padding the final partial byte with zeros.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.out
+    }
+}
+
+/// Bit reader over a byte slice, LSB-first.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte to load.
+    pos: usize,
+    /// Bit accumulator; valid bits start at the LSB.
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// New reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Refills the accumulator as far as possible.
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads `count` bits (<= 57). Errors at end of input.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, DeflateError> {
+        debug_assert!(count <= 57);
+        if self.nbits < count {
+            self.refill();
+            if self.nbits < count {
+                return Err(DeflateError::UnexpectedEof);
+            }
+        }
+        let mask = if count == 64 { u64::MAX } else { (1u64 << count) - 1 };
+        let v = self.acc & mask;
+        self.acc >>= count;
+        self.nbits -= count;
+        Ok(v)
+    }
+
+    /// Peeks up to `count` bits without consuming; missing trailing bits
+    /// read as zero (standard for Huffman peek at stream end).
+    #[inline]
+    pub fn peek_bits(&mut self, count: u32) -> u64 {
+        debug_assert!(count <= 57);
+        self.refill();
+        let mask = if count >= 64 { u64::MAX } else { (1u64 << count) - 1 };
+        self.acc & mask
+    }
+
+    /// Consumes `count` bits previously peeked. Errors if fewer remain.
+    #[inline]
+    pub fn consume(&mut self, count: u32) -> Result<(), DeflateError> {
+        if self.nbits < count {
+            return Err(DeflateError::UnexpectedEof);
+        }
+        self.acc >>= count;
+        self.nbits -= count;
+        Ok(())
+    }
+
+    /// Number of bits still available.
+    pub fn bits_remaining(&self) -> usize {
+        self.nbits as usize + (self.data.len() - self.pos) * 8
+    }
+
+    /// Discards buffered bits to the next byte boundary and returns the
+    /// remaining byte-aligned tail view (used for stored blocks).
+    pub fn align_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Reads `len` whole bytes after alignment.
+    pub fn read_bytes(&mut self, len: usize) -> Result<Vec<u8>, DeflateError> {
+        debug_assert_eq!(self.nbits % 8, 0, "read_bytes requires byte alignment");
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.read_bits(8)? as u8);
+        }
+        Ok(out)
+    }
+}
+
+/// Reverses the low `n` bits of `code` — Huffman codes are written
+/// MSB-of-code first into the LSB-first stream.
+#[inline]
+pub fn reverse_bits(code: u32, n: u32) -> u32 {
+    code.reverse_bits() >> (32 - n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b11110000, 8);
+        w.write_bits(0x3FFF, 14);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0b11110000);
+        assert_eq!(r.read_bits(14).unwrap(), 0x3FFF);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn lsb_first_bit_order() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // bit 0 of byte 0
+        w.write_bits(0, 1);
+        w.write_bits(1, 1); // bit 2
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_byte();
+        w.write_bytes(&[0xAB, 0xCD]);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0011, 0xAB, 0xCD]);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        r.align_byte();
+        assert_eq!(r.read_bytes(2).unwrap(), vec![0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn eof_detection() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1), Err(DeflateError::UnexpectedEof));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = BitReader::new(&[0b1010_1010]);
+        assert_eq!(r.peek_bits(4), 0b1010);
+        assert_eq!(r.peek_bits(4), 0b1010);
+        r.consume(2).unwrap();
+        assert_eq!(r.read_bits(2).unwrap(), 0b10);
+    }
+
+    #[test]
+    fn peek_past_end_reads_zeros() {
+        let mut r = BitReader::new(&[0x01]);
+        assert_eq!(r.peek_bits(16), 0x0001);
+        assert_eq!(r.bits_remaining(), 8);
+    }
+
+    #[test]
+    fn reverse_bits_examples() {
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0b10000000, 8), 0b00000001);
+        assert_eq!(reverse_bits(0b0111, 4), 0b1110);
+    }
+
+    #[test]
+    fn long_stream_roundtrip() {
+        let mut w = BitWriter::new();
+        for i in 0..10_000u64 {
+            w.write_bits(i % 32, 5);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..10_000u64 {
+            assert_eq!(r.read_bits(5).unwrap(), i % 32);
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks_progress() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 16);
+    }
+}

@@ -1,0 +1,483 @@
+//! DEFLATE block encoder (RFC 1951).
+//!
+//! The input is tokenized once, then split into segments of roughly
+//! [`SEGMENT_BYTES`] source bytes; each segment is emitted as whichever
+//! block type is cheapest — stored, fixed-Huffman, or dynamic-Huffman
+//! (stored blocks chunk at the 65 535-byte limit). Per-segment Huffman
+//! tables matter for checkpoint streams, whose sections have very
+//! different statistics (f64 low band, then one-byte quantizer
+//! indexes, then a bitmap).
+
+use crate::bitio::BitWriter;
+use crate::huffman::{code_lengths, Encoder};
+use crate::lz77::{self, Token};
+use crate::Level;
+
+/// Number of literal/length symbols (0..=285, 286/287 reserved).
+pub const NUM_LITLEN: usize = 286;
+/// Number of distance symbols.
+pub const NUM_DIST: usize = 30;
+/// End-of-block symbol.
+pub const END_OF_BLOCK: usize = 256;
+
+/// `(base_length, extra_bits)` for length codes 257..=285.
+pub const LENGTH_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// `(base_distance, extra_bits)` for distance codes 0..=29.
+pub const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4),
+    (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8),
+    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Transmission order of code-length-code lengths (RFC 1951 §3.2.7).
+pub const CLCODE_ORDER: [usize; 19] =
+    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// Maps a match length (3..=258) to `(symbol, extra_bits, extra_value)`.
+pub fn length_symbol(len: u16) -> (usize, u8, u16) {
+    debug_assert!((3..=258).contains(&len));
+    // Find the last code whose base <= len. Lengths are dense; a linear
+    // scan over 29 entries is fine (called per token; table is tiny and
+    // cached).
+    let mut idx = 0;
+    for (i, &(base, _)) in LENGTH_TABLE.iter().enumerate() {
+        if base <= len {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    // Length 258 must use code 285 (extra 0), not 284 + extra 31.
+    let (base, extra) = LENGTH_TABLE[idx];
+    (257 + idx, extra, len - base)
+}
+
+/// Maps a distance (1..=32768) to `(symbol, extra_bits, extra_value)`.
+pub fn dist_symbol(dist: u16) -> (usize, u8, u16) {
+    debug_assert!(dist >= 1);
+    let mut idx = 0;
+    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
+        if base <= dist {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, extra, dist - base)
+}
+
+/// The fixed literal/length code lengths (RFC 1951 §3.2.6).
+pub fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut lens = vec![8u8; 288];
+    for l in lens.iter_mut().take(256).skip(144) {
+        *l = 9;
+    }
+    for l in lens.iter_mut().take(280).skip(256) {
+        *l = 7;
+    }
+    lens
+}
+
+/// The fixed distance code lengths: thirty-two 5-bit codes.
+pub fn fixed_dist_lengths() -> Vec<u8> {
+    vec![5u8; 32]
+}
+
+/// Histograms a token stream into literal/length and distance frequency
+/// tables (including the mandatory end-of-block symbol).
+fn histogram(tokens: &[Token]) -> (Vec<u64>, Vec<u64>) {
+    let mut lit = vec![0u64; NUM_LITLEN];
+    let mut dist = vec![0u64; NUM_DIST];
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => lit[b as usize] += 1,
+            Token::Match { len, dist: d } => {
+                lit[length_symbol(len).0] += 1;
+                dist[dist_symbol(d).0] += 1;
+            }
+        }
+    }
+    lit[END_OF_BLOCK] += 1;
+    (lit, dist)
+}
+
+/// Bit cost of coding `tokens` with the given length tables (header not
+/// included).
+fn body_cost(tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) -> usize {
+    let mut bits = lit_lens[END_OF_BLOCK] as usize;
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => bits += lit_lens[b as usize] as usize,
+            Token::Match { len, dist } => {
+                let (ls, le, _) = length_symbol(len);
+                let (ds, de, _) = dist_symbol(dist);
+                bits += lit_lens[ls] as usize + le as usize;
+                bits += dist_lens[ds] as usize + de as usize;
+            }
+        }
+    }
+    bits
+}
+
+/// Writes the token body with prepared encoders.
+fn write_body(w: &mut BitWriter, tokens: &[Token], lit: &Encoder, dist: &Encoder) {
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => lit.write(w, b as usize),
+            Token::Match { len, dist: d } => {
+                let (ls, le, lv) = length_symbol(len);
+                lit.write(w, ls);
+                if le > 0 {
+                    w.write_bits(lv as u64, le as u32);
+                }
+                let (ds, de, dv) = dist_symbol(d);
+                dist.write(w, ds);
+                if de > 0 {
+                    w.write_bits(dv as u64, de as u32);
+                }
+            }
+        }
+    }
+    lit.write(w, END_OF_BLOCK);
+}
+
+/// Run-length-encodes the concatenated code-length arrays into
+/// code-length-code symbols: `(symbol, extra_bits, extra_value)`.
+fn rle_code_lengths(lens: &[u8]) -> Vec<(u8, u8, u8)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < lens.len() {
+        let v = lens[i];
+        let mut run = 1usize;
+        while i + run < lens.len() && lens[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                out.push((18, 7, (take - 11) as u8));
+                left -= take;
+            }
+            if left >= 3 {
+                out.push((17, 3, (left - 3) as u8));
+                left = 0;
+            }
+            for _ in 0..left {
+                out.push((0, 0, 0));
+            }
+        } else {
+            out.push((v, 0, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                out.push((16, 2, (take - 3) as u8));
+                left -= take;
+            }
+            for _ in 0..left {
+                out.push((v, 0, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// A prepared dynamic block header.
+struct DynamicPlan {
+    lit_lens: Vec<u8>,
+    dist_lens: Vec<u8>,
+    rle: Vec<(u8, u8, u8)>,
+    cl_lens: Vec<u8>,
+    hclen: usize,
+    header_bits: usize,
+}
+
+fn plan_dynamic(lit_freq: &[u64], dist_freq: &[u64]) -> DynamicPlan {
+    let mut lit_lens = code_lengths(lit_freq, 15);
+    let mut dist_lens = code_lengths(dist_freq, 15);
+    // HLIT >= 257, HDIST >= 1: trim trailing zeros down to the minima.
+    let hlit = (257..=NUM_LITLEN).rev().find(|&k| k == 257 || lit_lens[k - 1] != 0).unwrap();
+    let hdist = (1..=NUM_DIST).rev().find(|&k| k == 1 || dist_lens[k - 1] != 0).unwrap();
+    lit_lens.truncate(hlit.max(257));
+    dist_lens.truncate(hdist.max(1));
+
+    let mut all = lit_lens.clone();
+    all.extend_from_slice(&dist_lens);
+    let rle = rle_code_lengths(&all);
+
+    let mut cl_freq = vec![0u64; 19];
+    for &(sym, _, _) in &rle {
+        cl_freq[sym as usize] += 1;
+    }
+    let cl_lens = code_lengths(&cl_freq, 7);
+    let hclen = (4..=19)
+        .rev()
+        .find(|&k| k == 4 || cl_lens[CLCODE_ORDER[k - 1]] != 0)
+        .unwrap();
+
+    let mut header_bits = 5 + 5 + 4 + 3 * hclen;
+    for &(sym, extra, _) in &rle {
+        header_bits += cl_lens[sym as usize] as usize + extra as usize;
+    }
+    DynamicPlan { lit_lens, dist_lens, rle, cl_lens, hclen, header_bits }
+}
+
+fn write_dynamic_block(w: &mut BitWriter, plan: &DynamicPlan, tokens: &[Token], bfinal: bool) {
+    w.write_bits(bfinal as u64, 1);
+    w.write_bits(0b10, 2);
+    w.write_bits((plan.lit_lens.len() - 257) as u64, 5);
+    w.write_bits((plan.dist_lens.len() - 1) as u64, 5);
+    w.write_bits((plan.hclen - 4) as u64, 4);
+    for &ord in CLCODE_ORDER.iter().take(plan.hclen) {
+        w.write_bits(plan.cl_lens[ord] as u64, 3);
+    }
+    let cl_enc = Encoder::from_lengths(&plan.cl_lens);
+    for &(sym, extra, val) in &plan.rle {
+        cl_enc.write(w, sym as usize);
+        if extra > 0 {
+            w.write_bits(val as u64, extra as u32);
+        }
+    }
+    // Pad the tables so the encoder can index any symbol.
+    let mut lit_lens = plan.lit_lens.clone();
+    lit_lens.resize(NUM_LITLEN, 0);
+    let mut dist_lens = plan.dist_lens.clone();
+    dist_lens.resize(NUM_DIST, 0);
+    let lit = Encoder::from_lengths(&lit_lens);
+    let dist = Encoder::from_lengths(&dist_lens);
+    write_body(w, tokens, &lit, &dist);
+}
+
+fn write_fixed_block(w: &mut BitWriter, tokens: &[Token], bfinal: bool) {
+    w.write_bits(bfinal as u64, 1);
+    w.write_bits(0b01, 2);
+    let lit = Encoder::from_lengths(&fixed_litlen_lengths());
+    let dist = Encoder::from_lengths(&fixed_dist_lengths());
+    write_body(w, tokens, &lit, &dist);
+}
+
+/// Writes `data` as stored blocks (chunked at 65 535 bytes); the last
+/// chunk carries BFINAL = `bfinal`.
+fn write_stored_chunks(w: &mut BitWriter, data: &[u8], bfinal: bool) {
+    let mut chunks: Vec<&[u8]> = data.chunks(65_535).collect();
+    if chunks.is_empty() {
+        chunks.push(&[]);
+    }
+    let last = chunks.len() - 1;
+    for (i, chunk) in chunks.iter().enumerate() {
+        w.write_bits((bfinal && i == last) as u64, 1);
+        w.write_bits(0b00, 2);
+        w.align_byte();
+        let len = chunk.len() as u16;
+        w.write_bits(len as u64, 16);
+        w.write_bits((!len) as u64, 16);
+        w.write_bytes(chunk);
+    }
+}
+
+/// Source bytes per emitted block: large enough to amortize dynamic
+/// headers, small enough that sections with different statistics get
+/// their own Huffman tables.
+pub const SEGMENT_BYTES: usize = 128 * 1024;
+
+/// Emits one segment (tokens + the source bytes they cover) as the
+/// cheapest block type.
+fn write_segment(w: &mut BitWriter, tokens: &[Token], src: &[u8], bfinal: bool) {
+    let (lit_freq, dist_freq) = histogram(tokens);
+    let plan = plan_dynamic(&lit_freq, &dist_freq);
+    let mut lit_padded = plan.lit_lens.clone();
+    lit_padded.resize(NUM_LITLEN, 0);
+    let mut dist_padded = plan.dist_lens.clone();
+    dist_padded.resize(NUM_DIST, 0);
+    let dynamic_cost = 3 + plan.header_bits + body_cost(tokens, &lit_padded, &dist_padded);
+    let fixed_cost = 3 + body_cost(tokens, &fixed_litlen_lengths(), &fixed_dist_lengths());
+    let stored_cost = src.chunks(65_535).count().max(1) * (3 + 32) + src.len() * 8 + 7;
+
+    if stored_cost < dynamic_cost && stored_cost < fixed_cost {
+        write_stored_chunks(w, src, bfinal);
+    } else if fixed_cost <= dynamic_cost {
+        write_fixed_block(w, tokens, bfinal);
+    } else {
+        write_dynamic_block(w, &plan, tokens, bfinal);
+    }
+}
+
+/// Compresses `data` into a raw DEFLATE stream.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    if level == Level::Store {
+        write_stored_chunks(&mut w, data, true);
+        return w.finish();
+    }
+    let tokens = lz77::tokenize(data, level);
+
+    // Split the token stream at ~SEGMENT_BYTES source-byte boundaries.
+    let mut w_tokens = &tokens[..];
+    let mut src_pos = 0usize;
+    if tokens.is_empty() {
+        write_segment(&mut w, &[], &[], true);
+        return w.finish();
+    }
+    while !w_tokens.is_empty() {
+        let mut seg_src = 0usize;
+        let mut cut = 0usize;
+        while cut < w_tokens.len() && seg_src < SEGMENT_BYTES {
+            seg_src += match w_tokens[cut] {
+                Token::Literal(_) => 1,
+                Token::Match { len, .. } => len as usize,
+            };
+            cut += 1;
+        }
+        let (seg, rest) = w_tokens.split_at(cut);
+        let bfinal = rest.is_empty();
+        write_segment(&mut w, seg, &data[src_pos..src_pos + seg_src], bfinal);
+        src_pos += seg_src;
+        w_tokens = rest;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_symbol_boundaries() {
+        assert_eq!(length_symbol(3), (257, 0, 0));
+        assert_eq!(length_symbol(10), (264, 0, 0));
+        assert_eq!(length_symbol(11), (265, 1, 0));
+        assert_eq!(length_symbol(12), (265, 1, 1));
+        assert_eq!(length_symbol(13), (266, 1, 0));
+        assert_eq!(length_symbol(257), (284, 5, 30));
+        assert_eq!(length_symbol(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn dist_symbol_boundaries() {
+        assert_eq!(dist_symbol(1), (0, 0, 0));
+        assert_eq!(dist_symbol(4), (3, 0, 0));
+        assert_eq!(dist_symbol(5), (4, 1, 0));
+        assert_eq!(dist_symbol(6), (4, 1, 1));
+        assert_eq!(dist_symbol(24577), (29, 13, 0));
+        assert_eq!(dist_symbol(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn every_length_and_distance_roundtrips_through_tables() {
+        for len in 3..=258u16 {
+            let (sym, extra, val) = length_symbol(len);
+            let (base, e) = LENGTH_TABLE[sym - 257];
+            assert_eq!(e, extra);
+            assert_eq!(base + val, len);
+            assert!(val < (1 << extra) || extra == 0 && val == 0);
+        }
+        for dist in 1..=32768u16 {
+            let (sym, extra, val) = dist_symbol(dist);
+            let (base, e) = DIST_TABLE[sym];
+            assert_eq!(e, extra);
+            assert_eq!(base as u32 + val as u32, dist as u32);
+        }
+    }
+
+    #[test]
+    fn rle_encodes_runs() {
+        // 20 zeros -> one code-18 run (11-138).
+        let rle = rle_code_lengths(&[0u8; 20]);
+        assert_eq!(rle, vec![(18, 7, 9)]);
+        // value then repeat-previous.
+        let rle = rle_code_lengths(&[5u8; 5]);
+        assert_eq!(rle, vec![(5, 0, 0), (16, 2, 1)]);
+        // Short zero runs use 17.
+        let rle = rle_code_lengths(&[0u8; 4]);
+        assert_eq!(rle, vec![(17, 3, 1)]);
+        // Sub-3 runs are emitted verbatim.
+        let rle = rle_code_lengths(&[7, 7]);
+        assert_eq!(rle, vec![(7, 0, 0), (7, 0, 0)]);
+    }
+
+    fn rle_expand(rle: &[(u8, u8, u8)]) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::new();
+        for &(sym, _, val) in rle {
+            match sym {
+                16 => {
+                    let prev = *out.last().expect("16 requires previous");
+                    out.extend(std::iter::repeat_n(prev, val as usize + 3));
+                }
+                17 => out.extend(std::iter::repeat_n(0, val as usize + 3)),
+                18 => out.extend(std::iter::repeat_n(0, val as usize + 11)),
+                v => out.push(v),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rle_roundtrip_on_realistic_tables() {
+        let lens: Vec<u8> = (0..286)
+            .map(|i| match i % 7 {
+                0 => 0,
+                1..=3 => 8,
+                4 => 9,
+                5 => 7,
+                _ => 12,
+            })
+            .collect();
+        assert_eq!(rle_expand(&rle_code_lengths(&lens)), lens);
+        let sparse = {
+            let mut v = vec![0u8; 286];
+            v[0] = 1;
+            v[255] = 1;
+            v
+        };
+        assert_eq!(rle_expand(&rle_code_lengths(&sparse)), sparse);
+    }
+
+    #[test]
+    fn stored_roundtrip_via_inflate() {
+        let data = vec![0xA5u8; 100_000];
+        let packed = compress(&data, Level::Store);
+        assert_eq!(crate::inflate::inflate(&packed).unwrap(), data);
+        // 65535-chunking: two blocks expected, overhead ~10 bytes.
+        assert!(packed.len() >= data.len());
+        assert!(packed.len() < data.len() + 32);
+    }
+
+    #[test]
+    fn incompressible_data_falls_back_to_stored() {
+        let mut state = 1u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let packed = compress(&data, Level::Best);
+        assert!(packed.len() <= data.len() + 64, "no expansion beyond block overhead");
+        assert_eq!(crate::inflate::inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            let packed = compress(&[], level);
+            assert!(!packed.is_empty());
+            assert_eq!(crate::inflate::inflate(&packed).unwrap(), Vec::<u8>::new());
+        }
+    }
+}

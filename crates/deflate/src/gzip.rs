@@ -1,0 +1,163 @@
+//! gzip container (RFC 1952): the format the paper applies to its
+//! formatted lossy output and uses as the lossless baseline.
+
+use crate::crc32::crc32;
+use crate::{deflate, inflate, DeflateError, Level};
+
+const MAGIC: [u8; 2] = [0x1F, 0x8B];
+const CM_DEFLATE: u8 = 8;
+const OS_UNKNOWN: u8 = 255;
+
+/// Compresses `data` into a single-member gzip stream.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let body = deflate::compress(data, level);
+    let mut out = Vec::with_capacity(body.len() + 18);
+    out.extend_from_slice(&MAGIC);
+    out.push(CM_DEFLATE);
+    out.push(0); // FLG: no extra fields
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME: unset
+    out.push(match level {
+        Level::Best => 2,
+        Level::Fast | Level::Store => 4,
+        Level::Default => 0,
+    }); // XFL
+    out.push(OS_UNKNOWN);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompresses a single-member gzip stream, verifying CRC-32 and
+/// ISIZE, with a decompression-bomb cap on the output size.
+pub fn decompress_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, DeflateError> {
+    decompress_inner(data, max_output)
+}
+
+/// Decompresses a single-member gzip stream, verifying CRC-32 and ISIZE.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
+    decompress_inner(data, usize::MAX)
+}
+
+fn decompress_inner(data: &[u8], max_output: usize) -> Result<Vec<u8>, DeflateError> {
+    if data.len() < 18 {
+        return Err(DeflateError::BadContainer("too short for gzip"));
+    }
+    if data[0..2] != MAGIC {
+        return Err(DeflateError::BadContainer("bad magic"));
+    }
+    if data[2] != CM_DEFLATE {
+        return Err(DeflateError::BadContainer("unsupported compression method"));
+    }
+    let flg = data[3];
+    let mut pos = 10usize;
+    // FEXTRA
+    if flg & 0x04 != 0 {
+        if pos + 2 > data.len() {
+            return Err(DeflateError::UnexpectedEof);
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    // FNAME, FCOMMENT: zero-terminated strings.
+    for flag in [0x08u8, 0x10] {
+        if flg & flag != 0 {
+            let end = data[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(DeflateError::UnexpectedEof)?;
+            pos += end + 1;
+        }
+    }
+    // FHCRC
+    if flg & 0x02 != 0 {
+        pos += 2;
+    }
+    if pos + 8 > data.len() {
+        return Err(DeflateError::UnexpectedEof);
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate::inflate_with_limit(body, max_output)?;
+    let stored_crc = u32::from_le_bytes(data[data.len() - 8..data.len() - 4].try_into().unwrap());
+    let stored_size = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    let computed_crc = crc32(&out);
+    if stored_crc != computed_crc {
+        return Err(DeflateError::ChecksumMismatch { stored: stored_crc, computed: computed_crc });
+    }
+    let computed_size = out.len() as u32;
+    if stored_size != computed_size {
+        return Err(DeflateError::SizeMismatch { stored: stored_size, computed: computed_size });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = b"checkpoint data checkpoint data checkpoint data".repeat(100);
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            let packed = compress(&data, level);
+            assert_eq!(decompress(&packed).unwrap(), data, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn header_fields() {
+        let packed = compress(b"x", Level::Default);
+        assert_eq!(&packed[0..2], &[0x1F, 0x8B]);
+        assert_eq!(packed[2], 8);
+        assert_eq!(packed[9], 255);
+    }
+
+    #[test]
+    fn corrupt_crc_detected() {
+        let mut packed = compress(b"hello hello hello", Level::Default);
+        let n = packed.len();
+        packed[n - 6] ^= 0xFF; // flip a CRC byte
+        assert!(matches!(decompress(&packed), Err(DeflateError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupt_size_detected() {
+        let mut packed = compress(b"hello hello hello", Level::Default);
+        let n = packed.len();
+        packed[n - 1] ^= 0x01;
+        assert!(matches!(decompress(&packed), Err(DeflateError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupt_body_detected() {
+        let mut packed = compress(&vec![9u8; 10_000], Level::Default);
+        packed[15] ^= 0x55;
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut packed = compress(b"x", Level::Default);
+        packed[0] = 0;
+        assert!(matches!(decompress(&packed), Err(DeflateError::BadContainer(_))));
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn fname_flag_parsed() {
+        // Build a member with FNAME by hand: set FLG bit 3 and insert a
+        // zero-terminated name after the 10-byte header.
+        let mut packed = compress(b"named", Level::Default);
+        packed[3] |= 0x08;
+        let mut with_name = packed[..10].to_vec();
+        with_name.extend_from_slice(b"file.bin\0");
+        with_name.extend_from_slice(&packed[10..]);
+        assert_eq!(decompress(&with_name).unwrap(), b"named");
+    }
+
+    #[test]
+    fn empty_payload() {
+        let packed = compress(&[], Level::Default);
+        assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+}

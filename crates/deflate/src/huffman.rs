@@ -1,0 +1,452 @@
+//! Canonical, length-limited Huffman codes.
+//!
+//! * [`code_lengths`] builds optimal length-limited code lengths from
+//!   symbol frequencies with the package-merge algorithm (DEFLATE caps
+//!   literal/length and distance codes at 15 bits, code-length codes at
+//!   7).
+//! * [`canonical_codes`] assigns the RFC 1951 §3.2.2 canonical codes for
+//!   a set of lengths.
+//! * [`Encoder`] writes symbols to a [`BitWriter`]; [`Decoder`] reads
+//!   them back via a single-peek fast table for codes up to 9 bits,
+//!   falling back to canonical first-code arithmetic for longer codes.
+
+use crate::bitio::{reverse_bits, BitReader, BitWriter};
+use crate::DeflateError;
+
+/// Maximum code length DEFLATE permits for literal/distance alphabets.
+pub const MAX_BITS: u32 = 15;
+
+/// Computes optimal length-limited code lengths via package-merge.
+///
+/// `freqs[s]` is the occurrence count of symbol `s`; symbols with zero
+/// frequency get length 0 (absent). A single active symbol gets length 1
+/// (DEFLATE cannot express 0-bit codes). Panics if the number of active
+/// symbols exceeds `2^max_len` (impossible for DEFLATE alphabets).
+pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
+    let active: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            lengths[active[0]] = 1;
+            return lengths;
+        }
+        m => assert!(m as u64 <= 1u64 << max_len, "alphabet too large for length limit"),
+    }
+
+    // Package-merge. A node is either a leaf (one symbol) or a package of
+    // two lower-level nodes; we only need, per node, the *count of leaves
+    // per symbol*, which we store as a flat index list (small alphabets).
+    #[derive(Clone)]
+    struct Node {
+        weight: u64,
+        /// Indexes into `active` of the leaves under this node.
+        leaves: Vec<u32>,
+    }
+
+    let mut leaves: Vec<Node> = active
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Node { weight: freqs[s], leaves: vec![i as u32] })
+        .collect();
+    leaves.sort_by_key(|n| n.weight);
+
+    let mut list = leaves.clone();
+    for _ in 1..max_len {
+        // Package adjacent pairs of the previous list...
+        let mut packages: Vec<Node> = list
+            .chunks_exact(2)
+            .map(|pair| {
+                let mut leaves_union = pair[0].leaves.clone();
+                leaves_union.extend_from_slice(&pair[1].leaves);
+                Node { weight: pair[0].weight + pair[1].weight, leaves: leaves_union }
+            })
+            .collect();
+        // ...and merge with the original leaves.
+        packages.extend(leaves.iter().cloned());
+        packages.sort_by_key(|n| n.weight);
+        list = packages;
+    }
+
+    // The optimal solution selects the first 2m-2 nodes of the final
+    // list; each time a symbol's leaf appears, its code length grows by
+    // one.
+    let take = 2 * active.len() - 2;
+    for node in &list[..take] {
+        for &leaf in &node.leaves {
+            lengths[active[leaf as usize]] += 1;
+        }
+    }
+    debug_assert!(lengths.iter().all(|&l| l as u32 <= max_len));
+    lengths
+}
+
+/// Assigns canonical codes (RFC 1951 §3.2.2) for the given lengths.
+/// Returns one code per symbol (0 where the length is 0).
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u32; max + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max + 2];
+    let mut code = 0u32;
+    for bits in 1..=max {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Kraft sum check: `Ok(true)` for complete codes, `Ok(false)` for
+/// incomplete, `Err` for over-subscribed.
+pub fn check_kraft(lengths: &[u8]) -> Result<bool, DeflateError> {
+    let mut sum = 0u64;
+    let mut any = false;
+    for &l in lengths {
+        if l > 0 {
+            any = true;
+            sum += 1u64 << (MAX_BITS - l as u32);
+        }
+    }
+    let full = 1u64 << MAX_BITS;
+    if sum > full {
+        return Err(DeflateError::BadHuffmanTable("over-subscribed code"));
+    }
+    Ok(!any || sum == full)
+}
+
+/// Symbol writer for one canonical code table.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    lengths: Vec<u8>,
+    /// Codes pre-reversed for the LSB-first stream.
+    reversed: Vec<u32>,
+}
+
+impl Encoder {
+    /// Builds an encoder from code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let codes = canonical_codes(lengths);
+        let reversed = codes
+            .iter()
+            .zip(lengths)
+            .map(|(&c, &l)| if l == 0 { 0 } else { reverse_bits(c, l as u32) })
+            .collect();
+        Encoder { lengths: lengths.to_vec(), reversed }
+    }
+
+    /// Writes `symbol`'s code. Panics if the symbol has no code
+    /// (frequency accounting bug, not a data error).
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lengths[symbol];
+        assert!(len > 0, "symbol {symbol} has no code");
+        w.write_bits(self.reversed[symbol] as u64, len as u32);
+    }
+
+    /// Code length of a symbol in bits (0 = absent), for cost estimates.
+    #[inline]
+    pub fn length(&self, symbol: usize) -> u32 {
+        self.lengths[symbol] as u32
+    }
+}
+
+/// Width of the one-level fast lookup table: codes up to this many bits
+/// decode with a single peek (covers virtually every symbol of real
+/// DEFLATE tables); longer codes fall back to canonical arithmetic.
+const FAST_BITS: u32 = 9;
+
+/// Canonical decoder: a fast single-peek table for short codes plus
+/// first-code/first-symbol arithmetic for the tail.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// count[l] = number of codes of length l.
+    count: [u16; (MAX_BITS + 1) as usize],
+    /// first_code[l] = canonical code value of the first code of length l.
+    first_code: [u32; (MAX_BITS + 1) as usize],
+    /// offset[l] = index into `symbols` of the first symbol of length l.
+    offset: [u16; (MAX_BITS + 1) as usize],
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+    /// fast[peeked_bits] = (symbol, code_len); code_len 0 = slow path.
+    fast: Vec<(u16, u8)>,
+}
+
+impl Decoder {
+    /// Builds a decoder, rejecting over-subscribed tables. Incomplete
+    /// tables are accepted (DEFLATE permits single-code distance trees);
+    /// decoding an unassigned code errors at read time.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, DeflateError> {
+        check_kraft(lengths)?;
+        let mut count = [0u16; (MAX_BITS + 1) as usize];
+        for &l in lengths {
+            if l as u32 > MAX_BITS {
+                return Err(DeflateError::BadHuffmanTable("length exceeds 15"));
+            }
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut first_code = [0u32; (MAX_BITS + 1) as usize];
+        let mut offset = [0u16; (MAX_BITS + 1) as usize];
+        let mut code = 0u32;
+        let mut sym_base = 0u16;
+        for l in 1..=MAX_BITS as usize {
+            code = (code + count[l - 1] as u32) << 1;
+            first_code[l] = code;
+            offset[l] = sym_base;
+            sym_base += count[l];
+        }
+        let mut symbols = vec![0u16; sym_base as usize];
+        let mut next = offset;
+        for (s, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[next[l as usize] as usize] = s as u16;
+                next[l as usize] += 1;
+            }
+        }
+
+        // Fast table: for every code of length <= FAST_BITS, fill all
+        // entries whose low `len` bits equal the bit-reversed code.
+        let codes = canonical_codes(lengths);
+        let mut fast = vec![(0u16, 0u8); 1 << FAST_BITS];
+        for (s, &l) in lengths.iter().enumerate() {
+            let l = l as u32;
+            if l == 0 || l > FAST_BITS {
+                continue;
+            }
+            let rev = crate::bitio::reverse_bits(codes[s], l);
+            let step = 1usize << l;
+            let mut idx = rev as usize;
+            while idx < (1 << FAST_BITS) {
+                fast[idx] = (s as u16, l as u8);
+                idx += step;
+            }
+        }
+        Ok(Decoder { count, first_code, offset, symbols, fast })
+    }
+
+    /// Decodes one symbol from the bit stream.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<u16, DeflateError> {
+        // Fast path: one peek covers codes up to FAST_BITS.
+        let peek = r.peek_bits(FAST_BITS) as usize;
+        let (sym, len) = self.fast[peek];
+        if len > 0 {
+            // peek_bits pads missing bits with zeros; ensure the code's
+            // bits were actually present.
+            r.consume(len as u32)?;
+            return Ok(sym);
+        }
+        self.read_slow(r)
+    }
+
+    /// Bitwise canonical decode for codes longer than FAST_BITS (and
+    /// for invalid streams, where it produces the error).
+    #[cold]
+    fn read_slow(&self, r: &mut BitReader<'_>) -> Result<u16, DeflateError> {
+        let mut code = 0u32;
+        for l in 1..=MAX_BITS as usize {
+            code = (code << 1) | r.read_bits(1)? as u32;
+            let cnt = self.count[l] as u32;
+            if cnt != 0 {
+                let idx = code.wrapping_sub(self.first_code[l]);
+                if idx < cnt {
+                    return Ok(self.symbols[self.offset[l] as usize + idx as usize]);
+                }
+            }
+        }
+        Err(DeflateError::BadHuffmanTable("code not in table"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_codes_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) ->
+        // codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn lengths_of_uniform_freqs_are_balanced() {
+        let lens = code_lengths(&[10; 8], 15);
+        assert!(lens.iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn skewed_freqs_get_short_codes() {
+        let lens = code_lengths(&[1000, 1, 1, 1], 15);
+        assert_eq!(lens[0], 1);
+        assert!(lens[1] >= 2 && lens[2] >= 2 && lens[3] >= 2);
+        assert!(check_kraft(&lens).unwrap(), "must be complete");
+    }
+
+    #[test]
+    fn length_limit_is_enforced() {
+        // Fibonacci-ish frequencies force long codes in unlimited
+        // Huffman; the limit must cap them.
+        let mut freqs = vec![0u64; 20];
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        for limit in [5u32, 7, 15] {
+            let lens = code_lengths(&freqs, limit);
+            assert!(lens.iter().all(|&l| l as u32 <= limit), "limit {limit}: {lens:?}");
+            assert!(check_kraft(&lens).unwrap(), "limit {limit} must yield a complete code");
+        }
+    }
+
+    #[test]
+    fn zero_and_single_symbol_cases() {
+        assert_eq!(code_lengths(&[0, 0, 0], 15), vec![0, 0, 0]);
+        assert_eq!(code_lengths(&[0, 7, 0], 15), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn package_merge_is_optimal_against_known_case() {
+        // freqs 1,1,2,3,5: optimal Huffman lengths 4,4,3,2,1 (or any
+        // permutation with the same multiset), total cost 1*4+1*4+2*3+3*2+5*1 = 25.
+        let freqs = [1u64, 1, 2, 3, 5];
+        let lens = code_lengths(&freqs, 15);
+        let cost: u64 = freqs.iter().zip(&lens).map(|(&f, &l)| f * l as u64).sum();
+        assert_eq!(cost, 25, "lengths {lens:?}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let freqs: Vec<u64> = (1..=40).map(|i| i * i).collect();
+        let lens = code_lengths(&freqs, 15);
+        let enc = Encoder::from_lengths(&lens);
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let symbols: Vec<usize> = (0..40).chain((0..40).rev()).chain([39, 0, 17]).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.read(&mut r).unwrap(), s as u16);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_table_rejected() {
+        // Three 1-bit codes cannot exist.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn incomplete_table_accepted_but_bad_code_errors() {
+        // One 2-bit code: incomplete but legal (DEFLATE single-distance).
+        let dec = Decoder::from_lengths(&[2]).unwrap();
+        // Code 00 decodes to symbol 0.
+        let mut w = BitWriter::new();
+        w.write_bits(0, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.read(&mut r).unwrap(), 0);
+        // Code 11... decodes to nothing.
+        let bytes = [0xFF, 0xFF];
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.read(&mut r).is_err());
+    }
+
+    #[test]
+    fn fixed_literal_table_shape() {
+        // The fixed literal/length code of RFC 1951 §3.2.6: lengths 8 for
+        // 0..144, 9 for 144..256, 7 for 256..280, 8 for 280..288.
+        let mut lens = vec![8u8; 288];
+        for l in lens.iter_mut().take(256).skip(144) {
+            *l = 9;
+        }
+        for l in lens.iter_mut().take(280).skip(256) {
+            *l = 7;
+        }
+        assert!(check_kraft(&lens).unwrap());
+        let codes = canonical_codes(&lens);
+        assert_eq!(codes[0], 0b0011_0000); // literal 0 -> 00110000
+        assert_eq!(codes[256], 0); // end-of-block -> 0000000
+        assert_eq!(codes[280], 0b1100_0000);
+    }
+}
+
+#[cfg(test)]
+mod fast_path_tests {
+    use super::*;
+    use crate::bitio::{BitReader, BitWriter};
+
+    /// A table guaranteed to contain codes longer than FAST_BITS, so
+    /// both decode paths are exercised and must agree.
+    fn long_code_table() -> Vec<u8> {
+        // Fibonacci-like frequencies over 30 symbols give a skewed tree
+        // with depths beyond 9 at limit 15.
+        let mut freqs = vec![0u64; 30];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        code_lengths(&freqs, 15)
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_on_long_code_tables() {
+        let lens = long_code_table();
+        assert!(
+            lens.iter().any(|&l| l as u32 > FAST_BITS),
+            "test requires codes beyond the fast table: {lens:?}"
+        );
+        let enc = Encoder::from_lengths(&lens);
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let symbols: Vec<usize> =
+            (0..30).chain((0..30).rev()).cycle().take(500).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.read(&mut r).unwrap(), s as u16);
+        }
+    }
+
+    #[test]
+    fn truncated_fast_path_code_errors() {
+        // One 8-bit code, stream holds only 3 bits of it.
+        let mut lens = vec![0u8; 2];
+        lens[0] = 1;
+        lens[1] = 1;
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let mut r = BitReader::new(&[]);
+        assert!(dec.read(&mut r).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! # ckpt-deflate
+//!
+//! A from-scratch DEFLATE (RFC 1951) compressor and decompressor with
+//! gzip (RFC 1952) and zlib (RFC 1950) containers.
+//!
+//! The paper pipes its formatted lossy output through gzip and uses gzip
+//! as the lossless baseline of Figure 6; it also notes the follow-up plan
+//! of moving to in-memory zlib. This crate provides both, built from
+//! first principles as a reproduction substrate:
+//!
+//! * [`bitio`] — LSB-first bit streams (DEFLATE's bit order),
+//! * [`huffman`] — canonical, length-limited Huffman codes
+//!   (package-merge construction) and a table-free decoder,
+//! * [`lz77`] — hash-chain match finder producing literal/match tokens,
+//! * [`deflate`] — block encoder (stored, fixed and dynamic blocks, with
+//!   per-block cost selection),
+//! * [`inflate`] — decoder for all block types,
+//! * [`gzip`] / [`zlib`] — container framing with CRC-32 / Adler-32,
+//! * [`crc32`], [`adler32`] — the checksums.
+//!
+//! ## Quick use
+//!
+//! ```
+//! use ckpt_deflate::{gzip, Level};
+//! let data = b"mesh mesh mesh mesh mesh".repeat(10);
+//! let packed = gzip::compress(&data, Level::Default);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(gzip::decompress(&packed).unwrap(), data);
+//! ```
+
+pub mod adler32;
+pub mod bitio;
+pub mod crc32;
+pub mod deflate;
+pub mod fpc;
+pub mod gzip;
+pub mod huffman;
+pub mod inflate;
+pub mod lz77;
+pub mod zlib;
+
+use std::fmt;
+
+/// Compression effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// No compression: stored blocks only (useful as a baseline and for
+    /// incompressible data).
+    Store,
+    /// Greedy matching with short hash chains.
+    Fast,
+    /// Lazy matching with deeper chains — roughly `gzip -6` effort.
+    Default,
+    /// Lazy matching with the deepest chains — roughly `gzip -9` effort.
+    Best,
+}
+
+/// Errors produced while decoding DEFLATE streams or containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeflateError {
+    /// Bit stream ended inside a structure.
+    UnexpectedEof,
+    /// Reserved/invalid block type 0b11.
+    BadBlockType,
+    /// Stored block LEN/NLEN mismatch.
+    BadStoredLength,
+    /// An over-subscribed or invalid Huffman code description.
+    BadHuffmanTable(&'static str),
+    /// A decoded symbol was invalid in context.
+    BadSymbol(u16),
+    /// A match distance pointed before the start of output.
+    BadDistance { dist: usize, avail: usize },
+    /// Container magic/flags were wrong.
+    BadContainer(&'static str),
+    /// Stored checksum does not match the decompressed payload.
+    ChecksumMismatch { stored: u32, computed: u32 },
+    /// Stored size does not match the decompressed payload.
+    SizeMismatch { stored: u32, computed: u32 },
+    /// Decompressed output would exceed the caller's limit
+    /// (decompression-bomb guard).
+    OutputLimit { limit: usize },
+}
+
+impl fmt::Display for DeflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeflateError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            DeflateError::BadBlockType => write!(f, "reserved block type"),
+            DeflateError::BadStoredLength => write!(f, "stored block LEN/NLEN mismatch"),
+            DeflateError::BadHuffmanTable(why) => write!(f, "bad huffman table: {why}"),
+            DeflateError::BadSymbol(s) => write!(f, "invalid symbol {s}"),
+            DeflateError::BadDistance { dist, avail } => {
+                write!(f, "match distance {dist} exceeds available history {avail}")
+            }
+            DeflateError::BadContainer(why) => write!(f, "bad container: {why}"),
+            DeflateError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            DeflateError::SizeMismatch { stored, computed } => {
+                write!(f, "size mismatch: stored {stored}, computed {computed}")
+            }
+            DeflateError::OutputLimit { limit } => {
+                write!(f, "decompressed output exceeds limit of {limit} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeflateError {}
+
+/// Compresses a raw DEFLATE stream (no container).
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    deflate::compress(data, level)
+}
+
+/// Decompresses a raw DEFLATE stream (no container).
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
+    inflate::inflate(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_roundtrip() {
+        let data = b"abcabcabcabc".to_vec();
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            let packed = compress(&data, level);
+            assert_eq!(decompress(&packed).unwrap(), data, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DeflateError::BadDistance { dist: 100, avail: 3 };
+        assert!(e.to_string().contains("100"));
+        let e = DeflateError::ChecksumMismatch { stored: 1, computed: 2 };
+        assert!(e.to_string().contains("0x"));
+    }
+}
+
+#[cfg(test)]
+mod segtests;

@@ -1,0 +1,303 @@
+//! LZ77 match finding with hash chains (the engine behind DEFLATE).
+//!
+//! Produces a token stream of literals and back-references within the
+//! 32 KiB DEFLATE window. Matching effort (chain depth, lazy evaluation)
+//! scales with [`Level`].
+
+use crate::Level;
+
+/// Minimum back-reference length DEFLATE can encode.
+pub const MIN_MATCH: usize = 3;
+/// Maximum back-reference length.
+pub const MAX_MATCH: usize = 258;
+/// Window size: maximum back-reference distance.
+pub const WINDOW: usize = 32 * 1024;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// 3..=258.
+        len: u16,
+        /// 1..=32768.
+        dist: u16,
+    },
+}
+
+/// Matching effort parameters derived from the compression level.
+#[derive(Debug, Clone, Copy)]
+struct Effort {
+    max_chain: usize,
+    lazy: bool,
+    /// Stop searching early once a match of this length is found.
+    good_enough: usize,
+}
+
+impl Effort {
+    fn for_level(level: Level) -> Option<Effort> {
+        match level {
+            Level::Store => None,
+            Level::Fast => Some(Effort { max_chain: 16, lazy: false, good_enough: 32 }),
+            Level::Default => Some(Effort { max_chain: 128, lazy: true, good_enough: 128 }),
+            Level::Best => Some(Effort { max_chain: 1024, lazy: true, good_enough: MAX_MATCH }),
+        }
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = (data[pos] as u32) << 16 | (data[pos + 1] as u32) << 8 | data[pos + 2] as u32;
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain state over the input buffer.
+struct Chains {
+    /// head[h] = most recent position with hash h, or usize::MAX.
+    head: Vec<usize>,
+    /// prev[pos % WINDOW] = previous position with the same hash.
+    prev: Vec<usize>,
+}
+
+impl Chains {
+    fn new() -> Self {
+        Chains { head: vec![usize::MAX; HASH_SIZE], prev: vec![usize::MAX; WINDOW] }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            self.prev[pos % WINDOW] = self.head[h];
+            self.head[h] = pos;
+        }
+    }
+
+    /// Longest match for `pos`, or None if shorter than MIN_MATCH.
+    fn longest_match(&self, data: &[u8], pos: usize, effort: &Effort) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let max_len = MAX_MATCH.min(data.len() - pos);
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = self.head[hash3(data, pos)];
+        // `pos` itself may already be inserted; start from its
+        // predecessor in that case.
+        if cand == pos {
+            cand = self.prev[pos % WINDOW];
+        }
+        let mut chain = effort.max_chain;
+        while cand != usize::MAX && cand < pos && pos - cand <= WINDOW && chain > 0 {
+            // Quick reject: check the byte past the current best first.
+            if data[cand + best_len] == data[pos + best_len.min(max_len - 1)] || best_len < MIN_MATCH
+            {
+                let mut l = 0usize;
+                while l < max_len && data[cand + l] == data[pos + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = pos - cand;
+                    if l >= effort.good_enough {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[cand % WINDOW];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+/// Tokenizes `data` at the given level. [`Level::Store`] yields all
+/// literals (the caller normally special-cases it into stored blocks).
+pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
+    let Some(effort) = Effort::for_level(level) else {
+        return data.iter().map(|&b| Token::Literal(b)).collect();
+    };
+    let mut tokens = Vec::with_capacity(data.len() / 2);
+    let mut chains = Chains::new();
+    let mut i = 0usize;
+    while i < data.len() {
+        chains.insert(data, i);
+        let found = chains.longest_match(data, i, &effort);
+        match found {
+            Some((len, dist)) => {
+                // Lazy evaluation: if the next position matches longer,
+                // emit a literal and defer.
+                if effort.lazy && len < MAX_MATCH && i + 1 < data.len() {
+                    if let Some((len2, _)) = chains.longest_match(data, i + 1, &effort) {
+                        if len2 > len {
+                            tokens.push(Token::Literal(data[i]));
+                            i += 1;
+                            continue;
+                        }
+                    }
+                }
+                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                // Index the skipped positions so later matches can refer
+                // into this region.
+                for p in i + 1..i + len {
+                    chains.insert(data, p);
+                }
+                i += len;
+            }
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Expands a token stream back into bytes (test helper and the core of
+/// inflate's copy loop semantics).
+pub fn resolve(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                assert!(dist >= 1 && dist <= out.len(), "bad distance {dist} at {}", out.len());
+                let start = out.len() - dist;
+                // Byte-by-byte: overlapping copies (dist < len) replicate.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], level: Level) {
+        let tokens = tokenize(data, level);
+        assert_eq!(resolve(&tokens), data, "level {level:?}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            roundtrip(b"", level);
+            roundtrip(b"a", level);
+            roundtrip(b"ab", level);
+            roundtrip(b"abc", level);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_produces_matches() {
+        let data = b"abcabcabcabcabcabcabcabc";
+        let tokens = tokenize(data, Level::Default);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(resolve(&tokens), data);
+        // First three literals, then matches of distance 3.
+        assert!(matches!(tokens[0], Token::Literal(b'a')));
+        let m = tokens.iter().find_map(|t| match t {
+            Token::Match { dist, .. } => Some(*dist),
+            _ => None,
+        });
+        assert_eq!(m, Some(3));
+    }
+
+    #[test]
+    fn overlapping_match_replication() {
+        // "aaaaaaaa" -> literal 'a' then a dist-1 match (RLE via LZ77).
+        let data = vec![b'a'; 300];
+        let tokens = tokenize(&data, Level::Default);
+        assert_eq!(resolve(&tokens), data);
+        assert!(tokens.len() <= 4, "RLE should need very few tokens: {}", tokens.len());
+        if let Token::Match { len, dist } = tokens[1] {
+            assert_eq!(dist, 1);
+            assert!(len as usize <= MAX_MATCH);
+        } else {
+            panic!("expected a match after the first literal");
+        }
+    }
+
+    #[test]
+    fn match_length_capped_at_258() {
+        let data = vec![b'x'; 10_000];
+        for t in tokenize(&data, Level::Best) {
+            if let Token::Match { len, .. } = t {
+                assert!(len as usize <= MAX_MATCH);
+                assert!(len as usize >= MIN_MATCH);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_respect_window() {
+        // Two identical 100-byte chunks separated by > 32 KiB of
+        // incompressible filler: the second chunk must not reference the
+        // first.
+        let chunk: Vec<u8> = (0..100u32).map(|i| (i * 37 % 251) as u8).collect();
+        let mut filler = Vec::new();
+        let mut state = 0x12345678u32;
+        for _ in 0..WINDOW + 1000 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            filler.push((state >> 24) as u8);
+        }
+        let mut data = chunk.clone();
+        data.extend_from_slice(&filler);
+        data.extend_from_slice(&chunk);
+        let tokens = tokenize(&data, Level::Best);
+        assert_eq!(resolve(&tokens), data);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!((*dist as usize) <= WINDOW);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_f64_mesh_data_roundtrips() {
+        // The shape of data the pipeline actually feeds through gzip.
+        let mut data = Vec::new();
+        for i in 0..4096 {
+            let v = (i as f64 * 0.001).sin() * 300.0;
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            roundtrip(&data, level);
+        }
+    }
+
+    #[test]
+    fn store_level_is_all_literals() {
+        let tokens = tokenize(b"aaaa", Level::Store);
+        assert_eq!(tokens.len(), 4);
+        assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+    }
+
+    #[test]
+    fn higher_levels_do_not_tokenize_worse() {
+        let data: Vec<u8> = (0..20_000u32)
+            .map(|i| if i % 17 < 9 { (i % 61) as u8 } else { b'z' })
+            .collect();
+        let fast = tokenize(&data, Level::Fast).len();
+        let best = tokenize(&data, Level::Best).len();
+        assert!(best <= fast + fast / 10, "best {best} much worse than fast {fast}");
+        assert_eq!(resolve(&tokenize(&data, Level::Fast)), data);
+        assert_eq!(resolve(&tokenize(&data, Level::Best)), data);
+    }
+}

@@ -1,0 +1,110 @@
+//! Entropy accounting for quantizer output.
+//!
+//! Explains *why* the pipeline compresses: after quantization the index
+//! stream has low Shannon entropy (most values land in a few spike
+//! partitions), so gzip's Huffman stage squeezes it close to the
+//! entropy bound. These diagnostics feed the bench reports and give
+//! library users a size estimate before running DEFLATE.
+
+use crate::types::Quantized;
+
+/// Shannon entropy of a byte stream, in bits per symbol.
+pub fn shannon_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Size estimate (bytes) of a byte stream under an ideal entropy coder.
+pub fn entropy_bytes(data: &[u8]) -> f64 {
+    shannon_entropy(data) * data.len() as f64 / 8.0
+}
+
+impl Quantized {
+    /// Entropy of the index stream in bits per index (≤ log2(table
+    /// size); much lower when the spike dominates).
+    pub fn index_entropy(&self) -> f64 {
+        shannon_entropy(&self.indexes)
+    }
+
+    /// Ideal-coder size estimate of the whole quantized stream: entropy
+    /// bytes for indexes + raw doubles + the table + the bitmap.
+    pub fn ideal_size_bytes(&self) -> f64 {
+        entropy_bytes(&self.indexes)
+            + (self.raw.len() + self.averages.len()) as f64 * 8.0
+            + self.len.div_ceil(8) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple;
+
+    #[test]
+    fn entropy_limits() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[7; 1000]), 0.0, "constant stream has zero entropy");
+        let uniform: Vec<u8> = (0..=255).collect();
+        assert!((shannon_entropy(&uniform) - 8.0).abs() < 1e-12, "uniform bytes = 8 bits");
+        let two: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        assert!((shannon_entropy(&two) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_bytes_scales_with_length() {
+        let two: Vec<u8> = (0..8000).map(|i| (i % 2) as u8).collect();
+        assert!((entropy_bytes(&two) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spiked_quantizer_output_has_low_entropy() {
+        // Values concentrated near zero: after simple quantization most
+        // indexes are identical, so entropy << log2(n).
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| if i % 50 == 0 { (i % 7) as f64 } else { 1e-6 * (i % 13) as f64 })
+            .collect();
+        let q = simple::quantize(&values, 128).unwrap();
+        let h = q.index_entropy();
+        assert!(h < 1.0, "spiked stream entropy {h} should be < 1 bit/index");
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn ideal_size_tracks_gzip_reality() {
+        // The ideal estimate must lower-bound (approximately) what our
+        // DEFLATE achieves on the index stream.
+        let values: Vec<f64> =
+            (0..20_000).map(|i| ((i as f64) * 0.01).sin() * 0.001).collect();
+        let q = simple::quantize(&values, 64).unwrap();
+        let ideal = entropy_bytes(&q.indexes);
+        let real =
+            ckpt_deflate::compress(&q.indexes, ckpt_deflate::Level::Default).len() as f64;
+        // DEFLATE exploits order (matches), so it can beat zeroth-order
+        // entropy; it must not be wildly worse.
+        assert!(
+            real < ideal * 1.6 + 256.0,
+            "deflate {real} vs zeroth-order ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn uniform_quantizer_output_has_high_entropy() {
+        let values: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+        let q = simple::quantize(&values, 256).unwrap();
+        assert!(q.index_entropy() > 7.0, "uniform data fills the table");
+    }
+}

@@ -1,0 +1,62 @@
+//! # ckpt-quant
+//!
+//! Quantization and index encoding for wavelet high-frequency bands,
+//! implementing both methods of Section III-B of the paper:
+//!
+//! * **Simple quantization** ([`simple`]): split the value range into `n`
+//!   equal partitions, replace every value with its partition average.
+//! * **Proposed quantization** ([`spike`]): split the range into `d`
+//!   partitions (the paper uses `d = 64`), detect "spiked" partitions
+//!   holding at least the average count `N_total / d`, and apply the
+//!   simple method *only* to values inside detected partitions; all other
+//!   values stay exact.
+//!
+//! Both produce a [`Quantized`] stream: a [`Bitmap`] of which positions
+//! were quantized, one `u8` index per quantized position into the
+//! `average[..]` table (Section III-C: one byte suffices because useful
+//! `n` never exceeds 256), and the untouched raw values. Reconstruction
+//! ([`Quantized::reconstruct`]) is exact for raw positions and returns
+//! the partition average for quantized ones.
+
+pub mod bitmap;
+pub mod entropy;
+pub mod histogram;
+pub mod lloyd;
+pub mod simple;
+pub mod spike;
+pub mod types;
+
+pub use bitmap::Bitmap;
+pub use histogram::Histogram;
+pub use types::{Method, QuantConfig, QuantError, Quantized};
+
+/// Quantizes `values` with the configured method.
+///
+/// This is the single entry point the pipeline uses; it dispatches to
+/// [`simple::quantize`] or [`spike::quantize`].
+pub fn quantize(values: &[f64], config: &QuantConfig) -> Result<Quantized, QuantError> {
+    match config.method {
+        Method::Simple => simple::quantize(values, config.n),
+        Method::Proposed => spike::quantize(values, config.n, config.d),
+        Method::Lloyd => lloyd::quantize(values, config.n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let values: Vec<f64> = (0..500).map(|i| ((i as f64) * 0.13).sin()).collect();
+        let cfg = QuantConfig { method: Method::Simple, n: 8, d: 64 };
+        let a = quantize(&values, &cfg).unwrap();
+        let b = simple::quantize(&values, 8).unwrap();
+        assert_eq!(a.reconstruct(), b.reconstruct());
+
+        let cfg = QuantConfig { method: Method::Proposed, n: 8, d: 64 };
+        let a = quantize(&values, &cfg).unwrap();
+        let b = spike::quantize(&values, 8, 64).unwrap();
+        assert_eq!(a.reconstruct(), b.reconstruct());
+    }
+}

@@ -1,0 +1,225 @@
+//! Lloyd-Max quantization: the MSE-optimal scalar quantizer.
+//!
+//! The paper's simple method uses equal-width partitions; its proposed
+//! method patches the equal-width scheme's worst failure (sparse
+//! tails). The classical answer to both is Lloyd-Max: iterate between
+//! (a) assigning each value to the nearest representative and (b)
+//! moving each representative to the mean of its cell. This converges
+//! to a locally-MSE-optimal codebook — partitions narrow where data is
+//! dense (the spike) and widen over the tails, *without* needing the
+//! bitmap or pass-through doubles.
+//!
+//! Included as the "improvement of the compression algorithm" the
+//! paper's conclusion anticipates; the ablation harness compares all
+//! three quantizers.
+
+use crate::bitmap::Bitmap;
+use crate::histogram::Histogram;
+use crate::types::{QuantError, Quantized};
+
+/// Maximum Lloyd iterations (converges much earlier in practice).
+const MAX_ITERS: usize = 50;
+
+/// Runs Lloyd-Max quantization with `n` representatives (`1..=256`).
+///
+/// Initialization: the equal-width partition averages of the simple
+/// method (so the result can only improve on it in MSE). Determinism:
+/// no randomness anywhere.
+pub fn quantize(values: &[f64], n: usize) -> Result<Quantized, QuantError> {
+    if n == 0 || n > 256 {
+        return Err(QuantError::BadDivisionNumber(n));
+    }
+    if values.is_empty() {
+        return Ok(Quantized {
+            len: 0,
+            bitmap: Bitmap::zeros(0),
+            indexes: Vec::new(),
+            averages: Vec::new(),
+            raw: Vec::new(),
+        });
+    }
+
+    // Initial codebook: non-empty equal-width partition averages.
+    let hist = Histogram::build(values, n).expect("non-empty, n >= 1");
+    let mut centroids: Vec<f64> = (0..n).filter_map(|b| hist.average(b)).collect();
+    centroids.sort_by(|a, b| a.partial_cmp(b).expect("averages are finite"));
+    centroids.dedup();
+
+    // Sort once; Lloyd iterations then work on contiguous runs.
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+
+    for _ in 0..MAX_ITERS {
+        if centroids.len() <= 1 {
+            break;
+        }
+        // Cell boundaries are midpoints between adjacent centroids.
+        let boundaries: Vec<f64> =
+            centroids.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+        // Recompute centroids as cell means over the sorted data.
+        let mut new_centroids = Vec::with_capacity(centroids.len());
+        let mut lo = 0usize;
+        for (cell, _) in centroids.iter().enumerate() {
+            let hi = if cell < boundaries.len() {
+                sorted.partition_point(|&v| v < boundaries[cell])
+            } else {
+                sorted.len()
+            };
+            if hi > lo {
+                let mean = sorted[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+                new_centroids.push(mean);
+            }
+            lo = hi;
+        }
+        new_centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        new_centroids.dedup();
+        let converged = new_centroids.len() == centroids.len()
+            && new_centroids
+                .iter()
+                .zip(&centroids)
+                .all(|(a, b)| (a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        centroids = new_centroids;
+        if converged {
+            break;
+        }
+    }
+
+    // Final assignment via binary search on the midpoint boundaries.
+    let boundaries: Vec<f64> = centroids.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+    let indexes: Vec<u8> = values
+        .iter()
+        .map(|&v| boundaries.partition_point(|&b| b <= v) as u8)
+        .collect();
+
+    Ok(Quantized {
+        len: values.len(),
+        bitmap: Bitmap::ones(values.len()),
+        indexes,
+        averages: centroids,
+        raw: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mse(values: &[f64], q: &Quantized) -> f64 {
+        let rec = q.reconstruct();
+        values.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            / values.len() as f64
+    }
+
+    fn spiky(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                if i % 10 == 0 {
+                    let sign = if i % 20 == 0 { 1.0 } else { -1.0 };
+                    sign * (1.0 + (i % 7) as f64 * 0.45)
+                } else {
+                    ((i * 37 % 100) as f64 - 50.0) / 5000.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lloyd_beats_simple_on_mse() {
+        // The defining property: locally optimal MSE can only match or
+        // beat equal-width initialization.
+        let values = spiky(5000);
+        for n in [2usize, 8, 32, 128] {
+            let simple = crate::simple::quantize(&values, n).unwrap();
+            let lloyd = quantize(&values, n).unwrap();
+            lloyd.validate().unwrap();
+            assert!(
+                mse(&values, &lloyd) <= mse(&values, &simple) * (1.0 + 1e-9),
+                "n={n}: lloyd {} vs simple {}",
+                mse(&values, &lloyd),
+                mse(&values, &simple)
+            );
+        }
+    }
+
+    #[test]
+    fn converges_on_two_clusters() {
+        // Two tight clusters, n = 2: centroids land on the cluster means.
+        let mut values = vec![0.0f64; 100];
+        values.extend(vec![10.0f64; 100]);
+        values[0] = 0.1;
+        values[100] = 9.9;
+        let q = quantize(&values, 2).unwrap();
+        assert_eq!(q.averages.len(), 2);
+        assert!((q.averages[0] - 0.001).abs() < 0.1, "{:?}", q.averages);
+        assert!((q.averages[1] - 9.999).abs() < 0.1, "{:?}", q.averages);
+    }
+
+    #[test]
+    fn n1_is_global_mean() {
+        let values = [1.0, 2.0, 3.0, 10.0];
+        let q = quantize(&values, 1).unwrap();
+        assert_eq!(q.averages, vec![4.0]);
+        assert_eq!(q.reconstruct(), vec![4.0; 4]);
+    }
+
+    #[test]
+    fn constant_input_exact() {
+        let values = [5.5; 64];
+        let q = quantize(&values, 8).unwrap();
+        assert_eq!(q.reconstruct(), values.to_vec());
+        assert_eq!(q.averages.len(), 1);
+    }
+
+    #[test]
+    fn codebook_is_sorted_and_within_range() {
+        let values = spiky(2000);
+        let q = quantize(&values, 64).unwrap();
+        assert!(q.averages.windows(2).all(|w| w[0] < w[1]), "codebook must be sorted");
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Cell means stay within the data range up to summation
+        // rounding (~ulp-scale).
+        let slack = (hi - lo) * 1e-12;
+        assert!(
+            q.averages.iter().all(|&c| c >= lo - slack && c <= hi + slack),
+            "centroid outside [{lo}, {hi}]: {:?}",
+            q.averages
+        );
+    }
+
+    #[test]
+    fn assignment_is_nearest_centroid() {
+        let values = spiky(1000);
+        let q = quantize(&values, 16).unwrap();
+        let rec = q.reconstruct();
+        for (&v, &r) in values.iter().zip(&rec) {
+            let nearest = q
+                .averages
+                .iter()
+                .cloned()
+                .min_by(|a, b| (a - v).abs().partial_cmp(&(b - v).abs()).unwrap())
+                .unwrap();
+            assert!(
+                (r - nearest).abs() < 1e-12,
+                "value {v} mapped to {r}, nearest is {nearest}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_n_and_handles_empty() {
+        assert!(quantize(&[1.0], 0).is_err());
+        assert!(quantize(&[1.0], 257).is_err());
+        let q = quantize(&[], 4).unwrap();
+        assert_eq!(q.len, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let values = spiky(3000);
+        let a = quantize(&values, 32).unwrap();
+        let b = quantize(&values, 32).unwrap();
+        assert_eq!(a.averages, b.averages);
+        assert_eq!(a.indexes, b.indexes);
+    }
+}

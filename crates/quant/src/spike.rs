@@ -1,0 +1,278 @@
+//! Proposed quantization with spike detection (Section III-B-2).
+//!
+//! High-band distributions of smooth mesh data have a sharp spike around
+//! zero. Quantizing sparse tail partitions wastes table entries and
+//! inflates error, so the proposed method:
+//!
+//! 1. splits the range into `d` partitions (paper: `d = 64`),
+//! 2. detects *spiked* partitions — those holding at least the average
+//!    count `N_total / d` (Equation 4),
+//! 3. applies the simple `n`-partition quantization **only to the values
+//!    inside detected partitions** (over the detected values' own
+//!    range); every other value passes through exactly.
+//!
+//! The bitmap distinguishes the two populations, exactly as the output
+//! format of Figure 5 requires.
+
+use crate::bitmap::Bitmap;
+use crate::histogram::Histogram;
+use crate::simple;
+use crate::types::{QuantError, Quantized};
+
+/// Runs the proposed quantization with division number `n` and
+/// spike-detection partition count `d` (Equation 4 threshold).
+pub fn quantize(values: &[f64], n: usize, d: usize) -> Result<Quantized, QuantError> {
+    quantize_with_threshold(values, n, d, 1.0)
+}
+
+/// The proposed quantization with an adjustable spike threshold:
+/// partitions with `count >= multiplier × N_total / d` are detected.
+/// `multiplier = 1.0` is the paper's Equation 4; the ablation bench
+/// sweeps it (smaller ⇒ quantize more values ⇒ better rate, worse
+/// error).
+pub fn quantize_with_threshold(
+    values: &[f64],
+    n: usize,
+    d: usize,
+    multiplier: f64,
+) -> Result<Quantized, QuantError> {
+    if n == 0 || n > 256 {
+        return Err(QuantError::BadDivisionNumber(n));
+    }
+    if d == 0 {
+        return Err(QuantError::BadSpikePartitions(d));
+    }
+    if values.is_empty() {
+        return Ok(Quantized {
+            len: 0,
+            bitmap: Bitmap::zeros(0),
+            indexes: Vec::new(),
+            averages: Vec::new(),
+            raw: Vec::new(),
+        });
+    }
+
+    let hist = Histogram::build(values, d).expect("non-empty values, d >= 1");
+    let spiked = if multiplier == 1.0 {
+        hist.detect_spikes()
+    } else {
+        hist.detect_spikes_scaled(multiplier)
+    };
+
+    // Split the stream into detected (to be quantized) and pass-through
+    // populations, remembering positions via the bitmap.
+    let mut bitmap = Bitmap::zeros(values.len());
+    let mut detected = Vec::new();
+    let mut raw = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        if spiked[hist.bin_of(v)] {
+            bitmap.set(i, true);
+            detected.push(v);
+        } else {
+            raw.push(v);
+        }
+    }
+
+    // Simple quantization over the detected values only.
+    let inner = simple::quantize(&detected, n)?;
+    debug_assert_eq!(inner.indexes.len(), detected.len());
+
+    Ok(Quantized { len: values.len(), bitmap, indexes: inner.indexes, averages: inner.averages, raw })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A spiky distribution: a large mass near zero plus sparse tails,
+    /// mimicking a wavelet high band of smooth data.
+    fn spiky(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                if i % 10 == 0 {
+                    // Sparse tail values up to +/- 4.
+                    let sign = if i % 20 == 0 { 1.0 } else { -1.0 };
+                    sign * (1.0 + (i % 7) as f64 * 0.45)
+                } else {
+                    // Spike: tiny values around zero.
+                    ((i * 37 % 100) as f64 - 50.0) / 5000.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_and_quantizes_only_the_spike() {
+        let values = spiky(1000);
+        let q = quantize(&values, 8, 64).unwrap();
+        q.validate().unwrap();
+        // The spike (90% of mass) is quantized; tails pass through.
+        assert!(q.coverage() > 0.6, "coverage {}", q.coverage());
+        assert!(q.coverage() < 1.0, "tails must not be quantized");
+        // Pass-through values are bit-exact.
+        let rec = q.reconstruct();
+        for (i, (&v, &r)) in values.iter().zip(&rec).enumerate() {
+            if !q.bitmap.get(i) {
+                assert_eq!(v, r, "raw value at {i} must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn proposed_max_error_below_simple_on_spiky_data() {
+        // The paper's core claim: for the same n, the proposed method has
+        // (much) lower max error because sparse tail partitions are not
+        // collapsed to coarse averages.
+        let values = spiky(10_000);
+        for n in [1usize, 4, 16, 128] {
+            let qs = crate::simple::quantize(&values, n).unwrap();
+            let qp = quantize(&values, n, 64).unwrap();
+            let max = |q: &Quantized| {
+                values
+                    .iter()
+                    .zip(q.reconstruct())
+                    .map(|(&v, r)| (v - r).abs())
+                    .fold(0.0f64, f64::max)
+            };
+            assert!(
+                max(&qp) <= max(&qs) + 1e-12,
+                "n={n}: proposed {} vs simple {}",
+                max(&qp),
+                max(&qs)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_degenerates_to_simple() {
+        // When every partition holds the average count, everything is
+        // detected and the method equals simple quantization.
+        let values: Vec<f64> = (0..640).map(|i| i as f64).collect();
+        let qp = quantize(&values, 8, 64).unwrap();
+        assert_eq!(qp.coverage(), 1.0);
+        let qs = crate::simple::quantize(&values, 8).unwrap();
+        assert_eq!(qp.reconstruct(), qs.reconstruct());
+    }
+
+    #[test]
+    fn all_identical_values_fully_quantized_exact() {
+        let values = [2.5; 100];
+        let q = quantize(&values, 16, 64).unwrap();
+        q.validate().unwrap();
+        assert_eq!(q.coverage(), 1.0);
+        assert_eq!(q.reconstruct(), values.to_vec());
+    }
+
+    #[test]
+    fn index_table_stays_within_one_byte() {
+        let values = spiky(5000);
+        let q = quantize(&values, 256, 64).unwrap();
+        assert!(q.averages.len() <= 256);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(quantize(&[1.0], 0, 64).is_err());
+        assert!(quantize(&[1.0], 300, 64).is_err());
+        assert!(quantize(&[1.0], 8, 0).is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let q = quantize(&[], 8, 64).unwrap();
+        assert_eq!(q.len, 0);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn quantized_fraction_of_bytes_shrinks_with_tails() {
+        // The raw stream length equals the number of pass-through values.
+        let values = spiky(1000);
+        let q = quantize(&values, 8, 64).unwrap();
+        assert_eq!(q.raw.len() + q.indexes.len(), values.len());
+        assert!(!q.raw.is_empty());
+    }
+
+    #[test]
+    fn detected_region_error_bounded_by_inner_width() {
+        let values = spiky(2000);
+        let n = 32;
+        let q = quantize(&values, n, 64).unwrap();
+        let rec = q.reconstruct();
+        // Detected values live inside the spike; the inner quantizer's
+        // partition width is (detected range)/n.
+        let detected: Vec<f64> = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| q.bitmap.get(*i))
+            .map(|(_, &v)| v)
+            .collect();
+        let lo = detected.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = detected.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = (hi - lo) / n as f64;
+        for (i, (&v, &r)) in values.iter().zip(&rec).enumerate() {
+            if q.bitmap.get(i) {
+                assert!((v - r).abs() <= width.max(1e-15), "at {i}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod threshold_tests {
+    use super::*;
+
+    /// Same spiky shape as `tests::spiky`: heavy mass near zero, sparse
+    /// tails.
+    fn spiky(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                if i % 10 == 0 {
+                    let sign = if i % 20 == 0 { 1.0 } else { -1.0 };
+                    sign * (1.0 + (i % 7) as f64 * 0.45)
+                } else {
+                    ((i * 37 % 100) as f64 - 50.0) / 5000.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multiplier_one_matches_equation_4() {
+        let values = spiky(2000);
+        let a = quantize(&values, 16, 64).unwrap();
+        let b = quantize_with_threshold(&values, 16, 64, 1.0).unwrap();
+        assert_eq!(a.reconstruct(), b.reconstruct());
+        assert_eq!(a.coverage(), b.coverage());
+    }
+
+    #[test]
+    fn lower_threshold_quantizes_more() {
+        let values = spiky(2000);
+        let strict = quantize_with_threshold(&values, 16, 64, 4.0).unwrap();
+        let eq4 = quantize_with_threshold(&values, 16, 64, 1.0).unwrap();
+        let lax = quantize_with_threshold(&values, 16, 64, 0.1).unwrap();
+        assert!(strict.coverage() <= eq4.coverage());
+        assert!(eq4.coverage() <= lax.coverage());
+        assert!(lax.coverage() > strict.coverage(), "sweep must actually move coverage");
+    }
+
+    #[test]
+    fn zero_threshold_degenerates_to_simple() {
+        let values = spiky(1000);
+        let all = quantize_with_threshold(&values, 8, 64, 0.0).unwrap();
+        assert_eq!(all.coverage(), 1.0);
+        let simple = crate::simple::quantize(&values, 8).unwrap();
+        assert_eq!(all.reconstruct(), simple.reconstruct());
+    }
+
+    #[test]
+    fn bad_multiplier_panics() {
+        let values = spiky(100);
+        let r = std::panic::catch_unwind(|| {
+            let _ = quantize_with_threshold(&values, 8, 64, f64::NAN);
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Grid and physics parameters for the climate proxy.
+
+/// Configuration of a [`crate::ClimateSim`] run.
+///
+/// The defaults are tuned for stability (explicit scheme: the advective
+/// CFL number stays well below 1) and for slow, bounded divergence after
+/// a perturbed restart — the regime Figure 10 of the paper shows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Grid extents: `[x, level, layer]`. The paper's NICAM arrays are
+    /// `[1156, 82, 2]`.
+    pub dims: [usize; 3],
+    /// Seed for the initial condition generator.
+    pub seed: u64,
+    /// Advection strength (dimensionless CFL-like factor per step).
+    pub advection: f64,
+    /// Horizontal diffusion coefficient.
+    pub diffusion: f64,
+    /// Vertical mixing coefficient.
+    pub vertical_mixing: f64,
+    /// Amplitude of the periodic (diurnal-like) thermal forcing, in
+    /// kelvin per step.
+    pub forcing: f64,
+    /// Angular frequency of the forcing (radians per step).
+    pub forcing_omega: f64,
+    /// Wind response to temperature gradients.
+    pub wind_coupling: f64,
+    /// Linear wind drag per step.
+    pub drag: f64,
+    /// Pressure relaxation rate toward the temperature-consistent state.
+    pub pressure_relax: f64,
+    /// State-dependence of the forcing phase (radians per kelvin of
+    /// local temperature anomaly). Real atmospheres are chaotic: nearby
+    /// trajectories separate slowly. This term injects that sensitivity
+    /// so restart perturbations neither vanish (over-diffusion) nor
+    /// explode — the Figure 10 regime.
+    pub chaos: f64,
+}
+
+impl SimConfig {
+    /// The paper-shaped configuration: a `1156 × 82 × 2` mesh whose
+    /// per-variable checkpoint is 1.5 MB of f64 (Section IV-D's
+    /// per-process size).
+    pub fn nicam_like(seed: u64) -> Self {
+        SimConfig { dims: [1156, 82, 2], ..Self::base(seed) }
+    }
+
+    /// A small grid for fast tests.
+    pub fn small(seed: u64) -> Self {
+        SimConfig { dims: [96, 16, 2], ..Self::base(seed) }
+    }
+
+    fn base(seed: u64) -> Self {
+        SimConfig {
+            dims: [96, 16, 2],
+            seed,
+            advection: 0.012,
+            diffusion: 0.06,
+            vertical_mixing: 0.02,
+            forcing: 0.08,
+            forcing_omega: 2.0 * std::f64::consts::PI / 72.0,
+            wind_coupling: 0.02,
+            drag: 0.004,
+            pressure_relax: 0.05,
+            chaos: 0.4,
+        }
+    }
+
+    /// Elements per variable.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Bytes of one variable's f64 array.
+    pub fn variable_bytes(&self) -> usize {
+        self.volume() * 8
+    }
+
+    /// Validates grid extents (the stepper needs at least 3 columns for
+    /// centred differences and 1 level/layer).
+    // Negated comparisons are deliberate: they reject NaN parameters too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dims[0] < 3 {
+            return Err(format!("x extent {} too small (need >= 3)", self.dims[0]));
+        }
+        if self.dims[1] == 0 || self.dims[2] == 0 {
+            return Err("level/layer extents must be >= 1".into());
+        }
+        if !(self.advection.abs() < 0.5) {
+            return Err(format!("advection {} violates CFL stability", self.advection));
+        }
+        if !(0.0..0.25).contains(&self.diffusion) {
+            return Err(format!("diffusion {} outside stable range", self.diffusion));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nicam_like_matches_paper_mesh() {
+        let c = SimConfig::nicam_like(0);
+        assert_eq!(c.dims, [1156, 82, 2]);
+        // 1.5 MB per variable, the paper's per-process checkpoint size.
+        assert!((c.variable_bytes() as f64 - 1.5e6).abs() / 1.5e6 < 0.05);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn small_is_valid_and_smaller() {
+        let c = SimConfig::small(1);
+        c.validate().unwrap();
+        assert!(c.volume() < SimConfig::nicam_like(1).volume() / 10);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut c = SimConfig::small(0);
+        c.dims[0] = 2;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::small(0);
+        c.dims[1] = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::small(0);
+        c.advection = 0.9;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::small(0);
+        c.diffusion = 0.3;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Physical diagnostics of the simulation state.
+//!
+//! Section IV-E of the paper warns that lossy compression can break
+//! invariants: "values of the target array can be symmetric, or being
+//! obeying the principle of the conservation of energy... lossy
+//! compression can break the consistency". These diagnostics quantify
+//! exactly that: domain integrals (mass/energy proxies), budget drift
+//! over time, and the impact of a lossy checkpoint/restore on each
+//! invariant — so a user can decide whether post-restart "data
+//! adjustment" (the paper's suggested remedy) is needed.
+
+use crate::model::ClimateSim;
+use ckpt_tensor::Tensor;
+
+/// Domain-integral diagnostics of one simulation state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diagnostics {
+    /// Mean temperature (thermal-energy proxy), kelvin.
+    pub mean_temperature: f64,
+    /// Mean pressure (mass proxy), pascal.
+    pub mean_pressure: f64,
+    /// Total kinetic-energy proxy: mean of `(u² + v²)/2`.
+    pub kinetic_energy: f64,
+    /// Temperature variance (available potential energy proxy).
+    pub temperature_variance: f64,
+}
+
+impl Diagnostics {
+    /// Computes the diagnostics of a simulation state.
+    pub fn of(sim: &ClimateSim) -> Diagnostics {
+        let t = sim.variable("temperature").expect("temperature exists");
+        let p = sim.variable("pressure").expect("pressure exists");
+        let u = sim.variable("wind_u").expect("wind_u exists");
+        let v = sim.variable("wind_v").expect("wind_v exists");
+        let ke = u
+            .as_slice()
+            .iter()
+            .zip(v.as_slice())
+            .map(|(&a, &b)| (a * a + b * b) / 2.0)
+            .sum::<f64>()
+            / u.len() as f64;
+        Diagnostics {
+            mean_temperature: t.mean(),
+            mean_pressure: p.mean(),
+            kinetic_energy: ke,
+            temperature_variance: variance(t),
+        }
+    }
+
+    /// Largest relative difference across the four diagnostics — one
+    /// number summarizing how much a perturbation (e.g. a lossy
+    /// restore) moved the integrals.
+    pub fn max_relative_drift(&self, other: &Diagnostics) -> f64 {
+        let rel = |a: f64, b: f64| {
+            let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+            (a - b).abs() / scale
+        };
+        rel(self.mean_temperature, other.mean_temperature)
+            .max(rel(self.mean_pressure, other.mean_pressure))
+            .max(rel(self.kinetic_energy, other.kinetic_energy))
+            .max(rel(self.temperature_variance, other.temperature_variance))
+    }
+}
+
+fn variance(t: &Tensor<f64>) -> f64 {
+    let m = t.mean();
+    t.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / t.len() as f64
+}
+
+/// Records diagnostics over a run, for budget-drift analysis.
+#[derive(Debug, Default)]
+pub struct BudgetTrace {
+    samples: Vec<(u64, Diagnostics)>,
+}
+
+impl BudgetTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the current state's diagnostics.
+    pub fn record(&mut self, sim: &ClimateSim) {
+        self.samples.push((sim.step_count(), Diagnostics::of(sim)));
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[(u64, Diagnostics)] {
+        &self.samples
+    }
+
+    /// Relative drift of the mean temperature between the first and
+    /// last samples (a long-run stability figure).
+    pub fn temperature_drift(&self) -> Option<f64> {
+        let first = self.samples.first()?.1.mean_temperature;
+        let last = self.samples.last()?.1.mean_temperature;
+        Some((last - first).abs() / first.abs().max(f64::MIN_POSITIVE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use ckpt_core::{Compressor, CompressorConfig};
+
+    #[test]
+    fn diagnostics_are_finite_and_physical() {
+        let mut sim = ClimateSim::new(SimConfig::small(31));
+        sim.run(100);
+        let d = Diagnostics::of(&sim);
+        assert!(d.mean_temperature > 150.0 && d.mean_temperature < 350.0);
+        assert!(d.mean_pressure > 1_000.0 && d.mean_pressure < 120_000.0);
+        assert!(d.kinetic_energy >= 0.0 && d.kinetic_energy.is_finite());
+        assert!(d.temperature_variance > 0.0);
+    }
+
+    #[test]
+    fn identical_states_have_zero_drift() {
+        let sim = ClimateSim::new(SimConfig::small(32));
+        let d = Diagnostics::of(&sim);
+        assert_eq!(d.max_relative_drift(&d), 0.0);
+    }
+
+    #[test]
+    fn long_run_budget_drift_is_bounded() {
+        let mut sim = ClimateSim::new(SimConfig::small(33));
+        let mut trace = BudgetTrace::new();
+        for _ in 0..10 {
+            trace.record(&sim);
+            sim.run(100);
+        }
+        trace.record(&sim);
+        let drift = trace.temperature_drift().unwrap();
+        assert!(drift < 0.05, "mean temperature drifted {drift} over 1000 steps");
+        assert_eq!(trace.samples().len(), 11);
+    }
+
+    #[test]
+    fn lossy_restore_perturbs_invariants_far_below_model_error() {
+        // The Section IV-E question, answered with numbers: how much
+        // does one lossy checkpoint/restore cycle move the conserved
+        // integrals?
+        let cfg = SimConfig::small(34);
+        let mut sim = ClimateSim::new(cfg);
+        sim.run(50);
+        let before = Diagnostics::of(&sim);
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let (image, _) = sim.checkpoint(Some(&comp)).unwrap();
+        let restored = ClimateSim::restore(cfg, &image).unwrap();
+        let after = Diagnostics::of(&restored);
+        let drift = before.max_relative_drift(&after);
+        assert!(drift > 0.0, "lossy restore must not be bit-exact");
+        assert!(
+            drift < 1e-3,
+            "invariant drift {drift} should be far below the few-percent budget"
+        );
+    }
+
+    #[test]
+    fn simple_quantizer_drifts_invariants_more_than_proposed() {
+        let cfg = SimConfig::small(35);
+        let mut sim = ClimateSim::new(cfg);
+        sim.run(50);
+        let before = Diagnostics::of(&sim);
+        let drift_of = |c: &Compressor| {
+            let (image, _) = sim.checkpoint(Some(c)).unwrap();
+            let restored = ClimateSim::restore(cfg, &image).unwrap();
+            before.max_relative_drift(&Diagnostics::of(&restored))
+        };
+        let simple =
+            drift_of(&Compressor::new(CompressorConfig::paper_simple().with_n(8)).unwrap());
+        let proposed =
+            drift_of(&Compressor::new(CompressorConfig::paper_proposed().with_n(8)).unwrap());
+        assert!(
+            proposed <= simple,
+            "proposed drift {proposed} vs simple {simple}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_has_no_drift() {
+        assert_eq!(BudgetTrace::new().temperature_drift(), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! MTBF-driven failure injection.
+//!
+//! The motivation of the paper is the shrinking MTBF of large systems
+//! (Section I: exascale MTBF projected at a few hours). This module lets
+//! integration tests and examples run the proxy application under an
+//! exponential failure process with periodic checkpointing, exactly the
+//! operational loop the compression is meant to accelerate: on every
+//! failure, roll back to the last checkpoint and recompute.
+
+use crate::config::SimConfig;
+use crate::model::ClimateSim;
+use ckpt_core::{Compressor, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exponentially-distributed failure generator (memoryless, like real
+/// node failures).
+#[derive(Debug)]
+pub struct FailureInjector {
+    rng: StdRng,
+    mean_steps_between_failures: f64,
+    next_failure_at: u64,
+}
+
+impl FailureInjector {
+    /// Creates an injector with the given MTBF measured in application
+    /// steps.
+    pub fn new(mean_steps_between_failures: f64, seed: u64) -> Self {
+        assert!(mean_steps_between_failures > 1.0, "MTBF must exceed one step");
+        let mut inj = FailureInjector {
+            rng: StdRng::seed_from_u64(seed),
+            mean_steps_between_failures,
+            next_failure_at: 0,
+        };
+        inj.next_failure_at = inj.draw_gap(0);
+        inj
+    }
+
+    fn draw_gap(&mut self, from: u64) -> u64 {
+        // Inverse-CDF sampling of Exp(1/mtbf), at least 1 step ahead.
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let gap = (-u.ln() * self.mean_steps_between_failures).ceil().max(1.0);
+        from + gap as u64
+    }
+
+    /// True if a failure strikes at `step`; the next failure time is
+    /// re-drawn automatically.
+    pub fn fails_at(&mut self, step: u64) -> bool {
+        if step >= self.next_failure_at {
+            self.next_failure_at = self.draw_gap(step);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Outcome of a failure-injected run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureTimeline {
+    /// Steps at which failures struck.
+    pub failures: Vec<u64>,
+    /// Steps at which checkpoints were written.
+    pub checkpoints: Vec<u64>,
+    /// Total steps actually computed, including recomputation after
+    /// rollbacks (>= target steps).
+    pub computed_steps: u64,
+    /// Final application step reached.
+    pub final_step: u64,
+}
+
+impl FailureTimeline {
+    /// Steps recomputed due to rollbacks.
+    pub fn wasted_steps(&self) -> u64 {
+        self.computed_steps - self.final_step
+    }
+}
+
+/// Runs the simulation to `target_step` under failure injection,
+/// checkpointing every `interval` steps (lossy if a compressor is
+/// given). On failure, the state rolls back to the last checkpoint and
+/// recomputes.
+pub fn run_with_failures(
+    cfg: SimConfig,
+    compressor: Option<&Compressor>,
+    target_step: u64,
+    interval: u64,
+    injector: &mut FailureInjector,
+) -> Result<(ClimateSim, FailureTimeline)> {
+    assert!(interval >= 1, "checkpoint interval must be >= 1");
+    let mut sim = ClimateSim::new(cfg);
+    let mut last_image: Option<Vec<u8>> = None;
+    let mut timeline = FailureTimeline {
+        failures: Vec::new(),
+        checkpoints: Vec::new(),
+        computed_steps: 0,
+        final_step: 0,
+    };
+
+    while sim.step_count() < target_step {
+        sim.step();
+        timeline.computed_steps += 1;
+        let step = sim.step_count();
+
+        if injector.fails_at(step) && step < target_step {
+            timeline.failures.push(step);
+            sim = match &last_image {
+                Some(image) => ClimateSim::restore(cfg, image)?,
+                None => ClimateSim::new(cfg), // no checkpoint yet: restart from scratch
+            };
+            continue;
+        }
+        if step.is_multiple_of(interval) {
+            let (image, _) = sim.checkpoint(compressor)?;
+            last_image = Some(image);
+            timeline.checkpoints.push(step);
+        }
+    }
+    timeline.final_step = sim.step_count();
+    Ok((sim, timeline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_core::CompressorConfig;
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let mut a = FailureInjector::new(50.0, 9);
+        let mut b = FailureInjector::new(50.0, 9);
+        let fa: Vec<bool> = (0..500).map(|s| a.fails_at(s)).collect();
+        let fb: Vec<bool> = (0..500).map(|s| b.fails_at(s)).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(|&f| f), "some failures expected over 10x MTBF");
+    }
+
+    #[test]
+    fn injector_rate_roughly_matches_mtbf() {
+        let mut inj = FailureInjector::new(100.0, 1);
+        let failures = (0..100_000u64).filter(|&s| inj.fails_at(s)).count();
+        // Expect ~1000; allow wide slack.
+        assert!((500..2000).contains(&failures), "{failures} failures");
+    }
+
+    #[test]
+    fn run_without_failures_matches_plain_run() {
+        let cfg = SimConfig::small(20);
+        // MTBF far beyond the horizon: no failures.
+        let mut inj = FailureInjector::new(1e9, 3);
+        let (sim, timeline) = run_with_failures(cfg, None, 60, 20, &mut inj).unwrap();
+        assert!(timeline.failures.is_empty());
+        assert_eq!(timeline.final_step, 60);
+        assert_eq!(timeline.wasted_steps(), 0);
+        assert_eq!(timeline.checkpoints, vec![20, 40, 60]);
+        let mut reference = ClimateSim::new(cfg);
+        reference.run(60);
+        assert_eq!(
+            sim.variable("temperature").unwrap().as_slice(),
+            reference.variable("temperature").unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn failures_cause_rollback_and_recomputation() {
+        let cfg = SimConfig::small(21);
+        let mut inj = FailureInjector::new(30.0, 5);
+        let (sim, timeline) = run_with_failures(cfg, None, 150, 10, &mut inj).unwrap();
+        assert_eq!(sim.step_count(), 150);
+        assert!(!timeline.failures.is_empty(), "failures expected at MTBF 30 over 150 steps");
+        assert!(timeline.wasted_steps() > 0, "rollbacks must recompute steps");
+        assert!(timeline.computed_steps > 150);
+    }
+
+    #[test]
+    fn lossy_checkpointing_still_reaches_target() {
+        let cfg = SimConfig::small(22);
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let mut inj = FailureInjector::new(40.0, 6);
+        let (sim, timeline) = run_with_failures(cfg, Some(&comp), 100, 10, &mut inj).unwrap();
+        assert_eq!(sim.step_count(), 100);
+        assert!(!timeline.checkpoints.is_empty());
+        // State remains physical after lossy rollbacks.
+        let (lo, hi) = sim.variable("temperature").unwrap().min_max();
+        assert!(lo > 100.0 && hi < 400.0, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn failure_before_first_checkpoint_restarts_from_scratch() {
+        let cfg = SimConfig::small(23);
+        // Fail almost immediately, interval longer than failure gap.
+        let mut inj = FailureInjector::new(2.0, 7);
+        let (sim, timeline) = run_with_failures(cfg, None, 30, 25, &mut inj).unwrap();
+        assert_eq!(sim.step_count(), 30);
+        assert!(!timeline.failures.is_empty());
+    }
+}

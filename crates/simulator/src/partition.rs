@@ -1,0 +1,156 @@
+//! Domain decomposition: per-rank sub-arrays of a global mesh.
+//!
+//! The paper's scaling argument (Section IV-D) assumes each of `P`
+//! processes owns a constant-size piece of the global state and
+//! compresses it independently. This module provides that structure:
+//! a contiguous 1-d decomposition along the x axis (NICAM's large
+//! dimension), with exact reassembly — so the cluster crate's parallel
+//! rank driver can be fed *actual* sub-domain arrays rather than
+//! copies of one array.
+
+use ckpt_core::{CkptError, Result};
+use ckpt_tensor::Tensor;
+
+/// Splits a tensor into `ranks` contiguous chunks along axis 0.
+///
+/// Chunk extents differ by at most one (block distribution). Fails if
+/// `ranks` exceeds the axis extent or is zero.
+pub fn split_x(global: &Tensor<f64>, ranks: usize) -> Result<Vec<Tensor<f64>>> {
+    let nx = global.dims()[0];
+    if ranks == 0 || ranks > nx {
+        return Err(CkptError::Format(format!(
+            "cannot split x extent {nx} into {ranks} ranks"
+        )));
+    }
+    let mut out = Vec::with_capacity(ranks);
+    let mut start = 0usize;
+    for r in 0..ranks {
+        let end = (r + 1) * nx / ranks;
+        let mut begin_idx = vec![0usize; global.ndim()];
+        begin_idx[0] = start;
+        let mut size = global.dims().to_vec();
+        size[0] = end - start;
+        let vals = global.read_block(&begin_idx, &size)?;
+        out.push(Tensor::from_vec(&size, vals)?);
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Reassembles [`split_x`] output into the global tensor. The chunks
+/// must agree on every axis but the first.
+pub fn merge_x(chunks: &[Tensor<f64>]) -> Result<Tensor<f64>> {
+    let first = chunks
+        .first()
+        .ok_or_else(|| CkptError::Format("cannot merge zero chunks".into()))?;
+    let tail_dims = &first.dims()[1..];
+    let nx: usize = chunks.iter().map(|c| c.dims()[0]).sum();
+    for c in chunks {
+        if &c.dims()[1..] != tail_dims {
+            return Err(CkptError::Format(format!(
+                "chunk shape {:?} incompatible with {:?}",
+                c.dims(),
+                first.dims()
+            )));
+        }
+    }
+    let mut dims = vec![nx];
+    dims.extend_from_slice(tail_dims);
+    let mut global = Tensor::zeros(&dims)?;
+    let mut start = 0usize;
+    for c in chunks {
+        let mut begin_idx = vec![0usize; dims.len()];
+        begin_idx[0] = start;
+        global.write_block(&begin_idx, c.dims(), c.as_slice())?;
+        start += c.dims()[0];
+    }
+    Ok(global)
+}
+
+/// Per-rank checkpoint sizes for a block distribution: the weak-scaling
+/// invariant the paper's model assumes (every rank's share within one
+/// row of the others).
+pub fn rank_bytes(global_dims: &[usize], ranks: usize) -> Vec<usize> {
+    let nx = global_dims[0];
+    let row: usize = global_dims[1..].iter().product::<usize>() * 8;
+    (0..ranks)
+        .map(|r| {
+            let extent = (r + 1) * nx / ranks - r * nx / ranks;
+            extent * row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+
+    fn field() -> Tensor<f64> {
+        generate(&FieldSpec::small(FieldKind::Temperature, 61))
+    }
+
+    #[test]
+    fn split_merge_roundtrip_exact() {
+        let g = field();
+        for ranks in [1usize, 2, 3, 7, 16] {
+            let chunks = split_x(&g, ranks).unwrap();
+            assert_eq!(chunks.len(), ranks);
+            let back = merge_x(&chunks).unwrap();
+            assert_eq!(back.dims(), g.dims());
+            assert_eq!(back.as_slice(), g.as_slice(), "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn block_distribution_is_balanced() {
+        let g = field(); // x extent 64 (FieldSpec::small)
+        let nx = g.dims()[0];
+        let chunks = split_x(&g, 7).unwrap();
+        let extents: Vec<usize> = chunks.iter().map(|c| c.dims()[0]).collect();
+        let min = *extents.iter().min().unwrap();
+        let max = *extents.iter().max().unwrap();
+        assert!(max - min <= 1, "imbalanced: {extents:?}");
+        assert_eq!(extents.iter().sum::<usize>(), nx);
+    }
+
+    #[test]
+    fn rank_bytes_match_actual_chunks() {
+        let g = field();
+        let chunks = split_x(&g, 5).unwrap();
+        let predicted = rank_bytes(g.dims(), 5);
+        for (c, p) in chunks.iter().zip(&predicted) {
+            assert_eq!(c.len() * 8, *p);
+        }
+    }
+
+    #[test]
+    fn invalid_rank_counts_rejected() {
+        let g = field();
+        assert!(split_x(&g, 0).is_err());
+        assert!(split_x(&g, 10_000).is_err());
+        assert!(merge_x(&[]).is_err());
+    }
+
+    #[test]
+    fn incompatible_chunks_rejected() {
+        let a = Tensor::<f64>::zeros(&[4, 6]).unwrap();
+        let b = Tensor::<f64>::zeros(&[4, 7]).unwrap();
+        assert!(merge_x(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn per_rank_lossy_checkpoints_reassemble_within_tolerance() {
+        use ckpt_core::{Compressor, CompressorConfig};
+        let g = field();
+        let chunks = split_x(&g, 4).unwrap();
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let restored: Vec<Tensor<f64>> = chunks
+            .iter()
+            .map(|c| Compressor::decompress(&comp.compress(c).unwrap().bytes).unwrap())
+            .collect();
+        let back = merge_x(&restored).unwrap();
+        let err = ckpt_core::metrics::relative_error(&g, &back).unwrap();
+        assert!(err.average < 1e-3, "per-rank pipeline avg err {}", err.average);
+    }
+}

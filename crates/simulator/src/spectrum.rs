@@ -1,0 +1,232 @@
+//! Spectral diagnostics: is the data really "smooth"?
+//!
+//! The paper's whole premise (Section II-C) is that physical mesh
+//! fields are smooth — "the differences between neighborhood values are
+//! small" — which is a statement about their power spectrum: energy
+//! concentrated at low wavenumbers (a *red* spectrum, as real
+//! atmospheric fields have). This module provides the measurement: a
+//! self-contained radix-2 FFT and a per-row power spectrum, used by
+//! tests to verify both the synthetic fields and the evolved simulation
+//! states keep the spectral shape the compression pipeline exploits.
+
+use ckpt_tensor::Tensor;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over `(re, im)` pairs.
+/// `re.len()` must be a power of two.
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "fft buffers must match");
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2usize;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur_r = 1.0f64;
+            let mut cur_i = 0.0f64;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = start + k + len / 2;
+                let tr = re[b] * cur_r - im[b] * cur_i;
+                let ti = re[b] * cur_i + im[b] * cur_r;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let next_r = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = next_r;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectrum of a real signal: `|X_k|^2 / n` for
+/// `k = 0..n/2` (DC through Nyquist), computed over the largest
+/// power-of-two prefix of the input.
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len().next_power_of_two() / if signal.len().is_power_of_two() { 1 } else { 2 };
+    assert!(n >= 2, "need at least 2 samples");
+    let mut re: Vec<f64> = signal[..n].to_vec();
+    // Remove the mean so DC does not swamp the comparison.
+    let mean = re.iter().sum::<f64>() / n as f64;
+    for v in &mut re {
+        *v -= mean;
+    }
+    let mut im = vec![0.0f64; n];
+    fft_inplace(&mut re, &mut im);
+    (0..=n / 2).map(|k| (re[k] * re[k] + im[k] * im[k]) / n as f64).collect()
+}
+
+/// Mean power spectrum over the x-axis rows of a mesh field (each
+/// row = one `(level, layer)` column's horizontal profile).
+pub fn mean_row_spectrum(t: &Tensor<f64>) -> Vec<f64> {
+    let nx = t.dims()[0];
+    let rest: usize = t.dims()[1..].iter().product();
+    let n = if nx.is_power_of_two() { nx } else { nx.next_power_of_two() / 2 };
+    let mut acc = vec![0.0f64; n / 2 + 1];
+    let mut row = vec![0.0f64; nx];
+    // Gather each row (stride = rest) and accumulate its spectrum.
+    for r in 0..rest {
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = t.as_slice()[i * rest + r];
+        }
+        for (a, p) in acc.iter_mut().zip(power_spectrum(&row)) {
+            *a += p;
+        }
+    }
+    for a in &mut acc {
+        *a /= rest as f64;
+    }
+    acc
+}
+
+/// Fraction of (non-DC) spectral energy in the lowest `frac` of
+/// wavenumbers — the "redness" of the spectrum. Smooth fields score
+/// near 1; white noise scores near `frac`.
+pub fn low_frequency_energy_fraction(spectrum: &[f64], frac: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&frac));
+    let bins = &spectrum[1..]; // skip DC
+    let cutoff = ((bins.len() as f64) * frac).ceil() as usize;
+    let low: f64 = bins[..cutoff.min(bins.len())].iter().sum();
+    let total: f64 = bins.iter().sum();
+    if total <= 0.0 {
+        return 1.0; // constant signal: trivially smooth
+    }
+    low / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::model::ClimateSim;
+
+    #[test]
+    fn fft_matches_analytic_single_tone() {
+        // A pure cosine at bin 5 concentrates power there.
+        let n = 256;
+        let signal: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * 5.0 * i as f64 / n as f64).cos()).collect();
+        let spec = power_spectrum(&signal);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 5);
+        // Energy elsewhere is numerically zero.
+        let off: f64 = spec.iter().enumerate().filter(|(k, _)| *k != 5).map(|(_, &p)| p).sum();
+        assert!(off < spec[5] * 1e-20, "leakage {off} vs peak {}", spec[5]);
+    }
+
+    #[test]
+    fn fft_linearity_and_parseval() {
+        // Parseval: sum |x|^2 == sum |X|^2 / n.
+        let n = 128;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 19) as f64) - 9.0).collect();
+        let mut re = x.clone();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0),
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn fft_roundtrip_via_conjugate() {
+        // IFFT(x) = conj(FFT(conj(X)))/n: applying FFT twice with
+        // conjugation recovers the signal.
+        let n = 64;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut re = x.clone();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im);
+        for v in &mut im {
+            *v = -*v;
+        }
+        fft_inplace(&mut re, &mut im);
+        for (i, &orig) in x.iter().enumerate() {
+            assert!((re[i] / n as f64 - orig).abs() < 1e-12, "at {i}");
+        }
+    }
+
+    #[test]
+    fn white_noise_is_flat_smooth_fields_are_red() {
+        // LCG noise: low-frequency fraction ~ frac. Synthetic field: ~1.
+        let mut state = 11u64;
+        let noise: Vec<f64> = (0..1024)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let s_noise = power_spectrum(&noise);
+        let noise_frac = low_frequency_energy_fraction(&s_noise, 0.1);
+        assert!(noise_frac < 0.35, "white noise low-freq fraction {noise_frac}");
+
+        use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+        let field = generate(&FieldSpec {
+            dims: vec![1024],
+            kind: FieldKind::Temperature,
+            seed: 4,
+            harmonics: 8,
+            noise_amp: 1e-4,
+        });
+        let s_field = power_spectrum(field.as_slice());
+        let field_frac = low_frequency_energy_fraction(&s_field, 0.1);
+        assert!(field_frac > 0.9, "synthetic field low-freq fraction {field_frac}");
+    }
+
+    #[test]
+    fn simulation_state_stays_red_after_long_run() {
+        // The compression-friendliness of the *evolved* state — what
+        // actually gets checkpointed at step 720 — not just the initial
+        // condition.
+        let mut cfg = SimConfig::small(77);
+        cfg.dims = [128, 16, 2]; // power-of-two x for a clean spectrum
+        let mut sim = ClimateSim::new(cfg);
+        sim.run(500);
+        for (name, field) in sim.variables() {
+            let spec = mean_row_spectrum(field);
+            let frac = low_frequency_energy_fraction(&spec, 0.2);
+            assert!(
+                frac > 0.8,
+                "{name}: low-freq fraction {frac} — state too rough to compress"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_signal_is_trivially_smooth() {
+        let spec = power_spectrum(&[3.0; 64]);
+        assert_eq!(low_frequency_energy_fraction(&spec, 0.1), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0; 6];
+        let mut im = vec![0.0; 6];
+        fft_inplace(&mut re, &mut im);
+    }
+}

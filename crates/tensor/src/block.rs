@@ -1,0 +1,166 @@
+//! Axis-aligned block (hyper-rectangle) copy-in / copy-out.
+//!
+//! After an in-place per-axis Haar step, each wavelet subband occupies an
+//! axis-aligned block of the tensor (e.g. `LL` is the low half along both
+//! axes of a 2-d array). The quantizer extracts those blocks with
+//! [`Tensor::read_block`] and the inverse pipeline restores them with
+//! [`Tensor::write_block`].
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// An axis-aligned block: `start[a] .. start[a] + size[a]` along each axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Inclusive start index per axis.
+    pub start: Vec<usize>,
+    /// Extent per axis (all extents must be >= 1).
+    pub size: Vec<usize>,
+}
+
+impl Block {
+    /// Builds a block, validating it against a shape.
+    pub fn new(shape: &Shape, start: &[usize], size: &[usize]) -> Result<Self> {
+        if start.len() != shape.ndim() || size.len() != shape.ndim() {
+            return Err(TensorError::RankMismatch { expected: shape.ndim(), got: start.len().max(size.len()) });
+        }
+        for (axis, ((&b, &s), &d)) in start.iter().zip(size).zip(shape.dims()).enumerate() {
+            if s == 0 {
+                return Err(TensorError::EmptyShape);
+            }
+            if b + s > d {
+                return Err(TensorError::OutOfBounds { axis, index: b + s - 1, dim: d });
+            }
+        }
+        Ok(Block { start: start.to_vec(), size: size.to_vec() })
+    }
+
+    /// Number of elements in the block.
+    pub fn volume(&self) -> usize {
+        self.size.iter().product()
+    }
+
+    /// Enumerates the flat offsets of the block in row-major order of the
+    /// block-local index, calling `f(flat_offset)` for each.
+    pub fn for_each_offset(&self, shape: &Shape, mut f: impl FnMut(usize)) {
+        let ndim = self.start.len();
+        let strides = shape.strides();
+        let mut local = vec![0usize; ndim];
+        let base: usize = self.start.iter().zip(strides).map(|(&b, &s)| b * s).sum();
+        let mut off = base;
+        loop {
+            f(off);
+            // Row-major advance of the block-local cursor, updating the
+            // flat offset incrementally.
+            let mut axis = ndim;
+            loop {
+                if axis == 0 {
+                    return;
+                }
+                axis -= 1;
+                local[axis] += 1;
+                off += strides[axis];
+                if local[axis] < self.size[axis] {
+                    break;
+                }
+                off -= strides[axis] * self.size[axis];
+                local[axis] = 0;
+            }
+        }
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Copies the elements of an axis-aligned block into a fresh vector,
+    /// in row-major order of the block-local index.
+    pub fn read_block(&self, start: &[usize], size: &[usize]) -> Result<Vec<T>> {
+        let block = Block::new(self.shape(), start, size)?;
+        let mut out = Vec::with_capacity(block.volume());
+        let data = self.as_slice();
+        block.for_each_offset(self.shape(), |off| out.push(data[off]));
+        Ok(out)
+    }
+
+    /// Writes `src` (row-major block-local order) into an axis-aligned
+    /// block. `src.len()` must equal the block volume.
+    pub fn write_block(&mut self, start: &[usize], size: &[usize], src: &[T]) -> Result<()> {
+        let block = Block::new(self.shape(), start, size)?;
+        if src.len() != block.volume() {
+            return Err(TensorError::LengthMismatch { expected: block.volume(), got: src.len() });
+        }
+        let shape = self.shape().clone();
+        let data = self.as_mut_slice();
+        let mut i = 0;
+        block.for_each_offset(&shape, |off| {
+            data[off] = src[i];
+            i += 1;
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_validation() {
+        let shape = Shape::new(&[4, 6]).unwrap();
+        assert!(Block::new(&shape, &[0, 0], &[4, 6]).is_ok());
+        assert!(Block::new(&shape, &[2, 3], &[2, 3]).is_ok());
+        assert!(matches!(
+            Block::new(&shape, &[2, 3], &[3, 3]),
+            Err(TensorError::OutOfBounds { axis: 0, .. })
+        ));
+        assert!(Block::new(&shape, &[0], &[4]).is_err());
+        assert!(Block::new(&shape, &[0, 0], &[0, 6]).is_err());
+    }
+
+    #[test]
+    fn read_block_row_major_order() {
+        let t = Tensor::from_fn(&[4, 4], |i| (i[0] * 4 + i[1]) as f64).unwrap();
+        let q = t.read_block(&[2, 0], &[2, 2]).unwrap();
+        assert_eq!(q, vec![8.0, 9.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn write_block_roundtrip() {
+        let mut t = Tensor::<f64>::zeros(&[3, 3, 3]).unwrap();
+        let vals: Vec<f64> = (0..8).map(|v| v as f64 + 1.0).collect();
+        t.write_block(&[1, 1, 1], &[2, 2, 2], &vals).unwrap();
+        let back = t.read_block(&[1, 1, 1], &[2, 2, 2]).unwrap();
+        assert_eq!(back, vals);
+        // Elements outside the block untouched.
+        assert_eq!(t.get(&[0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(t.get(&[1, 1, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn write_block_checks_length() {
+        let mut t = Tensor::<f64>::zeros(&[4, 4]).unwrap();
+        assert!(matches!(
+            t.write_block(&[0, 0], &[2, 2], &[1.0; 3]),
+            Err(TensorError::LengthMismatch { expected: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn full_tensor_block_equals_slice() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| (i[0] * 12 + i[1] * 4 + i[2]) as f64).unwrap();
+        let all = t.read_block(&[0, 0, 0], &[2, 3, 4]).unwrap();
+        assert_eq!(all.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn disjoint_quadrants_cover_2d() {
+        let t = Tensor::from_fn(&[4, 4], |i| (i[0] * 4 + i[1]) as f64).unwrap();
+        let mut collected: Vec<f64> = Vec::new();
+        for (r, c) in [(0, 0), (0, 2), (2, 0), (2, 2)] {
+            collected.extend(t.read_block(&[r, c], &[2, 2]).unwrap());
+        }
+        collected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..16).map(|v| v as f64).collect();
+        assert_eq!(collected, expect);
+    }
+}

@@ -1,0 +1,281 @@
+//! Synthetic smooth mesh fields.
+//!
+//! The paper compresses NICAM checkpoint arrays: 1156 × 82 × 2 f64 meshes
+//! of pressure, temperature and wind velocity. Production NICAM data is
+//! not available, so this module generates the closest synthetic
+//! equivalent: spatially smooth fields (low-frequency harmonics over a
+//! physically-shaped base profile, plus small measurement-scale noise).
+//! Smoothness — small differences between neighbouring values — is the
+//! only property the compression pipeline exploits (Section II-C of the
+//! paper), so these fields exercise the same code paths with the same
+//! distributional shape (high-frequency wavelet bands concentrated in a
+//! spike around zero).
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which physical quantity to imitate. Controls the base vertical profile
+/// and value range so the generated numbers live in realistic units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldKind {
+    /// Kelvin; ~190–310 K with a lapse-rate vertical profile.
+    Temperature,
+    /// Pascal; exponential decay with level, ~1e4–1e5 Pa.
+    Pressure,
+    /// m/s; zonal wind, zero-mean, jet-shaped in the vertical.
+    WindU,
+    /// m/s; meridional wind, zero-mean, weaker than zonal.
+    WindV,
+}
+
+impl FieldKind {
+    /// All four kinds, in the order the paper lists its arrays.
+    pub const ALL: [FieldKind; 4] =
+        [FieldKind::Pressure, FieldKind::Temperature, FieldKind::WindU, FieldKind::WindV];
+
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FieldKind::Temperature => "temperature",
+            FieldKind::Pressure => "pressure",
+            FieldKind::WindU => "wind_u",
+            FieldKind::WindV => "wind_v",
+        }
+    }
+}
+
+/// Parameters for synthetic field generation.
+#[derive(Debug, Clone)]
+pub struct FieldSpec {
+    /// Mesh dimensions; the paper's arrays are `[1156, 82, 2]`.
+    pub dims: Vec<usize>,
+    /// Physical quantity to imitate.
+    pub kind: FieldKind,
+    /// RNG seed: generation is fully deterministic per seed.
+    pub seed: u64,
+    /// Number of random low-frequency harmonics to superpose.
+    pub harmonics: usize,
+    /// Relative amplitude of white noise (fraction of the field's dynamic
+    /// range), imitating sensor/model noise. The paper's motivation cites
+    /// few-percent inherent errors; default is far below that.
+    pub noise_amp: f64,
+}
+
+impl FieldSpec {
+    /// A NICAM-shaped spec: `[1156, 82, 2]` (= 1.5 MB of f64, the
+    /// per-process checkpoint size used in Section IV-D).
+    pub fn nicam_like(kind: FieldKind, seed: u64) -> Self {
+        FieldSpec { dims: vec![1156, 82, 2], kind, seed, harmonics: 12, noise_amp: 1e-4 }
+    }
+
+    /// A small spec for fast unit tests.
+    pub fn small(kind: FieldKind, seed: u64) -> Self {
+        FieldSpec { dims: vec![64, 16, 2], kind, seed, harmonics: 6, noise_amp: 1e-4 }
+    }
+}
+
+/// One random harmonic: integer spatial frequencies per axis, a phase per
+/// axis, and an amplitude.
+struct Harmonic {
+    freq: Vec<f64>,
+    phase: Vec<f64>,
+    amp: f64,
+}
+
+/// Base vertical profile: the deterministic, strongly-structured part of
+/// the field, as a function of the *fractional* position along each axis.
+fn base_value(kind: FieldKind, frac: &[f64]) -> f64 {
+    // frac[1] plays the role of the vertical (level) coordinate when
+    // present; frac[0] the horizontal (grid column) coordinate.
+    let lev = frac.get(1).copied().unwrap_or(0.5);
+    let col = frac.first().copied().unwrap_or(0.5);
+    match kind {
+        FieldKind::Temperature => {
+            // Surface ~300 K cooling to ~200 K aloft, with a gentle
+            // meridional gradient.
+            300.0 - 95.0 * lev - 15.0 * (std::f64::consts::PI * col).sin().powi(2)
+        }
+        FieldKind::Pressure => {
+            // Hydrostatic-like exponential decay from 101325 Pa.
+            101_325.0 * (-2.2 * lev).exp()
+        }
+        FieldKind::WindU => {
+            // Jet maximum in the mid-levels.
+            30.0 * (std::f64::consts::PI * lev).sin() * (2.0 * std::f64::consts::PI * col).cos()
+        }
+        FieldKind::WindV => {
+            8.0 * (std::f64::consts::PI * lev).sin() * (2.0 * std::f64::consts::PI * col).sin()
+        }
+    }
+}
+
+/// Dynamic range used to scale harmonics and noise for each kind.
+fn dynamic_range(kind: FieldKind) -> f64 {
+    match kind {
+        FieldKind::Temperature => 110.0,
+        FieldKind::Pressure => 90_000.0,
+        FieldKind::WindU => 60.0,
+        FieldKind::WindV => 16.0,
+    }
+}
+
+/// Generates a smooth synthetic field per `spec`.
+///
+/// Deterministic: the same spec always produces the same tensor.
+pub fn generate(spec: &FieldSpec) -> Tensor<f64> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ hash_kind(spec.kind));
+    let ndim = spec.dims.len();
+    let range = dynamic_range(spec.kind);
+
+    let harmonics: Vec<Harmonic> = (0..spec.harmonics)
+        .map(|h| {
+            // Lower harmonics get larger amplitudes: a red spectrum, as in
+            // real atmospheric fields.
+            let decay = 1.0 / (1.0 + h as f64);
+            Harmonic {
+                freq: (0..ndim).map(|_| rng.random_range(1..=6) as f64).collect(),
+                phase: (0..ndim).map(|_| rng.random_range(0.0..std::f64::consts::TAU)).collect(),
+                amp: range * 0.04 * decay * rng.random_range(0.5..1.0),
+            }
+        })
+        .collect();
+
+    // Short axes (like NICAM's 2-layer axis) carry strongly correlated
+    // data in real checkpoints: damp harmonic variation along them so
+    // neighbouring slices stay close, as they do in production meshes.
+    let axis_gain: Vec<f64> =
+        spec.dims.iter().map(|&d| ((d as f64) / 32.0).min(1.0)).collect();
+
+    let mut frac = vec![0.0f64; ndim];
+    let noise_scale = spec.noise_amp * range;
+    Tensor::from_fn(&spec.dims, |idx| {
+        for (a, &i) in idx.iter().enumerate() {
+            let d = spec.dims[a];
+            frac[a] = if d > 1 { i as f64 / (d - 1) as f64 } else { 0.5 };
+        }
+        let mut v = base_value(spec.kind, &frac);
+        for h in &harmonics {
+            let mut arg = 0.0;
+            for a in 0..ndim {
+                arg += std::f64::consts::TAU * h.freq[a] * frac[a] * axis_gain[a] + h.phase[a];
+            }
+            v += h.amp * arg.sin();
+        }
+        v + noise_scale * rng.random_range(-1.0..1.0)
+    })
+    .expect("spec dims validated by Tensor::from_fn")
+}
+
+fn hash_kind(kind: FieldKind) -> u64 {
+    match kind {
+        FieldKind::Temperature => 0x9E37_79B9_7F4A_7C15,
+        FieldKind::Pressure => 0xC2B2_AE3D_27D4_EB4F,
+        FieldKind::WindU => 0x1656_67B1_9E37_79F9,
+        FieldKind::WindV => 0x27D4_EB2F_1656_67C5,
+    }
+}
+
+/// Mean absolute difference between neighbouring elements along the last
+/// axis, normalised by the value range — a smoothness figure of merit
+/// (smaller is smoother). Used by tests to assert the generator produces
+/// compression-friendly data.
+pub fn roughness(t: &Tensor<f64>) -> f64 {
+    let dims = t.dims();
+    let last = *dims.last().expect("non-empty shape");
+    if last < 2 {
+        return 0.0;
+    }
+    let (lo, hi) = t.min_max();
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
+    let data = t.as_slice();
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for row in data.chunks_exact(last) {
+        for w in row.windows(2) {
+            acc += (w[1] - w[0]).abs();
+            count += 1;
+        }
+    }
+    acc / count as f64 / range
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&FieldSpec::small(FieldKind::Temperature, 7));
+        let b = generate(&FieldSpec::small(FieldKind::Temperature, 7));
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = generate(&FieldSpec::small(FieldKind::Temperature, 8));
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn kinds_differ() {
+        let t = generate(&FieldSpec::small(FieldKind::Temperature, 1));
+        let p = generate(&FieldSpec::small(FieldKind::Pressure, 1));
+        assert_ne!(t.as_slice(), p.as_slice());
+    }
+
+    #[test]
+    fn temperature_in_physical_range() {
+        let t = generate(&FieldSpec::small(FieldKind::Temperature, 42));
+        let (lo, hi) = t.min_max();
+        assert!(lo > 120.0 && hi < 360.0, "temperature range [{lo}, {hi}] implausible");
+    }
+
+    #[test]
+    fn pressure_positive_and_decaying() {
+        let spec = FieldSpec::small(FieldKind::Pressure, 3);
+        let p = generate(&spec);
+        let (lo, _) = p.min_max();
+        assert!(lo > 0.0, "pressure must stay positive, got min {lo}");
+        // Column means should decrease with level (axis 1).
+        let dims = p.dims().to_vec();
+        let mut level_mean = vec![0.0; dims[1]];
+        for i in 0..dims[0] {
+            for (j, slot) in level_mean.iter_mut().enumerate() {
+                for k in 0..dims[2] {
+                    *slot += p.get(&[i, j, k]).unwrap();
+                }
+            }
+        }
+        assert!(
+            level_mean.first().unwrap() > level_mean.last().unwrap(),
+            "pressure should decay with level"
+        );
+    }
+
+    #[test]
+    fn winds_are_roughly_zero_mean() {
+        let u = generate(&FieldSpec::small(FieldKind::WindU, 5));
+        assert!(u.mean().abs() < 10.0, "zonal wind mean {} too large", u.mean());
+    }
+
+    #[test]
+    fn fields_are_smooth() {
+        for kind in FieldKind::ALL {
+            let f = generate(&FieldSpec::small(kind, 11));
+            let r = roughness(&f);
+            assert!(r < 0.05, "{} roughness {r} too high for wavelet compression", kind.name());
+        }
+    }
+
+    #[test]
+    fn nicam_like_shape_is_paper_shape() {
+        let spec = FieldSpec::nicam_like(FieldKind::Temperature, 0);
+        assert_eq!(spec.dims, vec![1156, 82, 2]);
+        // 1156*82*2 doubles = 1.5 MB, the per-process size of Section IV-D.
+        let bytes = 1156 * 82 * 2 * 8;
+        assert!((bytes as f64 - 1.5e6).abs() / 1.5e6 < 0.05);
+    }
+
+    #[test]
+    fn roughness_of_constant_is_zero() {
+        let t = Tensor::full(&[4, 4], 1.0f64).unwrap();
+        assert_eq!(roughness(&t), 0.0);
+    }
+}

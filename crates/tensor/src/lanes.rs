@@ -1,0 +1,161 @@
+//! Lane enumeration: the 1-d strided rows of a tensor along one axis.
+
+use crate::shape::Shape;
+use crate::Result;
+
+/// One 1-d lane of a tensor: `len` elements starting at flat offset
+/// `start`, `stride` elements apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane {
+    /// Flat offset of the first element.
+    pub start: usize,
+    /// Element stride between consecutive lane entries.
+    pub stride: usize,
+    /// Number of elements in the lane (the axis extent).
+    pub len: usize,
+}
+
+/// Iterator over every lane of a tensor along a fixed axis.
+///
+/// The lanes partition the tensor: each element appears in exactly one
+/// lane. Lanes are yielded in row-major order of the remaining axes, so
+/// the iteration order is deterministic and cache-friendly for the last
+/// axis.
+#[derive(Debug, Clone)]
+pub struct LaneIter {
+    /// Extents of the non-axis dimensions.
+    outer_dims: Vec<usize>,
+    /// Strides of the non-axis dimensions.
+    outer_strides: Vec<usize>,
+    /// Current multi-index over the non-axis dimensions.
+    cursor: Vec<usize>,
+    /// Stride and extent of the lane axis.
+    lane_stride: usize,
+    lane_len: usize,
+    /// Lanes remaining.
+    remaining: usize,
+}
+
+impl LaneIter {
+    pub(crate) fn new(shape: &Shape, axis: usize) -> Result<Self> {
+        let lane_len = shape.dim(axis)?;
+        let lane_stride = shape.strides()[axis];
+        let mut outer_dims = Vec::with_capacity(shape.ndim() - 1);
+        let mut outer_strides = Vec::with_capacity(shape.ndim() - 1);
+        for (a, (&d, &s)) in shape.dims().iter().zip(shape.strides()).enumerate() {
+            if a != axis {
+                outer_dims.push(d);
+                outer_strides.push(s);
+            }
+        }
+        let remaining = shape.lane_count(axis)?;
+        Ok(LaneIter {
+            cursor: vec![0; outer_dims.len()],
+            outer_dims,
+            outer_strides,
+            lane_stride,
+            lane_len,
+            remaining,
+        })
+    }
+}
+
+impl Iterator for LaneIter {
+    type Item = Lane;
+
+    fn next(&mut self) -> Option<Lane> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let start: usize =
+            self.cursor.iter().zip(&self.outer_strides).map(|(&i, &s)| i * s).sum();
+        // Advance the row-major cursor over the outer dimensions.
+        for axis in (0..self.cursor.len()).rev() {
+            self.cursor[axis] += 1;
+            if self.cursor[axis] < self.outer_dims[axis] {
+                break;
+            }
+            self.cursor[axis] = 0;
+        }
+        self.remaining -= 1;
+        Some(Lane { start, stride: self.lane_stride, len: self.lane_len })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for LaneIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn collect_lanes(dims: &[usize], axis: usize) -> Vec<Lane> {
+        let t = Tensor::<f64>::zeros(dims).unwrap();
+        t.lanes(axis).unwrap().collect()
+    }
+
+    #[test]
+    fn lanes_partition_all_elements() {
+        for dims in [&[6usize][..], &[3, 4], &[2, 3, 4], &[2, 2, 3, 2]] {
+            let volume: usize = dims.iter().product();
+            for axis in 0..dims.len() {
+                let lanes = collect_lanes(dims, axis);
+                let mut seen = vec![false; volume];
+                for lane in &lanes {
+                    let mut off = lane.start;
+                    for _ in 0..lane.len {
+                        assert!(!seen[off], "element {off} covered twice (dims {dims:?} axis {axis})");
+                        seen[off] = true;
+                        off += lane.stride;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "not all elements covered");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_geometry_matches_strides() {
+        let lanes = collect_lanes(&[2, 3, 4], 1);
+        assert_eq!(lanes.len(), 8);
+        assert!(lanes.iter().all(|l| l.len == 3 && l.stride == 4));
+        // First lane starts at the origin; second at the next last-axis slot.
+        assert_eq!(lanes[0].start, 0);
+        assert_eq!(lanes[1].start, 1);
+    }
+
+    #[test]
+    fn last_axis_lanes_are_contiguous() {
+        let lanes = collect_lanes(&[3, 5], 1);
+        assert_eq!(lanes.len(), 3);
+        for (i, lane) in lanes.iter().enumerate() {
+            assert_eq!(lane.stride, 1);
+            assert_eq!(lane.start, i * 5);
+        }
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let t = Tensor::<f64>::zeros(&[4, 5]).unwrap();
+        let mut it = t.lanes(0).unwrap();
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn one_dimensional_single_lane() {
+        let lanes = collect_lanes(&[9], 0);
+        assert_eq!(lanes, vec![Lane { start: 0, stride: 1, len: 9 }]);
+    }
+
+    #[test]
+    fn invalid_axis_is_error() {
+        let t = Tensor::<f64>::zeros(&[2, 2]).unwrap();
+        assert!(t.lanes(2).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! CDF 5/3 (LeGall) wavelet kernel via the lifting scheme.
+//!
+//! The paper motivates wavelets through JPEG 2000 (Section II-C); the
+//! Haar kernel it uses is the simplest member of that family. JPEG
+//! 2000's lossless path uses the biorthogonal CDF 5/3 kernel, which
+//! predicts each odd sample from *both* neighbours — decorrelating
+//! linear trends exactly, where Haar only decorrelates constants. This
+//! module implements it with the same `[L | H]` lane layout so it can
+//! drop into the pipeline as an alternative kernel (the "improvement of
+//! the compression algorithm" future work of the paper's conclusion).
+//!
+//! Lifting steps (symmetric boundary extension):
+//!
+//! ```text
+//! predict:  H[i] = x[2i+1] − (x[2i] + x[2i+2]) / 2
+//! update:   L[i] = x[2i]   + (H[i−1] + H[i]) / 4
+//! ```
+//!
+//! The inverse applies the identical terms in reverse order, so the
+//! float roundtrip is exact up to rounding, like the Haar pair; a
+//! linear ramp produces an *exactly zero* high band (test below),
+//! which Haar cannot do.
+
+use crate::haar::{high_len, low_len};
+
+/// Symmetric (whole-sample) extension index: reflects out-of-range
+/// positions back into `0..n`.
+#[inline]
+fn reflect(i: isize, n: usize) -> usize {
+    debug_assert!(n >= 1);
+    let n = n as isize;
+    let mut i = i;
+    // One reflection suffices for the |offsets| <= 2 used here.
+    if i < 0 {
+        i = -i;
+    }
+    if i >= n {
+        i = 2 * (n - 1) - i;
+    }
+    i.clamp(0, n - 1) as usize
+}
+
+/// Forward CDF 5/3: `src` (length n) → `dst = [L | H]`.
+pub fn forward_1d(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "cdf53 kernel buffers must match");
+    let n = src.len();
+    if n == 1 {
+        dst[0] = src[0];
+        return;
+    }
+    let h = low_len(n);
+    let pairs = high_len(n);
+    // Predict: high coefficients.
+    for i in 0..pairs {
+        let left = src[2 * i];
+        let right = src[reflect(2 * i as isize + 2, n)];
+        dst[h + i] = src[2 * i + 1] - (left + right) / 2.0;
+    }
+    // Update: low coefficients from the just-computed highs.
+    for i in 0..h {
+        if 2 * i >= n {
+            break;
+        }
+        let d_prev = if i == 0 {
+            // Symmetric extension: H[-1] mirrors H[0].
+            if pairs > 0 { dst[h] } else { 0.0 }
+        } else {
+            dst[h + i - 1]
+        };
+        let d_here = if i < pairs { dst[h + i] } else { d_prev };
+        dst[i] = src[2 * i] + (d_prev + d_here) / 4.0;
+    }
+}
+
+/// Inverse CDF 5/3: `src = [L | H]` → `dst` (length n).
+pub fn inverse_1d(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "cdf53 kernel buffers must match");
+    let n = src.len();
+    if n == 1 {
+        dst[0] = src[0];
+        return;
+    }
+    let h = low_len(n);
+    let pairs = high_len(n);
+    // Undo update: recover even samples.
+    for i in 0..h {
+        if 2 * i >= n {
+            break;
+        }
+        let d_prev = if i == 0 {
+            if pairs > 0 { src[h] } else { 0.0 }
+        } else {
+            src[h + i - 1]
+        };
+        let d_here = if i < pairs { src[h + i] } else { d_prev };
+        dst[2 * i] = src[i] - (d_prev + d_here) / 4.0;
+    }
+    // Undo predict: recover odd samples.
+    for i in 0..pairs {
+        let left = dst[2 * i];
+        let right = dst[reflect(2 * i as isize + 2, n)];
+        dst[2 * i + 1] = src[h + i] + (left + right) / 2.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &[f64]) -> Vec<f64> {
+        let mut mid = vec![0.0; src.len()];
+        let mut back = vec![0.0; src.len()];
+        forward_1d(src, &mut mid);
+        inverse_1d(&mid, &mut back);
+        back
+    }
+
+    #[test]
+    fn linear_ramp_has_zero_interior_high_band() {
+        // The whole point of 5/3 over Haar. The *last* high coefficient
+        // sits at the boundary where the symmetric extension breaks the
+        // ramp, so only interior coefficients vanish.
+        let src: Vec<f64> = (0..32).map(|i| 5.0 + 3.0 * i as f64).collect();
+        let mut dst = vec![0.0; 32];
+        forward_1d(&src, &mut dst);
+        let h = low_len(32);
+        let pairs = high_len(32);
+        for (i, &v) in dst[h..h + pairs - 1].iter().enumerate() {
+            assert!(
+                v.abs() < 1e-12,
+                "interior high coeff {i} = {v} must vanish on a ramp"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf53_high_band_energy_far_below_haar_on_ramps() {
+        let src: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut haar = vec![0.0; 64];
+        crate::haar::forward_1d(&src, &mut haar);
+        let mut cdf = vec![0.0; 64];
+        forward_1d(&src, &mut cdf);
+        let h = low_len(64);
+        let energy = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        // Haar: every high coeff = -0.5 (energy 8); CDF 5/3: only the
+        // boundary coefficient survives (energy 1).
+        assert!(
+            energy(&cdf[h..]) < energy(&haar[h..]) * 0.25,
+            "cdf {} vs haar {}",
+            energy(&cdf[h..]),
+            energy(&haar[h..])
+        );
+    }
+
+    #[test]
+    fn roundtrip_exact_on_dyadic_data() {
+        let src: Vec<f64> = (0..40).map(|i| ((i * 13) % 17) as f64 * 0.25).collect();
+        assert_eq!(roundtrip(&src), src);
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for n in 1..40usize {
+            let src: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+            let back = roundtrip(&src);
+            for (a, b) in src.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-12, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_near_exact_on_arbitrary_floats() {
+        let src: Vec<f64> =
+            (0..101).map(|i| (i as f64 * 0.7311).sin() * 1e5 + 0.3).collect();
+        let back = roundtrip(&src);
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a - b).abs() <= 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn smooth_input_concentrates_better_than_haar() {
+        let src: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.01).sin() * 100.0).collect();
+        let mut cdf = vec![0.0; src.len()];
+        forward_1d(&src, &mut cdf);
+        let mut haar = vec![0.0; src.len()];
+        crate::haar::forward_1d(&src, &mut haar);
+        let h = low_len(src.len());
+        let max_abs = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(
+            max_abs(&cdf[h..]) < max_abs(&haar[h..]),
+            "cdf53 high band {} must be tighter than haar {}",
+            max_abs(&cdf[h..]),
+            max_abs(&haar[h..])
+        );
+    }
+
+    #[test]
+    fn reflect_boundary_math() {
+        assert_eq!(reflect(-1, 8), 1);
+        assert_eq!(reflect(-2, 8), 2);
+        assert_eq!(reflect(8, 8), 6);
+        assert_eq!(reflect(9, 8), 5);
+        assert_eq!(reflect(3, 8), 3);
+        assert_eq!(reflect(0, 1), 0);
+    }
+
+    #[test]
+    fn single_and_double_element() {
+        assert_eq!(roundtrip(&[42.0]), vec![42.0]);
+        let back = roundtrip(&[1.0, 9.0]);
+        assert!((back[0] - 1.0).abs() < 1e-12);
+        assert!((back[1] - 9.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! CDF 9/7 wavelet kernel via the lifting scheme.
+//!
+//! The kernel behind JPEG 2000's *lossy* path — the strongest
+//! decorrelator of the family this crate implements (Haar → 5/3 → 9/7).
+//! Four lifting steps plus a scaling pair; boundaries use whole-sample
+//! symmetric extension. Perfect reconstruction up to float rounding,
+//! like the other float kernels here.
+//!
+//! Output layout matches the crate convention: `[L | H]` with
+//! `low_len = ceil(n/2)`.
+
+use crate::haar::{high_len, low_len};
+
+const ALPHA: f64 = -1.586_134_342_059_924;
+const BETA: f64 = -0.052_980_118_572_961;
+const GAMMA: f64 = 0.882_911_075_530_934;
+const DELTA: f64 = 0.443_506_852_043_971;
+/// DC gain of the lifted low-pass branch; dividing by it keeps the low
+/// band in the signal's units (a constant input yields L = that
+/// constant).
+const K: f64 = 1.230_174_104_914_001;
+
+/// Forward CDF 9/7: `src` (length n) → `dst = [L | H]`.
+pub fn forward_1d(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "cdf97 kernel buffers must match");
+    let n = src.len();
+    let ns = low_len(n);
+    let nd = high_len(n);
+    if nd == 0 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let mut s: Vec<f64> = (0..ns).map(|i| src[2 * i]).collect();
+    let mut d: Vec<f64> = (0..nd).map(|i| src[2 * i + 1]).collect();
+
+    // Step 1: predict (alpha).
+    for i in 0..nd {
+        d[i] += ALPHA * (s[i] + s[(i + 1).min(ns - 1)]);
+    }
+    // Step 2: update (beta).
+    for i in 0..ns {
+        let left = d[i.saturating_sub(1)];
+        let right = d[i.min(nd - 1)];
+        s[i] += BETA * (left + right);
+    }
+    // Step 3: predict (gamma).
+    for i in 0..nd {
+        d[i] += GAMMA * (s[i] + s[(i + 1).min(ns - 1)]);
+    }
+    // Step 4: update (delta).
+    for i in 0..ns {
+        let left = d[i.saturating_sub(1)];
+        let right = d[i.min(nd - 1)];
+        s[i] += DELTA * (left + right);
+    }
+    // Scaling.
+    for (i, &v) in s.iter().enumerate() {
+        dst[i] = v / K;
+    }
+    for (i, &v) in d.iter().enumerate() {
+        dst[ns + i] = v * K;
+    }
+}
+
+/// Inverse CDF 9/7: `src = [L | H]` → `dst` (length n).
+pub fn inverse_1d(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "cdf97 kernel buffers must match");
+    let n = src.len();
+    let ns = low_len(n);
+    let nd = high_len(n);
+    if nd == 0 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let mut s: Vec<f64> = (0..ns).map(|i| src[i] * K).collect();
+    let mut d: Vec<f64> = (0..nd).map(|i| src[ns + i] / K).collect();
+
+    // Undo step 4.
+    for i in 0..ns {
+        let left = d[i.saturating_sub(1)];
+        let right = d[i.min(nd - 1)];
+        s[i] -= DELTA * (left + right);
+    }
+    // Undo step 3.
+    for i in 0..nd {
+        d[i] -= GAMMA * (s[i] + s[(i + 1).min(ns - 1)]);
+    }
+    // Undo step 2.
+    for i in 0..ns {
+        let left = d[i.saturating_sub(1)];
+        let right = d[i.min(nd - 1)];
+        s[i] -= BETA * (left + right);
+    }
+    // Undo step 1.
+    for i in 0..nd {
+        d[i] -= ALPHA * (s[i] + s[(i + 1).min(ns - 1)]);
+    }
+
+    for (i, &v) in s.iter().enumerate() {
+        dst[2 * i] = v;
+    }
+    for (i, &v) in d.iter().enumerate() {
+        dst[2 * i + 1] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &[f64]) -> Vec<f64> {
+        let mut mid = vec![0.0; src.len()];
+        let mut back = vec![0.0; src.len()];
+        forward_1d(src, &mut mid);
+        inverse_1d(&mid, &mut back);
+        back
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for n in 1..50usize {
+            let src: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 23) as f64 - 11.0).collect();
+            let back = roundtrip(&src);
+            for (a, b) in src.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_signal_maps_to_constant_low_band() {
+        let src = vec![7.5f64; 64];
+        let mut dst = vec![0.0; 64];
+        forward_1d(&src, &mut dst);
+        let h = low_len(64);
+        for &v in &dst[..h] {
+            assert!((v - 7.5).abs() < 1e-9, "low band must preserve DC: {v}");
+        }
+        for &v in &dst[h..] {
+            assert!(v.abs() < 1e-9, "high band must vanish on DC: {v}");
+        }
+    }
+
+    #[test]
+    fn smooth_signal_interior_high_band_below_haar_and_53() {
+        // The clamp boundary extension leaves the outermost two high
+        // coefficients per side large; the interior shows the kernel's
+        // four vanishing moments (orders of magnitude below 5/3).
+        let src: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.005).sin() * 100.0).collect();
+        let interior_energy = |dst: &[f64]| {
+            let h = low_len(dst.len());
+            let nd = high_len(dst.len());
+            dst[h + 2..h + nd - 2].iter().map(|v| v * v).sum::<f64>()
+        };
+        let mut d97 = vec![0.0; src.len()];
+        forward_1d(&src, &mut d97);
+        let mut d53 = vec![0.0; src.len()];
+        crate::cdf53::forward_1d(&src, &mut d53);
+        let mut dh = vec![0.0; src.len()];
+        crate::haar::forward_1d(&src, &mut dh);
+        let (e97, e53, eh) =
+            (interior_energy(&d97), interior_energy(&d53), interior_energy(&dh));
+        assert!(e97 < e53 * 1e-6, "9/7 {e97} must crush 5/3 {e53}");
+        assert!(e53 < eh, "5/3 {e53} must beat haar {eh}");
+    }
+
+    #[test]
+    fn quadratic_trend_vanishes_in_the_interior() {
+        // 9/7's analysis high-pass has four vanishing moments: interior
+        // coefficients of a quadratic vanish exactly (the outermost two
+        // per side feel the clamp extension).
+        let src: Vec<f64> = (0..128).map(|i| (i * i) as f64).collect();
+        let mut dst = vec![0.0; 128];
+        forward_1d(&src, &mut dst);
+        let h = low_len(128);
+        let nd = high_len(128);
+        let scale = src.iter().cloned().fold(0.0f64, f64::max);
+        for (i, &v) in dst[h + 2..h + nd - 2].iter().enumerate() {
+            assert!(
+                v.abs() < scale * 1e-9,
+                "interior coeff {i} = {v} too large for a quadratic"
+            );
+        }
+    }
+
+    #[test]
+    fn single_and_two_element_signals() {
+        assert_eq!(roundtrip(&[3.25]), vec![3.25]);
+        let back = roundtrip(&[1.0, 2.0]);
+        assert!((back[0] - 1.0).abs() < 1e-10);
+        assert!((back[1] - 2.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error-bound-driven compression — the paper's stated future work
+//! ("control the errors by specifying a value, such as tolerable degree
+//! of errors"), implemented.
+//!
+//! ```text
+//! cargo run --release --example error_budget
+//! ```
+
+use lossy_ckpt::core::bound::compress_bounded;
+use lossy_ckpt::prelude::*;
+
+fn main() {
+    let field = generate(&FieldSpec::nicam_like(FieldKind::Pressure, 3));
+    println!("array: {:?} pressure, {} bytes raw\n", field.dims(), field.len() * 8);
+
+    println!(
+        "{:>14}{:>8}{:>14}{:>16}{:>9}",
+        "bound [%]", "n", "rate [%]", "avg err [%]", "probes"
+    );
+    for bound_percent in [1.0, 0.1, 0.01, 0.001] {
+        let bound = bound_percent / 100.0;
+        match compress_bounded(&field, CompressorConfig::paper_proposed(), bound) {
+            Ok(r) => println!(
+                "{:>14}{:>8}{:>14.2}{:>16.6}{:>9}",
+                bound_percent,
+                r.n,
+                r.compressed.stats.compression_rate(),
+                r.error.average_percent(),
+                r.probes
+            ),
+            Err(e) => println!("{bound_percent:>14}  unreachable: {e}"),
+        }
+    }
+    println!(
+        "\nThe search picks the smallest division number n meeting the bound,\n\
+         because smaller n compresses better (Fig. 7) but errs more (Fig. 8)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Running an application under failures with lossy checkpointing: the
+//! operational loop the paper's compression exists to accelerate.
+//!
+//! Injects exponentially-distributed failures (the paper's Section I
+//! motivation: exascale MTBF of a few hours) while the climate proxy
+//! checkpoints periodically, and reports how much work rollbacks cost
+//! at different checkpoint intervals.
+//!
+//! ```text
+//! cargo run --release --example failure_recovery
+//! ```
+
+use lossy_ckpt::core::{Compressor, CompressorConfig};
+use lossy_ckpt::sim::failure::run_with_failures;
+use lossy_ckpt::sim::{FailureInjector, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::small(99);
+    let compressor = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    let target = 400u64;
+    let mtbf = 60.0;
+
+    println!(
+        "target {target} steps, MTBF {mtbf} steps, grid {:?}, lossy checkpoints\n",
+        cfg.dims
+    );
+    println!(
+        "{:>10}{:>12}{:>14}{:>16}{:>14}",
+        "interval", "failures", "checkpoints", "computed steps", "wasted steps"
+    );
+    for interval in [5u64, 20, 50, 100] {
+        // Same failure sequence for every interval: seed the injector
+        // identically so the comparison isolates the interval choice.
+        let mut injector = FailureInjector::new(mtbf, 4242);
+        let (sim, timeline) =
+            run_with_failures(cfg, Some(&compressor), target, interval, &mut injector)
+                .unwrap();
+        assert_eq!(sim.step_count(), target);
+        println!(
+            "{:>10}{:>12}{:>14}{:>16}{:>14}",
+            interval,
+            timeline.failures.len(),
+            timeline.checkpoints.len(),
+            timeline.computed_steps,
+            timeline.wasted_steps()
+        );
+    }
+    println!(
+        "\nShort intervals waste little work per failure but checkpoint more\n\
+         often — exactly the overhead the paper's 81% checkpoint-time cut\n\
+         attacks. The final state remains physical after every lossy rollback."
+    );
+}

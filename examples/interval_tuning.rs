@@ -1,0 +1,69 @@
+//! Checkpoint-interval optimization under lossy compression — the
+//! system-level consequence of the paper's 81% checkpoint-cost cut,
+//! pushed through the classical Young/Daly model (the "optimizing
+//! checkpoint frequency" future work of the paper's conclusion).
+//!
+//! ```text
+//! cargo run --release --example interval_tuning
+//! ```
+
+use lossy_ckpt::cluster::{IntervalComparison, IntervalModel, IoModel};
+use lossy_ckpt::prelude::*;
+
+fn main() {
+    // Measure this host's compression profile on the paper's 1.5 MB
+    // array, then model a 2048-process checkpoint against a 20 GB/s
+    // filesystem.
+    let field = generate(&FieldSpec::nicam_like(FieldKind::Temperature, 5));
+    let compressor = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    let packed = compressor.compress(&field).unwrap();
+    let rate = packed.stats.compression_rate() / 100.0;
+    let comp_time = packed.timings.total().as_secs_f64();
+
+    let io = IoModel::paper();
+    let processes = 2048;
+    let cost_plain = io.io_seconds(processes, 1.0);
+    let cost_lossy = io.io_seconds(processes, rate) + comp_time;
+    println!(
+        "checkpoint cost at P = {processes}: {:.1} ms raw, {:.1} ms lossy (rate {:.1}%)",
+        cost_plain * 1e3,
+        cost_lossy * 1e3,
+        rate * 100.0
+    );
+
+    println!("\noptimal checkpoint interval (Young) across MTBF regimes:");
+    println!(
+        "{:>12}{:>16}{:>16}{:>16}{:>16}",
+        "MTBF", "tau raw [s]", "tau lossy [s]", "waste raw", "waste lossy"
+    );
+    for mtbf_hours in [0.5, 1.0, 4.0, 24.0] {
+        let mtbf = mtbf_hours * 3600.0;
+        let cmp = IntervalComparison::build(cost_plain, cost_lossy, 1.0, mtbf);
+        println!(
+            "{:>10}h{:>16.1}{:>16.1}{:>15.2}%{:>15.2}%",
+            mtbf_hours,
+            cmp.uncompressed.0,
+            cmp.compressed.0,
+            cmp.uncompressed.1 * 100.0,
+            cmp.compressed.1 * 100.0
+        );
+    }
+
+    // Convexity demo: waste at the optimum vs 4x off in either
+    // direction, for the exascale-ish regime the paper motivates
+    // (MTBF of a few hours, Section I).
+    let model = IntervalModel {
+        checkpoint_cost: cost_lossy,
+        restart_cost: cost_lossy,
+        mtbf: 2.0 * 3600.0,
+    };
+    let tau = model.young_interval();
+    println!("\nwaste sensitivity at MTBF 2h (lossy checkpoints):");
+    for (label, t) in [("tau*/4", tau / 4.0), ("tau*", tau), ("4 tau*", tau * 4.0)] {
+        println!(
+            "  interval {label:>7} = {:>8.1} s -> waste {:.3}%",
+            t,
+            model.waste_fraction(t) * 100.0
+        );
+    }
+}

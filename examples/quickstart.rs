@@ -1,0 +1,54 @@
+//! Quickstart: compress one checkpoint array, inspect the trade-off,
+//! restore it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lossy_ckpt::prelude::*;
+
+fn main() {
+    // A NICAM-shaped physical field (1156 x 82 x 2 f64 = 1.5 MB), the
+    // paper's evaluation subject. Swap in your own `Tensor` from any
+    // `Vec<f64>` + dims.
+    let field = generate(&FieldSpec::nicam_like(FieldKind::Temperature, 7));
+    println!("original: {:?} = {} bytes", field.dims(), field.len() * 8);
+
+    // The paper's headline configuration: Haar wavelet + proposed
+    // (spike-detecting) quantization with n = 128, gzip on top.
+    let compressor = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+
+    let packed = compressor.compress(&field).unwrap();
+    println!(
+        "compressed: {} bytes (compression rate {:.2}% — lower is better)",
+        packed.bytes.len(),
+        packed.stats.compression_rate()
+    );
+    println!("stage breakdown:");
+    for (stage, d) in packed.timings.breakdown() {
+        println!("  {:<30} {:>8.2} ms", stage, d.as_secs_f64() * 1e3);
+    }
+
+    // Decompression needs no configuration: the stream is
+    // self-describing.
+    let restored = Compressor::decompress(&packed.bytes).unwrap();
+    let err = relative_error(&field, &restored).unwrap();
+    println!(
+        "relative error: avg {:.5}%, max {:.5}% (paper: ~1.2% avg across all variables)",
+        err.average_percent(),
+        err.max_percent()
+    );
+
+    // The trade-off knob: smaller n = smaller files, larger errors.
+    println!("\nn sweep (the paper's Figures 7/8 in two lines):");
+    for n in [1usize, 8, 128] {
+        let c = Compressor::new(CompressorConfig::paper_proposed().with_n(n)).unwrap();
+        let p = c.compress(&field).unwrap();
+        let e = relative_error(&field, &Compressor::decompress(&p.bytes).unwrap()).unwrap();
+        println!(
+            "  n = {n:3}: rate {:.2}%, avg error {:.5}%",
+            p.stats.compression_rate(),
+            e.average_percent()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Estimate checkpoint time at cluster scale from a single-node
+//! measurement — the Section IV-D methodology as a library call.
+//!
+//! ```text
+//! cargo run --release --example scaling_estimate [pfs_GBps]
+//! ```
+
+use lossy_ckpt::cluster::{compress_ranks, CompressionProfile, IoModel, ScalingTable};
+use lossy_ckpt::prelude::*;
+
+fn main() {
+    let pfs_gbps: f64 =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20.0);
+
+    // Measure the per-process compression profile on this machine, with
+    // several "ranks" compressing concurrently as they would on a real
+    // node (crossbeam scoped threads).
+    let ranks: Vec<Tensor<f64>> = (0..4)
+        .map(|i| generate(&FieldSpec::nicam_like(FieldKind::Temperature, i)))
+        .collect();
+    let compressor = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    let results = compress_ranks(&ranks, &compressor, 4).unwrap();
+    let rate = results.iter().map(|r| r.stats.compression_rate()).sum::<f64>()
+        / results.len() as f64
+        / 100.0;
+    let timings = results[0].timings;
+
+    println!(
+        "measured: compression rate {:.1}%, per-rank compression {:.2} ms",
+        rate * 100.0,
+        timings.total().as_secs_f64() * 1e3
+    );
+
+    let io = IoModel { pfs_bandwidth: pfs_gbps * 1e9, bytes_per_process: 1.5e6 };
+    let table = ScalingTable::new(io, CompressionProfile { rate, timings });
+
+    println!("\ncheckpoint time estimate ({pfs_gbps} GB/s shared filesystem):");
+    println!("{:>10}{:>18}{:>18}{:>10}", "P", "w/o comp [ms]", "w/ comp [ms]", "saving");
+    for row in table.sweep([256, 1024, 4096, 16384, 65536]) {
+        println!(
+            "{:>10}{:>18.2}{:>18.2}{:>9.1}%",
+            row.processes,
+            row.uncompressed * 1e3,
+            row.compressed_total() * 1e3,
+            row.saving() * 100.0
+        );
+    }
+    match table.crossover(1 << 30) {
+        Some(p) => println!("\ncompression pays off beyond P = {p} processes"),
+        None => println!("\ncompression never pays off at these parameters"),
+    }
+    println!("asymptotic saving: {:.1}%", table.asymptotic_saving() * 100.0);
+}
