@@ -1,0 +1,52 @@
+//! Intra-array parallelism benches: the paper-shaped 1156 × 82 × 2
+//! array compressed and decompressed at 1/2/4/8 worker threads.
+//!
+//! threads = 1 runs the untouched serial pipeline (single-member
+//! gzip); higher counts fan the wavelet, quantize and deflate stages
+//! out and switch the container to the chunked multi-member format.
+//! Speedup on a multi-core host should approach the core count for
+//! the deflate-dominated compression path; `parallel_speedup` (the
+//! bin) records the same measurement as `BENCH_parallel.json`.
+
+use ckpt_bench::temperature_nicam;
+use ckpt_core::{Compressor, CompressorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_compress(c: &mut Criterion) {
+    let t = temperature_nicam();
+    let mut group = c.benchmark_group("parallel_compress_1156x82x2");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((t.len() * 8) as u64));
+    for threads in THREAD_COUNTS {
+        let comp =
+            Compressor::new(CompressorConfig::paper_proposed().with_threads(threads)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &t, |b, t| {
+            b.iter(|| black_box(comp.compress(t).unwrap().bytes.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_decompress(c: &mut Criterion) {
+    let t = temperature_nicam();
+    let mut group = c.benchmark_group("parallel_decompress_1156x82x2");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((t.len() * 8) as u64));
+    for threads in THREAD_COUNTS {
+        // Each thread count decodes the stream its own compressor wrote
+        // (chunked for threads > 1), as a restart would.
+        let comp =
+            Compressor::new(CompressorConfig::paper_proposed().with_threads(threads)).unwrap();
+        let packed = comp.compress(&t).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &packed.bytes, |b, bytes| {
+            b.iter(|| black_box(Compressor::decompress_parallel(bytes, threads).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_compress, bench_parallel_decompress);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Intra-array parallel speedup measurement.
+//!
+//! Compresses and decompresses the paper-shaped 1156 × 82 × 2 array at
+//! 1/2/4/8 worker threads, prints a table, and writes the results to
+//! `BENCH_parallel.json` (median-of-5 wall times, speedup vs the
+//! serial path, and the host's core count — speedup is bounded by the
+//! cores actually available, so single-core hosts report ~1.0x).
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin parallel_speedup`.
+//! Pass an output path as the first argument to write elsewhere.
+
+use ckpt_bench::{median_time, ms, temperature_nicam};
+use ckpt_core::{Compressor, CompressorConfig};
+use std::fmt::Write as _;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const RUNS: usize = 5;
+
+struct Row {
+    threads: usize,
+    compress_ms: f64,
+    decompress_ms: f64,
+    compressed_bytes: usize,
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_parallel.json".into());
+    let t = temperature_nicam();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!("=== Intra-array parallel speedup (1156x82x2, {} cores) ===", cores);
+    println!();
+    println!("{:>7} {:>13} {:>13} {:>12} {:>9} {:>9}", "threads", "compress", "decompress", "bytes", "c-speedup", "d-speedup");
+
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let comp =
+            Compressor::new(CompressorConfig::paper_proposed().with_threads(threads)).unwrap();
+        let packed = comp.compress(&t).unwrap();
+        let compress = median_time(RUNS, || {
+            let _ = comp.compress(&t).unwrap();
+        });
+        let decompress = median_time(RUNS, || {
+            let _ = Compressor::decompress_parallel(&packed.bytes, threads).unwrap();
+        });
+        // Sanity: every thread count restores the same values.
+        let restored = Compressor::decompress_parallel(&packed.bytes, threads).unwrap();
+        assert_eq!(restored.dims(), t.dims());
+        rows.push(Row {
+            threads,
+            compress_ms: compress.as_secs_f64() * 1e3,
+            decompress_ms: decompress.as_secs_f64() * 1e3,
+            compressed_bytes: packed.bytes.len(),
+        });
+        let base = &rows[0];
+        let last = rows.last().unwrap();
+        println!(
+            "{:>7} {:>10} ms {:>10} ms {:>12} {:>8.2}x {:>8.2}x",
+            last.threads,
+            ms(compress),
+            ms(decompress),
+            last.compressed_bytes,
+            base.compress_ms / last.compress_ms,
+            base.decompress_ms / last.decompress_ms,
+        );
+    }
+
+    let base = &rows[0];
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"parallel_speedup\",");
+    let _ = writeln!(json, "  \"dims\": [1156, 82, 2],");
+    let _ = writeln!(json, "  \"runs\": {RUNS},");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"compress_ms\": {:.3}, \"decompress_ms\": {:.3}, \
+             \"compressed_bytes\": {}, \"compress_speedup\": {:.3}, \"decompress_speedup\": {:.3}}}{}",
+            r.threads,
+            r.compress_ms,
+            r.decompress_ms,
+            r.compressed_bytes,
+            base.compress_ms / r.compress_ms,
+            base.decompress_ms / r.decompress_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("writing results file");
+    println!();
+    println!("wrote {out_path}");
+    if cores < 2 {
+        println!("note: single-core host — parallel speedup cannot manifest here;");
+        println!("rerun on a multi-core machine to observe >= 2x at 4 threads.");
+    }
+}

@@ -16,13 +16,19 @@ USAGE:
   ckpt compress   <in.f64> --dims AxBxC [--method proposed|simple|lloyd] [--n 1..256]
                   [--d 64] [--levels 1] [--kernel haar|cdf53|cdf97]
                   [--container gzip|zlib|tempfile|none]
+                  [--threads N] [--chunk-bytes BYTES]
                   [--bound FRACTION] [-o out.wck]
-  ckpt decompress <in.wck> [-o out.f64]
+  ckpt decompress <in.wck> [--threads N] [-o out.f64]
   ckpt info       <in.wck>
   ckpt gen        --dims AxBxC [--kind temperature|pressure|wind_u|wind_v]
                   [--seed N] -o out.f64
 
-Raw array files are row-major little-endian f64.";
+Raw array files are row-major little-endian f64.
+
+--threads 1 (the default) uses the exact serial pipeline; more threads
+parallelize the wavelet, quantize and gzip stages inside one array
+(gzip switches to a chunked multi-member stream so decompression
+parallelizes too; decompressed values are identical either way).";
 
 fn read_raw_tensor(path: &str, dims: &[usize]) -> Result<Tensor<f64>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -71,6 +77,12 @@ fn config_from(args: &Args) -> Result<CompressorConfig, String> {
         "none" => cfg.with_container(Container::None),
         other => return Err(format!("unknown --container {other:?}")),
     };
+    cfg = cfg.with_threads(args.get_or("threads", 1usize)?);
+    if let Some(raw) = args.get("chunk-bytes") {
+        let chunk: usize =
+            raw.parse().map_err(|_| format!("invalid --chunk-bytes {raw:?}"))?;
+        cfg = cfg.with_chunk_bytes(chunk);
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -111,7 +123,8 @@ pub fn decompress(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let input = args.one_positional("input file")?;
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let tensor = Compressor::decompress(&bytes).map_err(|e| e.to_string())?;
+    let threads = args.get_or("threads", 1usize)?;
+    let tensor = Compressor::decompress_parallel(&bytes, threads).map_err(|e| e.to_string())?;
     let out_path = args
         .get("out")
         .map(str::to_string)
@@ -231,6 +244,41 @@ mod tests {
         assert!(std::fs::metadata(&wck).unwrap().len() > 0);
         let _ = std::fs::remove_file(raw);
         let _ = std::fs::remove_file(wck);
+    }
+
+    #[test]
+    fn threaded_cli_cycle_matches_serial() {
+        let raw = tempfile("t.f64");
+        let wck_s = tempfile("t.serial.wck");
+        let wck_p = tempfile("t.par.wck");
+        let back = tempfile("t.back.f64");
+
+        gen(&["--dims".into(), "48x12x2".into(), "-o".into(), raw.clone()]).unwrap();
+        compress(&[raw.clone(), "--dims".into(), "48x12x2".into(), "-o".into(), wck_s.clone()])
+            .unwrap();
+        compress(&[
+            raw.clone(),
+            "--dims".into(),
+            "48x12x2".into(),
+            "--threads".into(),
+            "4".into(),
+            "--chunk-bytes".into(),
+            "8192".into(),
+            "-o".into(),
+            wck_p.clone(),
+        ])
+        .unwrap();
+        decompress(&[wck_p.clone(), "--threads".into(), "4".into(), "-o".into(), back.clone()])
+            .unwrap();
+
+        let serial = Compressor::decompress(&std::fs::read(&wck_s).unwrap()).unwrap();
+        let restored = read_raw_tensor(&back, &[48, 12, 2]).unwrap();
+        assert_eq!(serial.as_slice(), restored.as_slice());
+
+        assert!(config_from(&Args::parse(&["--threads".into(), "0".into()]).unwrap()).is_err());
+        for p in [raw, wck_s, wck_p, back] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

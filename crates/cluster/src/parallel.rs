@@ -1,4 +1,4 @@
-//! Parallel per-rank compression with crossbeam scoped threads.
+//! Parallel per-rank compression with std scoped threads.
 //!
 //! The paper's scaling argument rests on compression being
 //! embarrassingly parallel: every process compresses its own checkpoint
@@ -18,7 +18,29 @@ pub fn compress_ranks(
     compressor: &Compressor,
     threads: usize,
 ) -> Result<Vec<Compressed>> {
+    compress_ranks_with(ranks, compressor, threads, 1)
+}
+
+/// [`compress_ranks`] with two levels of parallelism: `threads` rank
+/// workers, each compressing its ranks with `threads_per_rank`
+/// intra-array workers (the [`ckpt_core::CompressorConfig::threads`]
+/// knob). Useful when there are more cores than ranks.
+///
+/// `threads_per_rank == 1` leaves each compressor exactly as
+/// configured; `> 1` overrides the intra-array thread count.
+pub fn compress_ranks_with(
+    ranks: &[Tensor<f64>],
+    compressor: &Compressor,
+    threads: usize,
+    threads_per_rank: usize,
+) -> Result<Vec<Compressed>> {
     assert!(threads >= 1, "need at least one worker");
+    let compressor = if threads_per_rank > 1 {
+        Compressor::new(compressor.config().with_threads(threads_per_rank))?
+    } else {
+        *compressor
+    };
+    let compressor = &compressor;
     if ranks.is_empty() {
         return Ok(Vec::new());
     }
@@ -27,7 +49,7 @@ pub fn compress_ranks(
     slots.resize_with(ranks.len(), || None);
 
     // Static block partition: rank i goes to worker i * threads / n.
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = &mut slots[..];
         let mut offset = 0usize;
         for w in 0..threads {
@@ -37,14 +59,13 @@ pub fn compress_ranks(
             rest = tail;
             let ranks = &ranks[offset..offset + chunk.len()];
             offset += chunk.len();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, tensor) in chunk.iter_mut().zip(ranks) {
                     *slot = Some(compressor.compress(tensor));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()
@@ -105,5 +126,32 @@ mod tests {
         let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
         let out = compress_ranks(&ranks, &comp, 64).unwrap();
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn nested_parallelism_decodes_to_serial_values() {
+        let ranks = rank_fields(4);
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let serial = compress_ranks(&ranks, &comp, 1).unwrap();
+        let nested = compress_ranks_with(&ranks, &comp, 2, 4).unwrap();
+        assert_eq!(nested.len(), serial.len());
+        for (s, n) in serial.iter().zip(&nested) {
+            // threads_per_rank > 1 switches to the chunked container, so
+            // bytes differ; the decompressed values must not.
+            let sv = Compressor::decompress(&s.bytes).unwrap();
+            let nv = Compressor::decompress_parallel(&n.bytes, 4).unwrap();
+            assert_eq!(sv.as_slice(), nv.as_slice());
+        }
+    }
+
+    #[test]
+    fn threads_per_rank_one_is_byte_identical() {
+        let ranks = rank_fields(3);
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let a = compress_ranks(&ranks, &comp, 2).unwrap();
+        let b = compress_ranks_with(&ranks, &comp, 2, 1).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bytes, y.bytes);
+        }
     }
 }

@@ -41,6 +41,18 @@ pub struct CompressorConfig {
     /// Wavelet kernel: the paper's Haar, or CDF 5/3 (JPEG 2000's
     /// lossless kernel) as the "improved algorithm" extension.
     pub kernel: Kernel,
+    /// Worker threads for intra-array parallelism. `1` (the default)
+    /// uses the exact serial code path and produces byte-identical
+    /// output to earlier versions; `> 1` fans the wavelet, quantize and
+    /// deflate stages out over scoped threads, and a gzip container
+    /// switches to the chunked multi-member format so decompression
+    /// parallelizes too. Decompressed *values* are identical either
+    /// way.
+    pub threads: usize,
+    /// Uncompressed bytes per chunk of the chunked gzip container
+    /// (used only when `threads > 1` and the container is gzip). The
+    /// compressed bytes depend on this, not on `threads`.
+    pub chunk_bytes: usize,
 }
 
 impl CompressorConfig {
@@ -55,6 +67,8 @@ impl CompressorConfig {
             quantize_low_band: false,
             byte_shuffle: false,
             kernel: Kernel::Haar,
+            threads: 1,
+            chunk_bytes: ckpt_deflate::chunked::DEFAULT_CHUNK_BYTES,
         }
     }
 
@@ -114,6 +128,18 @@ impl CompressorConfig {
         self
     }
 
+    /// Sets the worker-thread count for intra-array parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the uncompressed chunk size of the chunked gzip container.
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        self.chunk_bytes = chunk_bytes;
+        self
+    }
+
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<()> {
         self.quant.validate().map_err(CkptError::from)?;
@@ -122,6 +148,15 @@ impl CompressorConfig {
         }
         if self.plan.levels > 32 {
             return Err(CkptError::Format("wavelet levels > 32 unsupported".into()));
+        }
+        if self.threads == 0 {
+            return Err(CkptError::Format("threads must be >= 1".into()));
+        }
+        if self.threads > 1024 {
+            return Err(CkptError::Format("threads > 1024 unsupported".into()));
+        }
+        if self.chunk_bytes == 0 {
+            return Err(CkptError::Format("chunk_bytes must be >= 1".into()));
         }
         Ok(())
     }
@@ -173,5 +208,19 @@ mod tests {
         assert!(CompressorConfig::paper_proposed().with_n(300).validate().is_err());
         assert!(CompressorConfig::paper_proposed().with_levels(0).validate().is_err());
         assert!(CompressorConfig::paper_proposed().with_levels(64).validate().is_err());
+        assert!(CompressorConfig::paper_proposed().with_threads(0).validate().is_err());
+        assert!(CompressorConfig::paper_proposed().with_threads(4096).validate().is_err());
+        assert!(CompressorConfig::paper_proposed().with_chunk_bytes(0).validate().is_err());
+    }
+
+    #[test]
+    fn threads_default_to_serial() {
+        let c = CompressorConfig::paper_proposed();
+        assert_eq!(c.threads, 1);
+        assert!(c.chunk_bytes >= 1);
+        let p = c.with_threads(8).with_chunk_bytes(1 << 16);
+        assert_eq!(p.threads, 8);
+        assert_eq!(p.chunk_bytes, 1 << 16);
+        p.validate().unwrap();
     }
 }

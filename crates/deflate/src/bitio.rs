@@ -133,6 +133,14 @@ impl<'a> BitReader<'a> {
         self.nbits as usize + (self.data.len() - self.pos) * 8
     }
 
+    /// Number of input bytes consumed so far, counting a partially-read
+    /// byte as consumed. After a DEFLATE stream ends mid-byte, this is
+    /// where the next byte-aligned structure (e.g. a gzip trailer)
+    /// begins.
+    pub fn bytes_consumed(&self) -> usize {
+        (self.pos * 8 - self.nbits as usize).div_ceil(8)
+    }
+
     /// Discards buffered bits to the next byte boundary and returns the
     /// remaining byte-aligned tail view (used for stored blocks).
     pub fn align_byte(&mut self) {

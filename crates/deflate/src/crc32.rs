@@ -59,6 +59,88 @@ pub fn crc32(data: &[u8]) -> u32 {
     c.finalize()
 }
 
+/// Combines `crc32(A)` and `crc32(B)` into `crc32(A ‖ B)` given only
+/// `len(B)`, without touching the data again (zlib's GF(2) matrix
+/// technique). This is what lets independently-compressed chunks report
+/// a whole-payload checksum: workers compute per-chunk CRCs in
+/// parallel and the header combines them in chunk order.
+///
+/// CRC-32 is linear over GF(2): appending `len2` zero bytes to A's
+/// message multiplies its CRC state by the 32×32 "advance one zero
+/// byte" matrix `len2` times, and XOR then merges in B's CRC. The
+/// matrix power is computed by squaring, so cost is O(log len2).
+pub fn crc32_combine(crc1: u32, crc2: u32, len2: u64) -> u32 {
+    if len2 == 0 {
+        return crc1;
+    }
+    // Matrix for advancing the CRC register over one zero *bit*:
+    // row i holds the register after shifting in a zero when only bit i
+    // was set. Bit 0 applies the polynomial; others just shift.
+    let mut odd = [0u32; 32];
+    odd[0] = 0xEDB8_8320;
+    let mut row = 1u32;
+    for entry in odd.iter_mut().skip(1) {
+        *entry = row;
+        row <<= 1;
+    }
+    let mut even = [0u32; 32];
+
+    // Square to one zero byte (8 bits), then keep squaring while
+    // walking the bits of len2, applying the matrix for each set bit.
+    gf2_matrix_square(&mut even, &odd); // 2 bits
+    gf2_matrix_square(&mut odd, &even); // 4 bits
+    gf2_matrix_square(&mut even, &odd); // 8 bits = 1 byte
+
+    let mut crc = crc1;
+    let mut len = len2;
+    // `even` currently advances 1 byte; alternate buffers as we square.
+    let mut apply_even = true;
+    loop {
+        if apply_even {
+            if len & 1 != 0 {
+                crc = gf2_matrix_times(&even, crc);
+            }
+            len >>= 1;
+            if len == 0 {
+                break;
+            }
+            gf2_matrix_square(&mut odd, &even);
+        } else {
+            if len & 1 != 0 {
+                crc = gf2_matrix_times(&odd, crc);
+            }
+            len >>= 1;
+            if len == 0 {
+                break;
+            }
+            gf2_matrix_square(&mut even, &odd);
+        }
+        apply_even = !apply_even;
+    }
+    crc ^ crc2
+}
+
+/// Multiplies the CRC register `vec` by `mat` over GF(2).
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// `square = mat * mat` over GF(2).
+fn gf2_matrix_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for i in 0..32 {
+        square[i] = gf2_matrix_times(mat, mat[i]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +171,35 @@ mod tests {
         let a = crc32(&data);
         data[50] ^= 0x10;
         assert_ne!(crc32(&data), a);
+    }
+
+    #[test]
+    fn combine_matches_whole_buffer_crc() {
+        let data: Vec<u8> = (0..=255).cycle().take(12_345).collect();
+        let whole = crc32(&data);
+        for split in [0usize, 1, 7, 256, 4096, 12_344, 12_345] {
+            let (a, b) = data.split_at(split);
+            let combined = crc32_combine(crc32(a), crc32(b), b.len() as u64);
+            assert_eq!(combined, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn combine_chains_over_many_chunks() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let whole = crc32(&data);
+        let mut acc = crc32(&[]);
+        for chunk in data.chunks(777) {
+            acc = crc32_combine(acc, crc32(chunk), chunk.len() as u64);
+        }
+        assert_eq!(acc, whole);
+    }
+
+    #[test]
+    fn combine_with_empty_sides() {
+        let d = b"payload";
+        let c = crc32(d);
+        assert_eq!(crc32_combine(c, crc32(&[]), 0), c);
+        assert_eq!(crc32_combine(crc32(&[]), c, d.len() as u64), c);
     }
 }

@@ -28,18 +28,43 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
     out
 }
 
-/// Decompresses a single-member gzip stream, verifying CRC-32 and
-/// ISIZE, with a decompression-bomb cap on the output size.
+/// Decompresses a gzip stream — one member or several concatenated
+/// members (RFC 1952 §2.2 requires accepting both) — verifying each
+/// member's CRC-32 and ISIZE, with a decompression-bomb cap on the
+/// total output size.
 pub fn decompress_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, DeflateError> {
-    decompress_inner(data, max_output)
+    if data.is_empty() {
+        return Err(DeflateError::BadContainer("too short for gzip"));
+    }
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let budget = max_output - out.len();
+        let (member, consumed) = decompress_member(&data[pos..], budget)?;
+        pos += consumed;
+        if out.is_empty() {
+            out = member;
+        } else {
+            out.extend_from_slice(&member);
+        }
+    }
+    Ok(out)
 }
 
-/// Decompresses a single-member gzip stream, verifying CRC-32 and ISIZE.
+/// Decompresses a gzip stream (single- or multi-member), verifying
+/// CRC-32 and ISIZE of every member.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
-    decompress_inner(data, usize::MAX)
+    decompress_with_limit(data, usize::MAX)
 }
 
-fn decompress_inner(data: &[u8], max_output: usize) -> Result<Vec<u8>, DeflateError> {
+/// Decompresses exactly one gzip member from the front of `data`,
+/// returning its payload and the member's total size in bytes.
+/// Trailing bytes after the member are left for the caller (the next
+/// member of a concatenated stream, typically).
+pub fn decompress_member(
+    data: &[u8],
+    max_output: usize,
+) -> Result<(Vec<u8>, usize), DeflateError> {
     if data.len() < 18 {
         return Err(DeflateError::BadContainer("too short for gzip"));
     }
@@ -62,7 +87,9 @@ fn decompress_inner(data: &[u8], max_output: usize) -> Result<Vec<u8>, DeflateEr
     // FNAME, FCOMMENT: zero-terminated strings.
     for flag in [0x08u8, 0x10] {
         if flg & flag != 0 {
-            let end = data[pos..]
+            let end = data
+                .get(pos..)
+                .ok_or(DeflateError::UnexpectedEof)?
                 .iter()
                 .position(|&b| b == 0)
                 .ok_or(DeflateError::UnexpectedEof)?;
@@ -77,18 +104,23 @@ fn decompress_inner(data: &[u8], max_output: usize) -> Result<Vec<u8>, DeflateEr
         return Err(DeflateError::UnexpectedEof);
     }
     let body = &data[pos..data.len() - 8];
-    let out = inflate::inflate_with_limit(body, max_output)?;
-    let stored_crc = u32::from_le_bytes(data[data.len() - 8..data.len() - 4].try_into().unwrap());
-    let stored_size = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    let (out, body_consumed) = inflate::inflate_with_limit_consumed(body, max_output)?;
+    let trailer = pos + body_consumed;
+    if trailer + 8 > data.len() {
+        return Err(DeflateError::UnexpectedEof);
+    }
+    let stored_crc = u32::from_le_bytes(data[trailer..trailer + 4].try_into().unwrap());
+    let stored_size = u32::from_le_bytes(data[trailer + 4..trailer + 8].try_into().unwrap());
     let computed_crc = crc32(&out);
     if stored_crc != computed_crc {
         return Err(DeflateError::ChecksumMismatch { stored: stored_crc, computed: computed_crc });
     }
+    // ISIZE is the payload length mod 2^32 (RFC 1952).
     let computed_size = out.len() as u32;
     if stored_size != computed_size {
         return Err(DeflateError::SizeMismatch { stored: stored_size, computed: computed_size });
     }
-    Ok(out)
+    Ok((out, trailer + 8))
 }
 
 #[cfg(test)]
@@ -159,5 +191,62 @@ mod tests {
     fn empty_payload() {
         let packed = compress(&[], Level::Default);
         assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn concatenated_members_roundtrip() {
+        // RFC 1952 §2.2: a gzip file is a series of members; decoding
+        // must yield the concatenation of their payloads.
+        let parts: [&[u8]; 4] = [b"alpha alpha alpha", b"", b"beta", b"gamma gamma"];
+        let mut stream = Vec::new();
+        let mut expect = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            let level = [Level::Store, Level::Fast, Level::Default, Level::Best][i % 4];
+            stream.extend_from_slice(&compress(p, level));
+            expect.extend_from_slice(p);
+        }
+        assert_eq!(decompress(&stream).unwrap(), expect);
+    }
+
+    #[test]
+    fn member_parse_reports_exact_size() {
+        let a = compress(b"first member", Level::Default);
+        let b = compress(b"second member", Level::Best);
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (payload, consumed) = decompress_member(&stream, usize::MAX).unwrap();
+        assert_eq!(payload, b"first member");
+        assert_eq!(consumed, a.len());
+        let (payload2, consumed2) = decompress_member(&stream[consumed..], usize::MAX).unwrap();
+        assert_eq!(payload2, b"second member");
+        assert_eq!(consumed2, b.len());
+    }
+
+    #[test]
+    fn corrupt_second_member_detected() {
+        let mut stream = compress(b"good data good data", Level::Default);
+        let second = compress(b"also good data here", Level::Default);
+        let at = stream.len() + second.len() - 6; // CRC byte of member 2
+        stream.extend_from_slice(&second);
+        stream[at] ^= 0xFF;
+        assert!(matches!(decompress(&stream), Err(DeflateError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn trailing_garbage_after_member_rejected() {
+        let mut stream = compress(b"payload payload", Level::Default);
+        stream.push(0);
+        assert!(decompress(&stream).is_err());
+    }
+
+    #[test]
+    fn output_limit_spans_members() {
+        let mut stream = compress(&vec![1u8; 600], Level::Default);
+        stream.extend_from_slice(&compress(&vec![2u8; 600], Level::Default));
+        assert_eq!(decompress_with_limit(&stream, 1200).unwrap().len(), 1200);
+        assert!(matches!(
+            decompress_with_limit(&stream, 1000),
+            Err(DeflateError::OutputLimit { .. })
+        ));
     }
 }

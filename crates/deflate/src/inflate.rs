@@ -18,6 +18,17 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
 /// untrusted storage (DEFLATE expands up to ~1032×, so a small
 /// checkpoint file can claim gigabytes).
 pub fn inflate_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, DeflateError> {
+    inflate_with_limit_consumed(data, max_output).map(|(out, _)| out)
+}
+
+/// Like [`inflate_with_limit`], but also reports how many input bytes
+/// the DEFLATE stream occupied (the final partial byte counts as
+/// consumed). Multi-member gzip parsing needs this to find where one
+/// member's trailer — and the next member — begins.
+pub fn inflate_with_limit_consumed(
+    data: &[u8],
+    max_output: usize,
+) -> Result<(Vec<u8>, usize), DeflateError> {
     let mut r = BitReader::new(data);
     let mut out = Vec::with_capacity(data.len().saturating_mul(3).min(max_output).min(1 << 24));
     loop {
@@ -36,7 +47,8 @@ pub fn inflate_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, Def
             _ => return Err(DeflateError::BadBlockType),
         }
         if bfinal {
-            return Ok(out);
+            let consumed = r.bytes_consumed();
+            return Ok((out, consumed));
         }
     }
 }

@@ -16,6 +16,8 @@
 //!   per-block cost selection),
 //! * [`inflate`] — decoder for all block types,
 //! * [`gzip`] / [`zlib`] — container framing with CRC-32 / Adler-32,
+//! * [`chunked`] — a multi-member gzip container whose chunks compress
+//!   and decompress in parallel,
 //! * [`crc32`], [`adler32`] — the checksums.
 //!
 //! ## Quick use
@@ -30,6 +32,7 @@
 
 pub mod adler32;
 pub mod bitio;
+pub mod chunked;
 pub mod crc32;
 pub mod deflate;
 pub mod fpc;

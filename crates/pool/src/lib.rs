@@ -1,0 +1,218 @@
+//! Scoped worker-thread helpers for intra-array parallelism.
+//!
+//! Every parallel stage in the pipeline follows the same shape: split
+//! a known amount of work into `workers` contiguous shards, run one
+//! scoped thread per shard (`std::thread::scope`, so borrowed slices
+//! work without `'static` bounds), and combine the per-shard results
+//! in shard order so the outcome is independent of scheduling.
+//!
+//! `workers == 1` never spawns: the closure runs inline on the calling
+//! thread, which keeps the serial path allocation- and syscall-free.
+
+use std::ops::Range;
+
+/// Clamps a requested thread count to something sane: zero is treated
+/// as "unspecified" and becomes 1, and the count is capped by `work`
+/// so no worker starts with an empty shard.
+pub fn effective_workers(requested: usize, work: usize) -> usize {
+    requested.max(1).min(work.max(1))
+}
+
+/// Splits `0..n` into `workers` contiguous near-even ranges, in order.
+/// The first `n % workers` ranges are one element longer. Returns
+/// fewer than `workers` ranges only when `n < workers`; `n == 0`
+/// yields a single empty range so callers always get at least one
+/// shard to hand to a worker.
+pub fn partition_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = effective_workers(workers, n);
+    if n == 0 {
+        // One empty range, deliberately: vec![0..0] is the shard list,
+        // not a shorthand for the range's elements.
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Runs `f(worker_index)` once per worker on scoped threads and
+/// returns the results in worker order. With one worker the closure
+/// runs inline on the calling thread.
+///
+/// A panic in any worker propagates to the caller.
+pub fn run_workers<T, F>(workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| scope.spawn({ let f = &f; move || f(w) }))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Maps `f` over contiguous shards of `items` on scoped threads,
+/// returning one result per shard in shard order. The shard layout
+/// depends only on `items.len()` and `workers`, so combining results
+/// in order is deterministic.
+pub fn map_shards<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let ranges = partition_ranges(items.len(), workers);
+    if ranges.len() == 1 {
+        return vec![f(0, items)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(w, r)| {
+                let shard = &items[r.clone()];
+                scope.spawn({ let f = &f; move || f(w, shard) })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// A raw mutable pointer that may cross thread boundaries.
+///
+/// # Safety contract
+///
+/// The wrapper itself does nothing unsafe; it only asserts `Send` and
+/// `Sync` so scoped workers can share one output buffer. Callers must
+/// guarantee that concurrent workers dereference **disjoint** index
+/// sets (e.g. whole wavelet lanes, which partition the tensor), and
+/// that the pointed-to allocation outlives the scope.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wraps a pointer to a buffer that workers will write disjointly.
+    pub fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// The wrapped pointer.
+    pub fn as_ptr(self) -> *mut T {
+        self.0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds of the wrapped allocation and no
+    /// other thread may concurrently access the same index.
+    pub unsafe fn write(self, index: usize, value: T) {
+        unsafe { self.0.add(index).write(value) }
+    }
+
+    /// Reads the value at `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and no other thread may concurrently
+    /// write the same index.
+    pub unsafe fn read(self, index: usize) -> T {
+        unsafe { self.0.add(index).read() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_workers_clamps_both_ends() {
+        assert_eq!(effective_workers(0, 10), 1);
+        assert_eq!(effective_workers(4, 10), 4);
+        assert_eq!(effective_workers(16, 3), 3);
+        assert_eq!(effective_workers(8, 0), 1);
+    }
+
+    #[test]
+    fn partitions_cover_everything_in_order() {
+        for n in [0usize, 1, 2, 5, 7, 64, 1000] {
+            for workers in [1usize, 2, 3, 4, 8, 13] {
+                let ranges = partition_ranges(n, workers);
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "gap at n={n} workers={workers}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+                if n > 0 {
+                    assert!(ranges.iter().all(|r| !r.is_empty()));
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(max - min <= 1, "uneven split {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_workers_returns_in_worker_order() {
+        for workers in [1usize, 2, 4, 7] {
+            let out = run_workers(workers, |w| w * 10);
+            assert_eq!(out, (0..workers).map(|w| w * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_shards_matches_serial_map() {
+        let items: Vec<u64> = (0..997).collect();
+        let serial: u64 = items.iter().sum();
+        for workers in [1usize, 2, 3, 8] {
+            let partials = map_shards(&items, workers, |_, shard| {
+                shard.iter().sum::<u64>()
+            });
+            assert_eq!(partials.iter().sum::<u64>(), serial);
+        }
+    }
+
+    #[test]
+    fn send_ptr_disjoint_writes_land() {
+        let mut buf = vec![0usize; 64];
+        let ptr = SendPtr::new(buf.as_mut_ptr());
+        let ranges = partition_ranges(buf.len(), 4);
+        std::thread::scope(|scope| {
+            for r in ranges {
+                scope.spawn(move || {
+                    for i in r {
+                        unsafe { ptr.write(i, i * 2) };
+                    }
+                });
+            }
+        });
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+}

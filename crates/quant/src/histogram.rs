@@ -24,24 +24,87 @@ impl Histogram {
     /// A degenerate range (`min == max`) is allowed: every value falls in
     /// bin 0.
     pub fn build(values: &[f64], k: usize) -> Option<Self> {
+        Self::build_threaded(values, k, 1)
+    }
+
+    /// [`Histogram::build`] with the min/max scan and bin counting
+    /// fanned out over `threads` scoped workers.
+    ///
+    /// The result is identical to the serial build for any thread count
+    /// (assuming finite inputs, the pipeline's domain): min/max and
+    /// integer counts are exact under shard-order merging, and the
+    /// per-bin f64 sums — whose rounding *would* depend on association
+    /// order — are deliberately accumulated serially in stream order.
+    pub fn build_threaded(values: &[f64], k: usize, threads: usize) -> Option<Self> {
         if values.is_empty() || k == 0 {
             return None;
         }
-        let mut lo = values[0];
-        let mut hi = values[0];
-        for &v in &values[1..] {
-            if v < lo {
-                lo = v;
+        let workers = ckpt_pool::effective_workers(threads, values.len());
+        if workers == 1 {
+            let mut lo = values[0];
+            let mut hi = values[0];
+            for &v in &values[1..] {
+                if v < lo {
+                    lo = v;
+                }
+                if v > hi {
+                    hi = v;
+                }
             }
-            if v > hi {
-                hi = v;
+            let mut h = Histogram { lo, hi, counts: vec![0; k], sums: vec![0.0; k] };
+            for &v in values {
+                let b = h.bin_of(v);
+                h.counts[b] += 1;
+                h.sums[b] += v;
+            }
+            return Some(h);
+        }
+
+        // Per-shard min/max, merged in shard order with strict
+        // comparisons — first-seen semantics, exactly as the serial scan.
+        let minmax = ckpt_pool::map_shards(values, workers, |_, shard| {
+            let mut lo = shard[0];
+            let mut hi = shard[0];
+            for &v in &shard[1..] {
+                if v < lo {
+                    lo = v;
+                }
+                if v > hi {
+                    hi = v;
+                }
+            }
+            (lo, hi)
+        });
+        let (mut lo, mut hi) = minmax[0];
+        for &(slo, shi) in &minmax[1..] {
+            if slo < lo {
+                lo = slo;
+            }
+            if shi > hi {
+                hi = shi;
             }
         }
-        let mut h =
-            Histogram { lo, hi, counts: vec![0; k], sums: vec![0.0; k] };
+
+        let mut h = Histogram { lo, hi, counts: vec![0; k], sums: vec![0.0; k] };
+        // Per-shard integer counts over the shared geometry, merged by
+        // addition (exact).
+        let partials = ckpt_pool::map_shards(values, workers, |_, shard| {
+            let mut counts = vec![0usize; k];
+            for &v in shard {
+                counts[h.bin_of(v)] += 1;
+            }
+            counts
+        });
+        for partial in partials {
+            for (c, p) in h.counts.iter_mut().zip(partial) {
+                *c += p;
+            }
+        }
+        // Sums stay serial in stream order: f64 addition is not
+        // associative, and serial-identical averages are part of the
+        // determinism contract.
         for &v in values {
             let b = h.bin_of(v);
-            h.counts[b] += 1;
             h.sums[b] += v;
         }
         Some(h)
@@ -202,5 +265,37 @@ mod tests {
         let values = [0.0, 1.0];
         let h = Histogram::build(&values, 4).unwrap();
         assert_eq!(h.average(1), None);
+    }
+
+    #[test]
+    fn threaded_build_is_identical_to_serial() {
+        let values: Vec<f64> =
+            (0..4099).map(|i| ((i as f64) * 0.0137).sin() * 42.0 + (i % 13) as f64).collect();
+        for k in [1usize, 2, 64, 128] {
+            let serial = Histogram::build(&values, k).unwrap();
+            for threads in [2usize, 3, 4, 8] {
+                let par = Histogram::build_threaded(&values, k, threads).unwrap();
+                assert_eq!(par.lo(), serial.lo(), "k={k} threads={threads}");
+                assert_eq!(par.hi(), serial.hi(), "k={k} threads={threads}");
+                assert_eq!(par.counts, serial.counts, "k={k} threads={threads}");
+                // Bit-identical sums, not approximate: the parallel build
+                // must keep the serial accumulation order.
+                let sb: Vec<u64> = serial.sums.iter().map(|s| s.to_bits()).collect();
+                let pb: Vec<u64> = par.sums.iter().map(|s| s.to_bits()).collect();
+                assert_eq!(pb, sb, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_build_handles_tiny_inputs() {
+        for len in 1..=5usize {
+            let values: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            let serial = Histogram::build(&values, 4).unwrap();
+            let par = Histogram::build_threaded(&values, 4, 8).unwrap();
+            assert_eq!(par.counts, serial.counts, "len={len}");
+            assert_eq!(par.lo(), serial.lo());
+            assert_eq!(par.hi(), serial.hi());
+        }
     }
 }

@@ -16,6 +16,19 @@ use crate::types::{QuantError, Quantized};
 
 /// Runs simple quantization with division number `n` (`1..=256`).
 pub fn quantize(values: &[f64], n: usize) -> Result<Quantized, QuantError> {
+    quantize_threaded(values, n, 1)
+}
+
+/// [`quantize`] with the histogram build and index encoding fanned out
+/// over `threads` scoped workers. Output is identical to the serial
+/// quantizer for every thread count: the per-value index is a pure
+/// function of the (serial-identical) histogram geometry, and shards
+/// are concatenated in stream order.
+pub fn quantize_threaded(
+    values: &[f64],
+    n: usize,
+    threads: usize,
+) -> Result<Quantized, QuantError> {
     if n == 0 || n > 256 {
         return Err(QuantError::BadDivisionNumber(n));
     }
@@ -28,7 +41,7 @@ pub fn quantize(values: &[f64], n: usize) -> Result<Quantized, QuantError> {
             raw: Vec::new(),
         });
     }
-    let hist = Histogram::build(values, n).expect("non-empty values, n >= 1");
+    let hist = Histogram::build_threaded(values, n, threads).expect("non-empty values, n >= 1");
 
     // Compact the average table: empty partitions get no entry. The
     // sentinel must live outside u8 range — with n = 256 every index
@@ -43,14 +56,24 @@ pub fn quantize(values: &[f64], n: usize) -> Result<Quantized, QuantError> {
         }
     }
 
-    let indexes: Vec<u8> = values
-        .iter()
-        .map(|&v| {
-            let bin = hist.bin_of(v);
-            debug_assert_ne!(remap[bin], EMPTY, "value must land in a non-empty bin");
-            remap[bin] as u8
-        })
-        .collect();
+    let encode = |v: f64| {
+        let bin = hist.bin_of(v);
+        debug_assert_ne!(remap[bin], EMPTY, "value must land in a non-empty bin");
+        remap[bin] as u8
+    };
+    let workers = ckpt_pool::effective_workers(threads, values.len());
+    let indexes: Vec<u8> = if workers == 1 {
+        values.iter().map(|&v| encode(v)).collect()
+    } else {
+        let shards = ckpt_pool::map_shards(values, workers, |_, shard| {
+            shard.iter().map(|&v| encode(v)).collect::<Vec<u8>>()
+        });
+        let mut out = Vec::with_capacity(values.len());
+        for shard in shards {
+            out.extend_from_slice(&shard);
+        }
+        out
+    };
 
     Ok(Quantized {
         len: values.len(),

@@ -25,6 +25,18 @@ pub fn quantize(values: &[f64], n: usize, d: usize) -> Result<Quantized, QuantEr
     quantize_with_threshold(values, n, d, 1.0)
 }
 
+/// [`quantize`] with its histogram, population split and inner simple
+/// quantization fanned out over `threads` scoped workers. Output is
+/// identical to the serial quantizer for every thread count.
+pub fn quantize_threaded(
+    values: &[f64],
+    n: usize,
+    d: usize,
+    threads: usize,
+) -> Result<Quantized, QuantError> {
+    quantize_with_threshold_threaded(values, n, d, 1.0, threads)
+}
+
 /// The proposed quantization with an adjustable spike threshold:
 /// partitions with `count >= multiplier × N_total / d` are detected.
 /// `multiplier = 1.0` is the paper's Equation 4; the ablation bench
@@ -35,6 +47,23 @@ pub fn quantize_with_threshold(
     n: usize,
     d: usize,
     multiplier: f64,
+) -> Result<Quantized, QuantError> {
+    quantize_with_threshold_threaded(values, n, d, multiplier, 1)
+}
+
+/// [`quantize_with_threshold`] over `threads` scoped workers.
+///
+/// The detected/raw split is computed per contiguous shard and
+/// concatenated in shard order, which reproduces the serial stream
+/// order exactly; spike membership is a pure function of the
+/// (serial-identical) histogram, so the output matches the serial
+/// quantizer bit for bit at any thread count.
+pub fn quantize_with_threshold_threaded(
+    values: &[f64],
+    n: usize,
+    d: usize,
+    multiplier: f64,
+    threads: usize,
 ) -> Result<Quantized, QuantError> {
     if n == 0 || n > 256 {
         return Err(QuantError::BadDivisionNumber(n));
@@ -52,7 +81,7 @@ pub fn quantize_with_threshold(
         });
     }
 
-    let hist = Histogram::build(values, d).expect("non-empty values, d >= 1");
+    let hist = Histogram::build_threaded(values, d, threads).expect("non-empty values, d >= 1");
     let spiked = if multiplier == 1.0 {
         hist.detect_spikes()
     } else {
@@ -64,17 +93,47 @@ pub fn quantize_with_threshold(
     let mut bitmap = Bitmap::zeros(values.len());
     let mut detected = Vec::new();
     let mut raw = Vec::new();
-    for (i, &v) in values.iter().enumerate() {
-        if spiked[hist.bin_of(v)] {
-            bitmap.set(i, true);
-            detected.push(v);
-        } else {
-            raw.push(v);
+    let workers = ckpt_pool::effective_workers(threads, values.len());
+    if workers == 1 {
+        for (i, &v) in values.iter().enumerate() {
+            if spiked[hist.bin_of(v)] {
+                bitmap.set(i, true);
+                detected.push(v);
+            } else {
+                raw.push(v);
+            }
+        }
+    } else {
+        let shards = ckpt_pool::map_shards(values, workers, |_, shard| {
+            let mut flags = Vec::with_capacity(shard.len());
+            let mut det = Vec::new();
+            let mut r = Vec::new();
+            for &v in shard {
+                let hit = spiked[hist.bin_of(v)];
+                flags.push(hit);
+                if hit {
+                    det.push(v);
+                } else {
+                    r.push(v);
+                }
+            }
+            (flags, det, r)
+        });
+        let mut i = 0;
+        for (flags, det, r) in shards {
+            for hit in flags {
+                if hit {
+                    bitmap.set(i, true);
+                }
+                i += 1;
+            }
+            detected.extend_from_slice(&det);
+            raw.extend_from_slice(&r);
         }
     }
 
     // Simple quantization over the detected values only.
-    let inner = simple::quantize(&detected, n)?;
+    let inner = simple::quantize_threaded(&detected, n, threads)?;
     debug_assert_eq!(inner.indexes.len(), detected.len());
 
     Ok(Quantized { len: values.len(), bitmap, indexes: inner.indexes, averages: inner.averages, raw })

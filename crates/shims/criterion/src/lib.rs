@@ -1,0 +1,270 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the real criterion is
+//! unavailable. This crate supplies the API surface the bench targets
+//! call — `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! throughput, bench_function, bench_with_input, finish}`,
+//! `BenchmarkId::from_parameter`, `Throughput::{Bytes, Elements}`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a plain median-of-samples wall-clock measurement and
+//! stdout reporting instead of criterion's statistical machinery.
+//!
+//! Like upstream, running the binary without `--bench` in its argv
+//! (what `cargo test` does for `harness = false` bench targets) runs
+//! every benchmark exactly once as a smoke test instead of measuring.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context handed to each target function.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// Work-per-iteration annotation used for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's display name within its group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name: `&str`, `String`, `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates the amount of work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), &mut f);
+        self
+    }
+
+    /// Measures a closure that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-bench).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.bench_mode {
+            // Test mode (`cargo test` on a harness=false bench): run
+            // once so the code path is exercised, skip measurement.
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("test {full} ... ok");
+            return;
+        }
+        // Warm-up pass, then `sample_size` timed samples of one
+        // iteration each; report the median.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mibs = n as f64 / 1_048_576.0 / median.as_secs_f64().max(1e-12);
+                format!("  ({mibs:.1} MiB/s)")
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / median.as_secs_f64().max(1e-12);
+                format!("  ({eps:.0} elem/s)")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full}: median {:.3} ms over {} samples{rate}",
+            median.as_secs_f64() * 1e3,
+            samples.len(),
+        );
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its result alive until after the clock
+    /// stops.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the compiler from optimizing a value away (re-export of the
+/// std hint, matching criterion's public helper).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one runner, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_each_benchmark() {
+        let mut c = Criterion { bench_mode: false };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_function("a", |b| b.iter(|| runs += 1));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &3u32, |b, &x| {
+                b.iter(|| runs += x)
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 1 + 3);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion { bench_mode: true };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("a", |b| b.iter(|| runs += 1));
+        }
+        // one warm-up + five samples
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+    }
+}

@@ -1,0 +1,88 @@
+//! `any::<T>()` — strategies that cover a type's whole value space.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one value from the full value space.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// A strategy covering all of `T` (returned by [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "any::<{}>()", std::any::type_name::<T>())
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_arbitrary!(A, B);
+tuple_arbitrary!(A, B, C);
+tuple_arbitrary!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_byte_space() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[u8::arbitrary(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let draws: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+}

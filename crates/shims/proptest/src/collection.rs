@@ -1,0 +1,135 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// A half-open element-count range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.usize_in(self.lo, self.hi)
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `elem`.
+#[derive(Debug)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// `Vec` strategy with a length drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Strategy producing `HashSet`s of values drawn from `elem`.
+#[derive(Debug)]
+pub struct HashSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// `HashSet` strategy with a distinct-element count drawn from `size`.
+pub fn hash_set<S>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { elem, size: size.into() }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::with_capacity(target);
+        // Duplicates don't grow the set; cap the retries so a
+        // low-entropy element strategy cannot loop forever.
+        let mut attempts = 0usize;
+        let max_attempts = target * 100 + 100;
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.elem.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_honor_the_range() {
+        let strat = vec(0u8..=255, 3..7);
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let v = strat.sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_is_supported() {
+        let strat = vec(0usize..10, 5usize);
+        let mut rng = TestRng::seed_from_u64(12);
+        assert_eq!(strat.sample(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn hash_set_reaches_target_with_enough_entropy() {
+        let strat = hash_set(0u64..=u64::MAX, 1..6);
+        let mut rng = TestRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let s = strat.sample(&mut rng);
+            assert!((1..6).contains(&s.len()));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline shim for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the real proptest is
+//! unavailable. This crate reimplements the pieces the test suite
+//! calls: the `proptest!` macro, `prop_assert*`/`prop_assume!`,
+//! `ProptestConfig { cases, .. }`, `any::<T>()`, range strategies,
+//! tuple strategies, `collection::vec`, `collection::hash_set`, and a
+//! tiny `[a-z]{m,n}`-style string strategy.
+//!
+//! Differences from upstream, deliberate for a hermetic build:
+//! * no shrinking — a failing case reports its inputs and the seed;
+//! * deterministic seeding per test name (override with
+//!   `PROPTEST_SEED=<u64>` to explore other streams);
+//! * strategies are sampled directly (no value trees).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` — what test files import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_prop(x in 0usize..100, data in pvec(any::<u8>(), 0..1000)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run_cases(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, rng);)+
+                // Described eagerly: the body below may consume the args.
+                let mut described = ::std::string::String::new();
+                $(
+                    described.push_str(stringify!($arg));
+                    described.push_str(" = ");
+                    described.push_str(&format!("{:?}", &$arg));
+                    described.push('\n');
+                )+
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                (outcome, described)
+            });
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` over equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{}: {:?} != {:?}", format!($($fmt)*), a, b);
+    }};
+}
+
+/// `prop_assert!` over inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides equal {:?}", a);
+    }};
+}
+
+/// Rejects the current case (re-drawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,114 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest accepts any regex; this shim supports the single
+//! shape the workspace uses: one character class with an optional
+//! repetition, e.g. `[a-z]{1,12}`, `[0-9A-F]{4}`, or `[abc]` (one
+//! char). Anything else panics with a clear message at sample time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+struct Pattern {
+    chars: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Pattern {
+    let mut it = pattern.chars().peekable();
+    assert_eq!(
+        it.next(),
+        Some('['),
+        "string strategy shim only supports `[class]{{m,n}}` patterns, got {pattern:?}"
+    );
+    let mut chars = Vec::new();
+    loop {
+        let c = it
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+        if c == ']' {
+            break;
+        }
+        if it.peek() == Some(&'-') {
+            it.next();
+            let hi = it
+                .next()
+                .unwrap_or_else(|| panic!("dangling `-` in character class in {pattern:?}"));
+            assert!(c <= hi, "inverted range {c}-{hi} in {pattern:?}");
+            chars.extend(c..=hi);
+        } else {
+            chars.push(c);
+        }
+    }
+    assert!(!chars.is_empty(), "empty character class in {pattern:?}");
+    let (min, max) = match it.next() {
+        None => (1, 1),
+        Some('{') => {
+            let rep: String = it.by_ref().take_while(|&c| c != '}').collect();
+            let mut parts = rep.splitn(2, ',');
+            let m: usize = parts
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repetition in {pattern:?}"));
+            let n = match parts.next() {
+                Some(s) => s
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition in {pattern:?}")),
+                None => m,
+            };
+            assert!(m <= n, "inverted repetition {{{m},{n}}} in {pattern:?}");
+            (m, n)
+        }
+        Some(c) => panic!("unsupported pattern suffix {c:?} in {pattern:?}"),
+    };
+    assert!(
+        it.next().is_none(),
+        "trailing characters after repetition in {pattern:?}"
+    );
+    Pattern { chars, min, max }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let p = parse(self);
+        let len = if p.min == p.max {
+            p.min
+        } else {
+            rng.usize_in(p.min, p.max + 1)
+        };
+        (0..len)
+            .map(|_| p.chars[rng.usize_in(0, p.chars.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercase_words_match_the_pattern() {
+        let mut rng = TestRng::seed_from_u64(21);
+        for _ in 0..500 {
+            let s = "[a-z]{1,12}".sample(&mut rng);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_repetition_and_literal_class() {
+        let mut rng = TestRng::seed_from_u64(22);
+        let s = "[0-9A-F]{4}".sample(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+        let one = "[xyz]".sample(&mut rng);
+        assert_eq!(one.len(), 1);
+        assert!("xyz".contains(&one));
+    }
+}

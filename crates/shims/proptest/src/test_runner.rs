@@ -1,0 +1,176 @@
+//! Case runner: deterministic PRNG, case loop, failure reporting.
+
+/// Runner configuration (the subset of upstream's `ProptestConfig`
+/// the workspace touches).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property is false for these inputs.
+    Fail(String),
+    /// The inputs do not satisfy a `prop_assume!` precondition.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// The per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` samples of a property. The closure samples its inputs
+/// from the provided rng and returns `(outcome, inputs-description)`.
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case,
+/// printing the inputs and the seed that reproduces the run.
+pub fn run_cases(
+    name: &str,
+    config: &Config,
+    mut case: impl FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+) {
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v.parse::<u64>().unwrap_or_else(|_| fnv1a(v.as_bytes())),
+        Err(_) => fnv1a(name.as_bytes()),
+    };
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = (config.cases as u64) * 256 + 1024;
+    while passed < config.cases {
+        let (outcome, inputs) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property {name}: too many prop_assume! rejections \
+                         ({rejected}) before reaching {} cases (seed {seed})",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name} failed after {passed} passing cases \
+                     (seed {seed}):\n{msg}\ninputs:\n{inputs}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(5);
+        let mut b = TestRng::seed_from_u64(5);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut n = 0u32;
+        run_cases("counting", &Config { cases: 17 }, |_| {
+            n += 1;
+            (Ok(()), String::new())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failing failed")]
+    fn runner_panics_on_failure() {
+        run_cases("failing", &Config { cases: 4 }, |_| {
+            (Err(TestCaseError::fail("nope")), "x = 1".into())
+        });
+    }
+
+    #[test]
+    fn rejections_are_not_failures() {
+        let mut n = 0u32;
+        run_cases("rejecting", &Config { cases: 8 }, |rng| {
+            n += 1;
+            if rng.next_u64() % 2 == 0 {
+                (Err(TestCaseError::Reject), String::new())
+            } else {
+                (Ok(()), String::new())
+            }
+        });
+        assert!(n >= 8);
+    }
+}

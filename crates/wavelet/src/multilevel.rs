@@ -63,18 +63,27 @@ pub fn low_dims_at_level(dims: &[usize], level: usize) -> Vec<usize> {
 pub struct MultiLevel {
     plan: WaveletPlan,
     kernel: transform::Kernel,
+    threads: usize,
 }
 
 impl MultiLevel {
     /// Creates a transformer for the given plan (Haar kernel, as the
     /// paper).
     pub fn new(plan: WaveletPlan) -> Self {
-        MultiLevel { plan, kernel: transform::Kernel::Haar }
+        MultiLevel { plan, kernel: transform::Kernel::Haar, threads: 1 }
     }
 
     /// Creates a transformer with an explicit kernel.
     pub fn with_kernel(plan: WaveletPlan, kernel: transform::Kernel) -> Self {
-        MultiLevel { plan, kernel }
+        MultiLevel { plan, kernel, threads: 1 }
+    }
+
+    /// Fans each level's lanes out over `threads` scoped workers.
+    /// Output is bit-identical to the serial transform for every
+    /// thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The plan in use.
@@ -85,6 +94,11 @@ impl MultiLevel {
     /// The kernel in use.
     pub fn kernel(&self) -> transform::Kernel {
         self.kernel
+    }
+
+    /// The worker-thread count in use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Forward transform: `levels` recursive applications, each on the
@@ -98,12 +112,12 @@ impl MultiLevel {
             }
             let axes: Vec<usize> = (0..dims.len()).collect();
             if region == dims {
-                transform::forward_axes_with(t, &axes, self.kernel)?;
+                transform::forward_axes_threaded(t, &axes, self.kernel, self.threads)?;
             } else {
                 let zeros = vec![0usize; dims.len()];
                 let vals = t.read_block(&zeros, &region)?;
                 let mut sub = Tensor::from_vec(&region, vals)?;
-                transform::forward_axes_with(&mut sub, &axes, self.kernel)?;
+                transform::forward_axes_threaded(&mut sub, &axes, self.kernel, self.threads)?;
                 t.write_block(&zeros, &region, sub.as_slice())?;
             }
         }
@@ -120,12 +134,12 @@ impl MultiLevel {
             }
             let axes: Vec<usize> = (0..dims.len()).collect();
             if region == dims {
-                transform::inverse_axes_with(t, &axes, self.kernel)?;
+                transform::inverse_axes_threaded(t, &axes, self.kernel, self.threads)?;
             } else {
                 let zeros = vec![0usize; dims.len()];
                 let vals = t.read_block(&zeros, &region)?;
                 let mut sub = Tensor::from_vec(&region, vals)?;
-                transform::inverse_axes_with(&mut sub, &axes, self.kernel)?;
+                transform::inverse_axes_threaded(&mut sub, &axes, self.kernel, self.threads)?;
                 t.write_block(&zeros, &region, sub.as_slice())?;
             }
         }
@@ -280,5 +294,31 @@ mod kernel_tests {
         let ml = MultiLevel::with_kernel(WaveletPlan::SINGLE, Kernel::Cdf53);
         assert_eq!(ml.kernel(), Kernel::Cdf53);
         assert_eq!(MultiLevel::new(WaveletPlan::SINGLE).kernel(), Kernel::Haar);
+    }
+
+    #[test]
+    fn threaded_multilevel_is_bit_identical_to_serial() {
+        let t = Tensor::from_fn(&[40, 18, 3], |i| {
+            ((i[0] * 7 + i[1] * 3 + i[2]) as f64 * 0.13).sin() * 90.0 + 300.0
+        })
+        .unwrap();
+        for kernel in [Kernel::Haar, Kernel::Cdf53] {
+            for levels in 1..=3 {
+                let serial = MultiLevel::with_kernel(WaveletPlan { levels }, kernel);
+                let mut sw = t.clone();
+                serial.forward(&mut sw).unwrap();
+                for threads in [2usize, 4, 8] {
+                    let ml = serial.with_threads(threads);
+                    assert_eq!(ml.threads(), threads);
+                    let mut w = t.clone();
+                    ml.forward(&mut w).unwrap();
+                    assert_eq!(w.as_slice(), sw.as_slice(), "levels={levels} threads={threads}");
+                    ml.inverse(&mut w).unwrap();
+                    let mut su = sw.clone();
+                    serial.inverse(&mut su).unwrap();
+                    assert_eq!(w.as_slice(), su.as_slice(), "levels={levels} threads={threads}");
+                }
+            }
+        }
     }
 }

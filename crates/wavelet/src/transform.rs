@@ -54,19 +54,65 @@ fn transform_axis(
     kernel: Kernel,
     forward_dir: bool,
 ) -> Result<()> {
+    transform_axis_threaded(t, axis, kernel, forward_dir, 1)
+}
+
+/// Same as [`transform_axis`] but fanning lanes out over `threads`
+/// scoped workers. Lanes partition the tensor's elements, so workers
+/// read and write disjoint index sets; per-lane arithmetic is the
+/// serial code, so output is bit-identical for every thread count.
+fn transform_axis_threaded(
+    t: &mut Tensor<f64>,
+    axis: usize,
+    kernel: Kernel,
+    forward_dir: bool,
+    threads: usize,
+) -> Result<()> {
     let lanes: Vec<_> = t.lanes(axis)?.collect();
     let len = t.shape().dim(axis)?;
-    let mut gather = vec![0.0f64; len];
-    let mut result = vec![0.0f64; len];
-    for lane in lanes {
-        t.read_lane(lane, &mut gather);
-        if forward_dir {
-            kernel.forward_lane(&gather, &mut result);
-        } else {
-            kernel.inverse_lane(&gather, &mut result);
+    let workers = ckpt_pool::effective_workers(threads, lanes.len());
+    if workers == 1 {
+        let mut gather = vec![0.0f64; len];
+        let mut result = vec![0.0f64; len];
+        for lane in lanes {
+            t.read_lane(lane, &mut gather);
+            if forward_dir {
+                kernel.forward_lane(&gather, &mut result);
+            } else {
+                kernel.inverse_lane(&gather, &mut result);
+            }
+            t.write_lane(lane, &result);
         }
-        t.write_lane(lane, &result);
+        return Ok(());
     }
+    let ranges = ckpt_pool::partition_ranges(lanes.len(), workers);
+    let ptr = ckpt_pool::SendPtr::new(t.as_mut_slice().as_mut_ptr());
+    let lanes = &lanes;
+    std::thread::scope(|scope| {
+        for range in ranges {
+            scope.spawn(move || {
+                let mut gather = vec![0.0f64; len];
+                let mut result = vec![0.0f64; len];
+                for lane in &lanes[range] {
+                    // SAFETY: each lane's index set {start + k*stride}
+                    // is disjoint from every other lane's (lanes
+                    // partition the tensor), and this worker owns its
+                    // contiguous lane range exclusively.
+                    for (k, g) in gather.iter_mut().enumerate().take(lane.len) {
+                        *g = unsafe { ptr.read(lane.start + k * lane.stride) };
+                    }
+                    if forward_dir {
+                        kernel.forward_lane(&gather, &mut result);
+                    } else {
+                        kernel.inverse_lane(&gather, &mut result);
+                    }
+                    for (k, &r) in result.iter().enumerate().take(lane.len) {
+                        unsafe { ptr.write(lane.start + k * lane.stride, r) };
+                    }
+                }
+            });
+        }
+    });
     Ok(())
 }
 
@@ -85,6 +131,37 @@ pub fn inverse_axes_with(t: &mut Tensor<f64>, axes: &[usize], kernel: Kernel) ->
     validate_axes(t, axes)?;
     for &axis in axes.iter().rev() {
         transform_axis(t, axis, kernel, false)?;
+    }
+    Ok(())
+}
+
+/// [`forward_axes_with`] with lanes fanned out over `threads` scoped
+/// workers. Output is bit-identical to the serial transform for every
+/// thread count; `threads <= 1` runs the serial loop inline.
+pub fn forward_axes_threaded(
+    t: &mut Tensor<f64>,
+    axes: &[usize],
+    kernel: Kernel,
+    threads: usize,
+) -> Result<()> {
+    validate_axes(t, axes)?;
+    for &axis in axes {
+        transform_axis_threaded(t, axis, kernel, true, threads)?;
+    }
+    Ok(())
+}
+
+/// Inverse of [`forward_axes_threaded`] (reverse axis order), with the
+/// same bit-identical-to-serial guarantee.
+pub fn inverse_axes_threaded(
+    t: &mut Tensor<f64>,
+    axes: &[usize],
+    kernel: Kernel,
+    threads: usize,
+) -> Result<()> {
+    validate_axes(t, axes)?;
+    for &axis in axes.iter().rev() {
+        transform_axis_threaded(t, axis, kernel, false, threads)?;
     }
     Ok(())
 }
@@ -235,6 +312,42 @@ mod tests {
         let mut t = ramp(&[4, 4]);
         assert!(forward_axes(&mut t, &[0, 0]).is_err());
         assert!(forward_axes(&mut t, &[2]).is_err());
+    }
+
+    #[test]
+    fn threaded_transform_is_bit_identical_to_serial() {
+        for dims in [&[64usize, 32][..], &[13, 7, 5], &[1156, 82, 2], &[3], &[1, 1]] {
+            let t = ramp(dims);
+            let axes: Vec<usize> = (0..dims.len()).collect();
+            for kernel in [Kernel::Haar, Kernel::Cdf53, Kernel::Cdf97] {
+                let mut serial = t.clone();
+                forward_axes_with(&mut serial, &axes, kernel).unwrap();
+                for threads in [1usize, 2, 4, 8] {
+                    let mut par = t.clone();
+                    forward_axes_threaded(&mut par, &axes, kernel, threads).unwrap();
+                    assert_eq!(
+                        par.as_slice(),
+                        serial.as_slice(),
+                        "forward dims={dims:?} kernel={kernel:?} threads={threads}"
+                    );
+                    inverse_axes_threaded(&mut par, &axes, kernel, threads).unwrap();
+                    let mut undone = serial.clone();
+                    inverse_axes_with(&mut undone, &axes, kernel).unwrap();
+                    assert_eq!(
+                        par.as_slice(),
+                        undone.as_slice(),
+                        "inverse dims={dims:?} kernel={kernel:?} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_rejects_bad_axes_too() {
+        let mut t = ramp(&[4, 4]);
+        assert!(forward_axes_threaded(&mut t, &[0, 0], Kernel::Haar, 4).is_err());
+        assert!(inverse_axes_threaded(&mut t, &[2], Kernel::Haar, 4).is_err());
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!   construction,
 //! * wire/bitmap serialization roundtrips.
 
+// The shim ProptestConfig only carries `cases`, so `..default()` is
+// redundant here — kept anyway so the blocks stay valid against the
+// real proptest crate's multi-field config.
+#![allow(clippy::needless_update)]
+
 use lossy_ckpt::prelude::*;
 use lossy_ckpt::quant::{simple, spike, Bitmap};
 use proptest::collection::vec as pvec;
@@ -262,5 +267,61 @@ proptest! {
         let h = q.index_entropy();
         prop_assert!(h >= 0.0);
         prop_assert!(h <= (n as f64).log2() + 1e-9, "entropy {h} exceeds log2({n})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_pipeline_matches_serial_for_any_thread_count(
+        dims in prop::collection::vec(1usize..24, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let volume: usize = dims.iter().product();
+        prop_assume!((2..6_000).contains(&volume));
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) as f64 * 0.01 + 250.0
+        };
+        let data: Vec<f64> = (0..volume).map(|_| next()).collect();
+        let t = Tensor::from_vec(&dims, data).unwrap();
+
+        let base = CompressorConfig::paper_proposed();
+        let serial = Compressor::new(base).unwrap().compress(&t).unwrap();
+        let sv = Compressor::decompress(&serial.bytes).unwrap();
+
+        // threads = 1 is the exact serial path: byte-identical output.
+        let one = Compressor::new(base.with_threads(1)).unwrap().compress(&t).unwrap();
+        prop_assert_eq!(&one.bytes, &serial.bytes);
+
+        for threads in [2usize, 4, 8] {
+            let cfg = base.with_threads(threads).with_chunk_bytes(4096);
+            let packed = Compressor::new(cfg).unwrap().compress(&t).unwrap();
+            let pv = Compressor::decompress_parallel(&packed.bytes, threads).unwrap();
+            prop_assert_eq!(pv.dims(), sv.dims());
+            for (a, b) in pv.as_slice().iter().zip(sv.as_slice()) {
+                // Bit-identical values, not approximately equal.
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "threads={}", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_container_roundtrips_and_is_thread_count_invariant(
+        data in pvec(any::<u8>(), 0..40_000),
+        chunk_bytes in 1usize..10_000,
+    ) {
+        use lossy_ckpt::deflate::chunked;
+        let level = lossy_ckpt::deflate::Level::Fast;
+        let reference = chunked::compress_chunked(&data, level, chunk_bytes, 1);
+        for threads in [2usize, 4, 8] {
+            let packed = chunked::compress_chunked(&data, level, chunk_bytes, threads);
+            prop_assert_eq!(&packed, &reference, "compressed bytes must not depend on threads");
+            let back = chunked::decompress_chunked(&packed, threads).unwrap();
+            prop_assert_eq!(&back, &data);
+        }
+        prop_assert_eq!(&chunked::decompress_chunked(&reference, 1).unwrap(), &data);
     }
 }
