@@ -1,0 +1,206 @@
+//! `lint-allow.toml` — the only sanctioned way to suppress a lint.
+//!
+//! Hand-rolled parser for the tiny TOML subset the file needs:
+//! `[[allow]]` tables with `key = "string"` pairs. Every entry must
+//! carry a non-empty `justification`; entries that match nothing are
+//! themselves an error, so the allowlist can never silently rot.
+
+use std::fmt;
+
+/// One suppression entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id, e.g. `unchecked-cast`.
+    pub rule: String,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Optional function name the violation must sit in.
+    pub symbol: Option<String>,
+    /// Optional substring the violation's source line must contain.
+    pub contains: Option<String>,
+    /// Required human rationale.
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header (for diagnostics).
+    pub line: usize,
+}
+
+#[derive(Debug)]
+pub struct AllowParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AllowParseError {
+    AllowParseError { line, message: message.into() }
+}
+
+/// Parses the allowlist text.
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
+    struct Partial {
+        rule: Option<String>,
+        path: Option<String>,
+        symbol: Option<String>,
+        contains: Option<String>,
+        justification: Option<String>,
+        line: usize,
+    }
+    fn finish(p: Partial) -> Result<AllowEntry, AllowParseError> {
+        let rule = p.rule.ok_or_else(|| err(p.line, "entry missing `rule`"))?;
+        let path = p.path.ok_or_else(|| err(p.line, "entry missing `path`"))?;
+        let justification = p
+            .justification
+            .filter(|j| !j.trim().is_empty())
+            .ok_or_else(|| err(p.line, "entry missing non-empty `justification`"))?;
+        Ok(AllowEntry {
+            rule,
+            path,
+            symbol: p.symbol,
+            contains: p.contains,
+            justification,
+            line: p.line,
+        })
+    }
+
+    let mut entries = Vec::new();
+    let mut current: Option<Partial> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = current.take() {
+                entries.push(finish(p)?);
+            }
+            current = Some(Partial {
+                rule: None,
+                path: None,
+                symbol: None,
+                contains: None,
+                justification: None,
+                line: lineno,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(lineno, format!("unsupported table `{line}` (only [[allow]])")));
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(lineno, format!("expected `key = \"value\"`, got `{line}`")));
+        };
+        let key = line[..eq].trim();
+        let value = parse_string(line[eq + 1..].trim())
+            .ok_or_else(|| err(lineno, format!("value for `{key}` must be a \"string\"")))?;
+        let Some(p) = current.as_mut() else {
+            return Err(err(lineno, "key outside any [[allow]] entry"));
+        };
+        let slot = match key {
+            "rule" => &mut p.rule,
+            "path" => &mut p.path,
+            "symbol" => &mut p.symbol,
+            "contains" => &mut p.contains,
+            "justification" => &mut p.justification,
+            other => return Err(err(lineno, format!("unknown key `{other}`"))),
+        };
+        if slot.is_some() {
+            return Err(err(lineno, format!("duplicate key `{key}`")));
+        }
+        *slot = Some(value);
+    }
+    if let Some(p) = current.take() {
+        entries.push(finish(p)?);
+    }
+    Ok(entries)
+}
+
+/// Parses a double-quoted TOML basic string with `\"` and `\\` escapes;
+/// trailing `#` comments after the closing quote are ignored.
+fn parse_string(s: &str) -> Option<String> {
+    let mut chars = s.chars();
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            },
+            '"' => break,
+            c => out.push(c),
+        }
+    }
+    let rest = chars.as_str().trim();
+    if rest.is_empty() || rest.starts_with('#') {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// True if `entry` suppresses a violation of `rule` at `path` inside
+/// function `symbol` whose source line is `line_text`.
+pub fn matches(
+    entry: &AllowEntry,
+    rule: &str,
+    path: &str,
+    symbol: Option<&str>,
+    line_text: &str,
+) -> bool {
+    entry.rule == rule
+        && entry.path == path
+        && entry.symbol.as_deref().is_none_or(|s| Some(s) == symbol)
+        && entry.contains.as_deref().is_none_or(|c| line_text.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_requires_justification() {
+        let src = r#"
+# comment
+[[allow]]
+rule = "unchecked-cast"
+path = "crates/deflate/src/bitio.rs"
+symbol = "bits_remaining"
+contains = "as usize"
+justification = "u32 -> usize is lossless on all supported targets"
+"#;
+        let es = parse(src).unwrap();
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].rule, "unchecked-cast");
+        assert!(matches(
+            &es[0],
+            "unchecked-cast",
+            "crates/deflate/src/bitio.rs",
+            Some("bits_remaining"),
+            "nbits as usize",
+        ));
+        assert!(!matches(&es[0], "panic-in-decoder", "crates/deflate/src/bitio.rs", None, ""));
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let src = "[[allow]]\nrule = \"x\"\npath = \"y\"\njustification = \"  \"\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        let src = "[[allow]]\nrule = \"x\"\npath = \"y\"\nreason = \"z\"\n";
+        assert!(parse(src).is_err());
+    }
+}

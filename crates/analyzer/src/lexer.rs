@@ -1,0 +1,297 @@
+//! A line-aware Rust token scanner: just enough lexing to drive the
+//! lint rules — identifiers, punctuation and brace structure, with
+//! comments and string/char literals stripped from the token stream
+//! but comment *text* retained per line (the SAFETY-comment rule needs
+//! it). This is deliberately not a full parser: the rules are
+//! token-pattern checks, and an over-approximation that errs toward
+//! flagging is acceptable for a deny-by-default lint with a
+//! justification-gated allowlist.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub text: String,
+    pub line: usize,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Code tokens (comments and literal *contents* removed; string
+    /// literals appear as a single `"…"` placeholder token so call
+    /// detection is not confused by their contents).
+    pub tokens: Vec<Token>,
+    /// Raw source lines (1-based access via `line(n)`).
+    pub lines: Vec<String>,
+    /// Comment text per line: `comments[i]` holds the concatenated
+    /// comment content appearing on line `i + 1`, if any.
+    pub comments: Vec<String>,
+}
+
+impl ScannedFile {
+    /// The raw text of 1-based line `n` (empty if out of range).
+    pub fn line(&self, n: usize) -> &str {
+        n.checked_sub(1).and_then(|i| self.lines.get(i)).map(String::as_str).unwrap_or("")
+    }
+
+    /// Comment text on 1-based line `n` (empty if none).
+    pub fn comment_on(&self, n: usize) -> &str {
+        n.checked_sub(1).and_then(|i| self.comments.get(i)).map(String::as_str).unwrap_or("")
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `src` into tokens; `path` is recorded verbatim.
+pub fn scan(path: &str, src: &str) -> ScannedFile {
+    let lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let mut comments = vec![String::new(); lines.len()];
+    let mut tokens = Vec::new();
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = chars.len();
+
+    let mut push = |text: String, line: usize| tokens.push(Token { text, line });
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments `///`, `//!`).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(slot) = comments.get_mut(line - 1) {
+                slot.push_str(&text);
+                slot.push(' ');
+            }
+            continue;
+        }
+        // Block comment, possibly nested and multi-line.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            let mut text = String::new();
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        if let Some(slot) = comments.get_mut(line - 1) {
+                            slot.push_str(&text);
+                            slot.push(' ');
+                        }
+                        text.clear();
+                        line += 1;
+                    } else {
+                        text.push(chars[i]);
+                    }
+                    i += 1;
+                }
+            }
+            if let Some(slot) = comments.get_mut(line - 1) {
+                slot.push_str(&text);
+                slot.push(' ');
+            }
+            continue;
+        }
+        // String literals: "…", b"…", r"…", r#"…"#, br#"…"#.
+        if c == '"' || (c == 'r' && matches!(chars.get(i + 1), Some('"') | Some('#')) && raw_string_ahead(&chars, i))
+        {
+            let (consumed, newlines) = skip_string(&chars, i);
+            push("\"…\"".to_string(), line);
+            line += newlines;
+            i += consumed;
+            continue;
+        }
+        if c == 'b' && i + 1 < n && (chars[i + 1] == '"' || (chars[i + 1] == 'r' && raw_string_ahead(&chars, i + 1))) {
+            let (consumed, newlines) = skip_string(&chars, i + 1);
+            push("\"…\"".to_string(), line);
+            line += newlines;
+            i += 1 + consumed;
+            continue;
+        }
+        // Char literal vs lifetime: 'a' is a char, 'a (no closing quote
+        // right after) is a lifetime.
+        if c == '\'' || (c == 'b' && i + 1 < n && chars[i + 1] == '\'') {
+            let at = if c == 'b' { i + 1 } else { i };
+            if let Some(consumed) = char_literal_len(&chars, at) {
+                push("'…'".to_string(), line);
+                i = at + consumed;
+                continue;
+            }
+            if c == '\'' {
+                // Lifetime: consume the quote and the identifier.
+                i += 1;
+                let start = i;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let _ = start;
+                push("'lt".to_string(), line);
+                continue;
+            }
+        }
+        // Identifier / keyword / number.
+        if is_ident_start(c) || c.is_ascii_digit() {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            push(chars[start..i].iter().collect(), line);
+            continue;
+        }
+        // Punctuation: emit single chars; `::`, `->`, `=>` are not
+        // needed as compound tokens by any rule.
+        push(c.to_string(), line);
+        i += 1;
+    }
+
+    ScannedFile { path: path.to_string(), tokens, lines, comments }
+}
+
+/// True if `chars[i..]` begins a raw string (`r"`, `r#"`, `r##"` …).
+fn raw_string_ahead(chars: &[char], i: usize) -> bool {
+    if chars.get(i) != Some(&'r') {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Length in chars of the string literal starting at `chars[i]`
+/// (a `"` or the `r` of a raw string), plus the newline count inside.
+fn skip_string(chars: &[char], i: usize) -> (usize, usize) {
+    let n = chars.len();
+    let mut newlines = 0usize;
+    if chars[i] == 'r' {
+        let mut hashes = 0usize;
+        let mut j = i + 1;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        while j < n {
+            if chars[j] == '\n' {
+                newlines += 1;
+            }
+            if chars[j] == '"' {
+                let mut k = 0usize;
+                while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return (j + 1 + hashes - i, newlines);
+                }
+            }
+            j += 1;
+        }
+        return (n - i, newlines);
+    }
+    let mut j = i + 1;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            '"' => return (j + 1 - i, newlines),
+            _ => j += 1,
+        }
+    }
+    (n - i, newlines)
+}
+
+/// Length of a char literal starting at the `'` at `chars[i]`, or
+/// `None` if this is a lifetime rather than a char.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    // 'x' or '\n' or '\u{1F600}'.
+    let next = *chars.get(i + 1)?;
+    if next == '\\' {
+        let mut j = i + 2;
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+        return Some(j + 1 - i);
+    }
+    if chars.get(i + 2) == Some(&'\'') {
+        return Some(3);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        scan("t.rs", src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_but_keeps_their_text() {
+        let f = scan("t.rs", "// SAFETY: fine\nlet x = 1; // trailing\n");
+        assert!(f.comment_on(1).contains("SAFETY:"));
+        assert!(f.comment_on(2).contains("trailing"));
+        assert!(f.tokens.iter().all(|t| !t.text.contains("SAFETY")));
+    }
+
+    #[test]
+    fn strings_become_placeholders() {
+        let t = texts(r#"let s = "unwrap() as usize"; let b = b"WPK1";"#);
+        assert!(t.iter().filter(|x| x.as_str() == "\"…\"").count() == 2);
+        assert!(!t.iter().any(|x| x == "unwrap"));
+        assert!(!t.iter().any(|x| x == "WPK1"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = texts("fn f<'a>(x: &'a [u8]) -> char { 'b' }");
+        assert!(t.iter().any(|x| x == "'lt"));
+        assert!(t.iter().any(|x| x == "'…'"));
+    }
+
+    #[test]
+    fn raw_strings_and_multiline() {
+        let f = scan("t.rs", "let x = r#\"a \" b\"#;\nlet y = \"two\nlines\";\nfn g() {}");
+        let g = f.tokens.iter().find(|t| t.text == "g").unwrap();
+        assert_eq!(g.line, 4);
+    }
+
+    #[test]
+    fn block_comment_lines_tracked() {
+        let f = scan("t.rs", "/* one\n SAFETY: two */\nfn f() {}");
+        assert!(f.comment_on(2).contains("SAFETY:"));
+        let tok = f.tokens.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(tok.line, 3);
+    }
+}

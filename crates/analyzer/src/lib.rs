@@ -1,0 +1,248 @@
+//! ckpt-lint: repo-specific static analysis for the checkpoint
+//! compression workspace.
+//!
+//! Four rules, all deny-by-default (see DESIGN.md §9):
+//!
+//! - `unchecked-cast` — no `as` numeric casts in functions reachable
+//!   from the untrusted-input decode entry points.
+//! - `panic-in-decoder` — no unwrap/expect/panicking macros/unchecked
+//!   indexing in those same functions.
+//! - `unsafe-needs-safety-comment` — every `unsafe` must carry a
+//!   `// SAFETY:` comment (workspace-wide, tests included).
+//! - `spec-drift` — the WPK1 layout table in DESIGN.md §7 must match
+//!   the constants in `crates/deflate/src/chunked.rs`.
+//!
+//! Suppression only via checked-in `lint-allow.toml` entries, each with
+//! a non-empty justification; unused entries are errors.
+
+pub mod allow;
+pub mod callgraph;
+pub mod functions;
+pub mod lexer;
+pub mod rules;
+pub mod spec;
+
+use callgraph::CallGraph;
+use functions::{extract, FileFunctions};
+use lexer::{scan, ScannedFile};
+use rules::Violation;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files whose functions form the untrusted-input decode layer.
+/// Reachability for `unchecked-cast` / `panic-in-decoder` is computed
+/// over this set; crates above it (quant, wavelet, tensor) only see
+/// counts the decoder has already validated.
+pub const DECODE_FILES: &[&str] = &[
+    "crates/core/src/wire.rs",
+    "crates/core/src/codec.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/incremental.rs",
+    "crates/deflate/src/lib.rs",
+    "crates/deflate/src/chunked.rs",
+    "crates/deflate/src/gzip.rs",
+    "crates/deflate/src/zlib.rs",
+    "crates/deflate/src/inflate.rs",
+    "crates/deflate/src/bitio.rs",
+    "crates/deflate/src/huffman.rs",
+];
+
+/// Functions that receive bytes from disk/network: the BFS roots.
+pub const ENTRY_POINTS: &[&str] = &[
+    "parse_stream",
+    "strip_container",
+    "decompress",
+    "decompress_parallel",
+    "decompress_with_limit",
+    "decompress_timed",
+    "from_bytes",
+    "read_from",
+    "restore",
+    "apply",
+    "decompress_chunked",
+    "decompress_chunked_with_limit",
+    "decompress_member",
+    "inflate",
+    "inflate_with_limit",
+    "inflate_with_limit_consumed",
+];
+
+/// Directories never scanned: build output and vendored shims (the
+/// shims mirror external crates; their code style is not ours to lint).
+const SKIP_DIRS: &[&str] = &["target", ".git", "crates/shims", "tests/corpus"];
+
+/// Result of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by an allowlist entry.
+    pub violations: Vec<Violation>,
+    /// (violation, justification) pairs that an allow entry covered.
+    pub suppressed: Vec<(Violation, String)>,
+    /// Configuration / allowlist errors (always fatal in deny mode).
+    pub errors: Vec<String>,
+    /// Files scanned (for `--json` and sanity output).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when deny mode should exit 0.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+}
+
+/// Recursively collects workspace-relative `.rs` paths under `root`.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if SKIP_DIRS.iter().any(|s| rel == *s || rel.starts_with(&format!("{s}/"))) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(root, &path, out);
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+}
+
+/// Runs all rules against the workspace at `root`.
+pub fn run(root: &Path) -> Report {
+    let mut report = Report::default();
+
+    let mut rel_paths = Vec::new();
+    collect_rs(root, root, &mut rel_paths);
+    if rel_paths.is_empty() {
+        report.errors.push(format!("no .rs files found under {}", root.display()));
+        return report;
+    }
+
+    let mut scanned: Vec<ScannedFile> = Vec::new();
+    for rel in &rel_paths {
+        match fs::read_to_string(root.join(rel)) {
+            Ok(src) => scanned.push(scan(rel, &src)),
+            Err(e) => report.errors.push(format!("{rel}: {e}")),
+        }
+    }
+    report.files_scanned = scanned.len();
+
+    // Decode-layer scope: extract functions, build the call graph,
+    // compute the reachable set.
+    let decode: Vec<(usize, FileFunctions)> = scanned
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| DECODE_FILES.contains(&f.path.as_str()))
+        .map(|(i, f)| (i, extract(f)))
+        .collect();
+    for want in DECODE_FILES {
+        if !scanned.iter().any(|f| f.path == *want) {
+            report.errors.push(format!(
+                "decode-scope file `{want}` not found — update ckpt-analyzer's DECODE_FILES \
+                 if it moved"
+            ));
+        }
+    }
+    let graph_input: Vec<(&ScannedFile, &FileFunctions)> =
+        decode.iter().map(|(i, ff)| (&scanned[*i], ff)).collect();
+    let graph = CallGraph::build(&graph_input);
+    let reachable = graph.reachable(ENTRY_POINTS);
+
+    let mut violations: Vec<Violation> = Vec::new();
+    for (di, (si, ff)) in decode.iter().enumerate() {
+        let in_scope: BTreeSet<usize> = reachable
+            .iter()
+            .filter(|(fi, _)| *fi == di)
+            .map(|&(_, gi)| gi)
+            .collect();
+        let scope_fn = |gi: usize| in_scope.contains(&gi);
+        violations.extend(rules::check_casts(&scanned[*si], ff, &scope_fn));
+        violations.extend(rules::check_panics(&scanned[*si], ff, &scope_fn));
+    }
+    for file in &scanned {
+        violations.extend(rules::check_unsafe(file));
+    }
+
+    // spec-drift needs the raw text of both sides.
+    let chunked_rel = "crates/deflate/src/chunked.rs";
+    match (
+        fs::read_to_string(root.join("DESIGN.md")),
+        fs::read_to_string(root.join(chunked_rel)),
+    ) {
+        (Ok(md), Ok(rs)) => violations.extend(spec::check(&md, &rs, chunked_rel)),
+        (md, rs) => {
+            if md.is_err() {
+                report.errors.push("cannot read DESIGN.md for spec-drift check".to_string());
+            }
+            if rs.is_err() {
+                report.errors.push(format!("cannot read {chunked_rel} for spec-drift check"));
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    // Apply the allowlist.
+    let allow_path = root.join("lint-allow.toml");
+    let entries = if allow_path.exists() {
+        match fs::read_to_string(&allow_path) {
+            Ok(src) => match allow::parse(&src) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    report.errors.push(e.to_string());
+                    Vec::new()
+                }
+            },
+            Err(e) => {
+                report.errors.push(format!("lint-allow.toml: {e}"));
+                Vec::new()
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    let mut used = vec![false; entries.len()];
+    'viol: for v in violations {
+        let line_text = scanned
+            .iter()
+            .find(|f| f.path == v.path)
+            .map(|f| f.line(v.line).to_string())
+            .unwrap_or_default();
+        for (k, e) in entries.iter().enumerate() {
+            if allow::matches(e, v.rule, &v.path, v.symbol.as_deref(), &line_text) {
+                used[k] = true;
+                report.suppressed.push((v, e.justification.clone()));
+                continue 'viol;
+            }
+        }
+        report.violations.push(v);
+    }
+    for (k, e) in entries.iter().enumerate() {
+        if !used[k] {
+            report.errors.push(format!(
+                "lint-allow.toml:{}: entry (rule `{}`, path `{}`) matches nothing — remove it",
+                e.line, e.rule, e.path
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_scope_paths_exist_in_this_repo() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for f in DECODE_FILES {
+            assert!(root.join(f).exists(), "missing decode-scope file {f}");
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Rule `spec-drift`: the WPK1 container layout is specified twice —
+//! prose table in DESIGN.md §7 and constants in
+//! `crates/deflate/src/chunked.rs`. This rule parses both and fails on
+//! any divergence (magic, version, field offsets/sizes, header size),
+//! so neither can drift without the other being updated in the same
+//! commit.
+
+use crate::rules::{Violation, RULE_SPEC};
+
+/// One field row of the WPK1 layout table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecRow {
+    pub offset: usize,
+    pub size: usize,
+    pub field: String,
+}
+
+/// The DESIGN.md side of the spec.
+#[derive(Debug)]
+pub struct DesignSpec {
+    pub magic: String,
+    pub version: u64,
+    pub rows: Vec<SpecRow>,
+    /// Offset of the `8×N` member-length index == header size.
+    pub header_bytes: usize,
+    /// 1-based line of the table header (for diagnostics).
+    pub table_line: usize,
+}
+
+/// Constants extracted from chunked.rs by text scan.
+#[derive(Debug, Default)]
+pub struct CodeSpec {
+    pub magic: Option<String>,
+    pub version: Option<u64>,
+    pub header_bytes: Option<u64>,
+    /// `OFF_*` constants: (name, value, line).
+    pub offsets: Vec<(String, u64, usize)>,
+}
+
+/// Parses the `### WPK1 layout` table out of DESIGN.md text.
+pub fn parse_design(md: &str) -> Result<DesignSpec, String> {
+    let lines: Vec<&str> = md.lines().collect();
+    let start = lines
+        .iter()
+        .position(|l| l.contains("WPK1 layout"))
+        .ok_or("DESIGN.md: no `WPK1 layout` section found")?;
+    let mut rows = Vec::new();
+    let mut header_bytes = None;
+    let mut magic = None;
+    let mut version = None;
+    let mut table_line = 0usize;
+    for (k, line) in lines.iter().enumerate().skip(start) {
+        let t = line.trim();
+        if !t.starts_with('|') {
+            if !rows.is_empty() && header_bytes.is_some() {
+                break;
+            }
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        if cells[0] == "offset" {
+            table_line = k + 1;
+            continue;
+        }
+        if cells[0].chars().all(|c| c == '-' || c == ':') {
+            continue;
+        }
+        let field = cells[2].to_string();
+        let Ok(offset) = cells[0].parse::<usize>() else {
+            // The `…` body row — end of fixed header.
+            continue;
+        };
+        if cells[1].contains('N') {
+            // `8×N` member-length index: its offset is the header size.
+            header_bytes = Some(offset);
+            continue;
+        }
+        let size: usize =
+            cells[1].parse().map_err(|_| format!("DESIGN.md table: bad size `{}`", cells[1]))?;
+        if field.contains("magic") {
+            magic = field.split('"').nth(1).map(str::to_string);
+        }
+        if field.contains("version") {
+            version = field
+                .chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse::<u64>()
+                .ok();
+        }
+        rows.push(SpecRow { offset, size, field });
+    }
+    Ok(DesignSpec {
+        magic: magic.ok_or("DESIGN.md table: no magic row")?,
+        version: version.ok_or("DESIGN.md table: no version row")?,
+        rows,
+        header_bytes: header_bytes.ok_or("DESIGN.md table: no `8×N` index row")?,
+        table_line,
+    })
+}
+
+/// Extracts the layout constants from chunked.rs source text.
+pub fn parse_code(src: &str) -> CodeSpec {
+    let mut spec = CodeSpec::default();
+    for (k, line) in src.lines().enumerate() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix("pub const ").or_else(|| t.strip_prefix("const "))
+        else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once('=') else { continue };
+        let name = name.split(':').next().unwrap_or("").trim();
+        let value = value.trim().trim_end_matches(';').trim();
+        match name {
+            "MAGIC" => {
+                spec.magic = value.split('"').nth(1).map(str::to_string);
+            }
+            "VERSION" => {
+                spec.version = value.parse().ok();
+            }
+            "HEADER_BYTES" => {
+                spec.header_bytes = value.parse().ok();
+            }
+            _ if name.starts_with("OFF_") => {
+                if let Ok(v) = value.parse::<u64>() {
+                    spec.offsets.push((name.to_string(), v, k + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    spec
+}
+
+/// Field-name → code constant mapping: the table row whose field text
+/// contains the key must sit at the code offset named by the value.
+const FIELD_TO_CONST: &[(&str, &str)] = &[
+    ("chunk_count", "OFF_CHUNK_COUNT"),
+    ("total uncompressed", "OFF_TOTAL"),
+    ("chunk_bytes", "OFF_CHUNK_BYTES"),
+    ("CRC-32", "OFF_CRC"),
+];
+
+/// Cross-checks the two spec sources.
+pub fn check(design_md: &str, chunked_rs: &str, chunked_path: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut fail = |path: &str, line: usize, message: String| {
+        out.push(Violation { rule: RULE_SPEC, path: path.to_string(), line, symbol: None, message });
+    };
+
+    let design = match parse_design(design_md) {
+        Ok(d) => d,
+        Err(e) => {
+            fail("DESIGN.md", 1, e);
+            return out;
+        }
+    };
+    let code = parse_code(chunked_rs);
+
+    // Internal contiguity of the documented header.
+    let mut expect = 0usize;
+    for row in &design.rows {
+        if row.offset != expect {
+            fail(
+                "DESIGN.md",
+                design.table_line,
+                format!(
+                    "WPK1 table: field `{}` at offset {} but previous fields end at {}",
+                    row.field, row.offset, expect
+                ),
+            );
+        }
+        expect = row.offset + row.size;
+    }
+    if design.header_bytes != expect {
+        fail(
+            "DESIGN.md",
+            design.table_line,
+            format!(
+                "WPK1 table: member index at offset {} but fixed fields end at {}",
+                design.header_bytes, expect
+            ),
+        );
+    }
+
+    // Code ↔ spec.
+    match &code.magic {
+        Some(m) if *m == design.magic => {}
+        other => fail(
+            chunked_path,
+            1,
+            format!("MAGIC is {:?} in code but `\"{}\"` in DESIGN.md", other, design.magic),
+        ),
+    }
+    match code.version {
+        Some(v) if v == design.version => {}
+        other => fail(
+            chunked_path,
+            1,
+            format!("VERSION is {:?} in code but {} in DESIGN.md", other, design.version),
+        ),
+    }
+    match code.header_bytes {
+        Some(h) if h as usize == design.header_bytes => {}
+        other => fail(
+            chunked_path,
+            1,
+            format!(
+                "HEADER_BYTES is {:?} in code but the DESIGN.md index starts at {}",
+                other, design.header_bytes
+            ),
+        ),
+    }
+    for (field_key, const_name) in FIELD_TO_CONST {
+        let doc = design.rows.iter().find(|r| r.field.contains(field_key));
+        let code_off = code.offsets.iter().find(|(n, _, _)| n == const_name);
+        match (doc, code_off) {
+            (Some(row), Some((_, v, line))) => {
+                if row.offset as u64 != *v {
+                    fail(
+                        chunked_path,
+                        *line,
+                        format!(
+                            "{const_name} = {v} but DESIGN.md places `{}` at offset {}",
+                            row.field, row.offset
+                        ),
+                    );
+                }
+            }
+            (Some(row), None) => fail(
+                chunked_path,
+                1,
+                format!(
+                    "no `{const_name}` constant in code for documented field `{}` \
+                     (offset {})",
+                    row.field, row.offset
+                ),
+            ),
+            (None, _) => fail(
+                "DESIGN.md",
+                design.table_line,
+                format!("WPK1 table has no row matching `{field_key}`"),
+            ),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+### WPK1 layout
+
+| offset | size | field |
+|-------:|-----:|-------|
+| 0      | 4    | magic `"WPK1"` |
+| 4      | 1    | version (currently 1) |
+| 5      | 1    | reserved (0) |
+| 6      | 4    | `chunk_count: u32` |
+| 10     | 8    | total uncompressed length: `u64` |
+| 18     | 8    | `chunk_bytes`: `u64` |
+| 26     | 4    | CRC-32 of the payload |
+| 30     | 8×N  | compressed length of each member: `u64` |
+| …      |      | N concatenated gzip members |
+"#;
+
+    const CODE: &str = r#"
+pub const MAGIC: [u8; 4] = *b"WPK1";
+pub const VERSION: u8 = 1;
+const OFF_CHUNK_COUNT: usize = 6;
+const OFF_TOTAL: usize = 10;
+const OFF_CHUNK_BYTES: usize = 18;
+const OFF_CRC: usize = 26;
+const HEADER_BYTES: usize = 30;
+"#;
+
+    #[test]
+    fn matching_spec_is_clean() {
+        assert!(check(DOC, CODE, "chunked.rs").is_empty());
+    }
+
+    #[test]
+    fn divergent_offset_is_flagged() {
+        let drift = CODE.replace("OFF_CRC: usize = 26", "OFF_CRC: usize = 22");
+        let v = check(DOC, &drift, "chunked.rs");
+        assert!(v.iter().any(|v| v.message.contains("OFF_CRC")), "{v:?}");
+    }
+
+    #[test]
+    fn doc_gap_is_flagged() {
+        let gapped = DOC.replace("| 10     | 8", "| 12     | 8");
+        let v = check(&gapped, CODE, "chunked.rs");
+        assert!(v.iter().any(|v| v.message.contains("previous fields end")), "{v:?}");
+    }
+
+    #[test]
+    fn magic_mismatch_is_flagged() {
+        let bad = CODE.replace("WPK1", "WPK2");
+        let v = check(DOC, &bad, "chunked.rs");
+        assert!(v.iter().any(|v| v.message.contains("MAGIC")), "{v:?}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Self-enforcement: the repository this analyzer ships in must itself
+//! be lint-clean. This is the same gate CI runs via
+//! `cargo run -p ckpt-analyzer -- check --deny`, expressed as a test so
+//! a plain `cargo test --workspace` catches regressions too.
+
+use std::path::Path;
+
+#[test]
+fn repository_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = ckpt_analyzer::run(&root);
+    for v in &report.violations {
+        eprintln!("violation: {}:{} [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+    for e in &report.errors {
+        eprintln!("error: {e}");
+    }
+    assert!(
+        report.clean(),
+        "ckpt-lint found {} violation(s) and {} error(s); \
+         fix them or add a justified entry to lint-allow.toml",
+        report.violations.len(),
+        report.errors.len()
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated: {} files", report.files_scanned);
+}

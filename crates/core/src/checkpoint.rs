@@ -9,7 +9,7 @@
 
 use crate::codec::{Compressed, Compressor};
 use crate::timing::StageTimings;
-use crate::wire::{ByteReader, ByteWriter};
+use crate::wire::{self, ByteReader, ByteWriter};
 use crate::{CkptError, Result};
 use ckpt_tensor::Tensor;
 use std::io::{Read, Write};
@@ -82,8 +82,17 @@ impl CheckpointBuilder {
         if name.is_empty() {
             return Err(CkptError::Format("variable name must be non-empty".into()));
         }
+        if name.len() > usize::from(u16::MAX) {
+            return Err(CkptError::Format(format!(
+                "variable name of {} bytes too long for the wire format",
+                name.len()
+            )));
+        }
         if self.entries.iter().any(|e| e.name == name) {
             return Err(CkptError::Format(format!("duplicate variable name {name:?}")));
+        }
+        if self.entries.len() >= usize::from(u16::MAX) {
+            return Err(CkptError::Format("too many variables for u16 count field".into()));
         }
         Ok(())
     }
@@ -111,7 +120,7 @@ impl CheckpointBuilder {
         w.put_u64(self.step);
         w.put_u16(self.entries.len() as u16);
         for e in &self.entries {
-            w.put_str(&e.name);
+            w.put_str(&e.name).expect("name length validated by check_name");
             w.put_u8(match e.mode {
                 VarMode::Lossy => 0,
                 VarMode::Raw => 1,
@@ -148,7 +157,7 @@ impl Checkpoint {
             return Err(CkptError::Format(format!("unsupported checkpoint version {version}")));
         }
         let step = r.get_u64()?;
-        let count = r.get_u16()? as usize;
+        let count = usize::from(r.get_u16()?);
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
             let name = r.get_str()?;
@@ -157,7 +166,7 @@ impl Checkpoint {
                 1 => VarMode::Raw,
                 m => return Err(CkptError::Format(format!("unknown variable mode {m}"))),
             };
-            let len = r.get_u64()? as usize;
+            let len = wire::usize_len(r.get_u64()?)?;
             let payload = r.get_bytes(len)?.to_vec();
             entries.push(Entry { name, mode, payload });
         }
@@ -198,12 +207,17 @@ impl Checkpoint {
             VarMode::Lossy => Compressor::decompress(&entry.payload),
             VarMode::Raw => {
                 let mut r = ByteReader::new(&entry.payload);
-                let ndim = r.get_u8()? as usize;
+                let ndim = usize::from(r.get_u8()?);
                 let mut dims = Vec::with_capacity(ndim);
                 for _ in 0..ndim {
-                    dims.push(r.get_u64()? as usize);
+                    dims.push(wire::usize_len(r.get_u64()?)?);
                 }
-                let volume: usize = dims.iter().product();
+                let volume = dims
+                    .iter()
+                    .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                    .ok_or_else(|| {
+                        CkptError::Format("raw variable volume overflows usize".into())
+                    })?;
                 let data = r.get_f64_slice(volume)?;
                 r.expect_end()?;
                 Ok(Tensor::from_vec(&dims, data)?)

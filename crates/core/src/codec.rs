@@ -8,7 +8,7 @@
 
 use crate::config::{CompressorConfig, Container};
 use crate::timing::{timed, StageTimings};
-use crate::wire::{ByteReader, ByteWriter};
+use crate::wire::{self, ByteReader, ByteWriter};
 use crate::{CkptError, Result};
 use ckpt_deflate::{chunked, gzip, zlib};
 use ckpt_quant::{Bitmap, Method, Quantized};
@@ -230,14 +230,13 @@ fn strip_container(bytes: &[u8], max_output: usize, threads: usize) -> Result<Ve
     if chunked::is_chunked(bytes) {
         return Ok(chunked::decompress_chunked_with_limit(bytes, threads, max_output)?);
     }
-    if bytes.len() >= 2 && bytes[0] == 0x1F && bytes[1] == 0x8B {
-        return Ok(gzip::decompress_with_limit(bytes, max_output)?);
-    }
-    if bytes.len() >= 2
-        && bytes[0] & 0x0F == 8
-        && ((bytes[0] as u16) * 256 + bytes[1] as u16).is_multiple_of(31)
-    {
-        return Ok(zlib::decompress_with_limit(bytes, max_output)?);
+    if let [b0, b1, ..] = *bytes {
+        if b0 == 0x1F && b1 == 0x8B {
+            return Ok(gzip::decompress_with_limit(bytes, max_output)?);
+        }
+        if b0 & 0x0F == 8 && (u16::from(b0) * 256 + u16::from(b1)).is_multiple_of(31) {
+            return Ok(zlib::decompress_with_limit(bytes, max_output)?);
+        }
     }
     Ok(bytes.to_vec())
 }
@@ -319,18 +318,18 @@ fn parse_stream(bytes: &[u8], threads: usize) -> Result<Tensor<f64>> {
             return Err(CkptError::Format(format!("unknown kernel code {other}")));
         }
     };
-    let levels = r.get_u8()? as usize;
+    let levels = usize::from(r.get_u8()?);
     let _n = r.get_u16()?;
     let _d = r.get_u16()?;
-    let ndim = r.get_u8()? as usize;
+    let ndim = usize::from(r.get_u8()?);
     let mut dims = Vec::with_capacity(ndim);
     for _ in 0..ndim {
-        dims.push(r.get_u64()? as usize);
+        dims.push(wire::usize_len(r.get_u64()?)?);
     }
-    let avg_count = r.get_u16()? as usize;
-    let low_count = r.get_u64()? as usize;
-    let raw_count = r.get_u64()? as usize;
-    let index_count = r.get_u64()? as usize;
+    let avg_count = usize::from(r.get_u16()?);
+    let low_count = wire::usize_len(r.get_u64()?)?;
+    let raw_count = wire::usize_len(r.get_u64()?)?;
+    let index_count = wire::usize_len(r.get_u64()?)?;
 
     // Every count below comes from untrusted bytes: all size
     // arithmetic must be checked so corrupt input errors instead of
@@ -393,10 +392,11 @@ fn parse_stream(bytes: &[u8], threads: usize) -> Result<Tensor<f64>> {
             }
             work.write_block(&band.start, &band.size, &low_values)?;
         } else {
-            if cursor + vol > stream.len() {
-                return Err(CkptError::Format("subband stream overrun".into()));
-            }
-            work.write_block(&band.start, &band.size, &stream[cursor..cursor + vol])?;
+            let chunk = cursor
+                .checked_add(vol)
+                .and_then(|end| stream.get(cursor..end))
+                .ok_or_else(|| CkptError::Format("subband stream overrun".into()))?;
+            work.write_block(&band.start, &band.size, chunk)?;
             cursor += vol;
         }
     }

@@ -1,5 +1,6 @@
 //! Unified error type for the compression pipeline.
 
+use crate::wire::WireError;
 use ckpt_deflate::DeflateError;
 use ckpt_quant::QuantError;
 use ckpt_tensor::TensorError;
@@ -16,6 +17,9 @@ pub enum CkptError {
     Deflate(DeflateError),
     /// Malformed compressed-array or checkpoint framing.
     Format(String),
+    /// Byte-level framing errors (truncation, length overflow, bad
+    /// UTF-8) from the wire reader/writer.
+    Wire(WireError),
     /// Filesystem I/O during checkpoint read/write or temp-file gzip.
     Io(std::io::Error),
     /// Error-bound search could not meet the requested bound.
@@ -29,6 +33,7 @@ impl fmt::Display for CkptError {
             CkptError::Quant(e) => write!(f, "quantizer error: {e}"),
             CkptError::Deflate(e) => write!(f, "deflate error: {e}"),
             CkptError::Format(why) => write!(f, "format error: {why}"),
+            CkptError::Wire(e) => write!(f, "format error: {e}"),
             CkptError::Io(e) => write!(f, "io error: {e}"),
             CkptError::BoundUnreachable { requested, achieved } => write!(
                 f,
@@ -44,6 +49,7 @@ impl std::error::Error for CkptError {
             CkptError::Tensor(e) => Some(e),
             CkptError::Quant(e) => Some(e),
             CkptError::Deflate(e) => Some(e),
+            CkptError::Wire(e) => Some(e),
             CkptError::Io(e) => Some(e),
             _ => None,
         }
@@ -71,6 +77,12 @@ impl From<DeflateError> for CkptError {
 impl From<std::io::Error> for CkptError {
     fn from(e: std::io::Error) -> Self {
         CkptError::Io(e)
+    }
+}
+
+impl From<WireError> for CkptError {
+    fn from(e: WireError) -> Self {
+        CkptError::Wire(e)
     }
 }
 

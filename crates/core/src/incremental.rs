@@ -15,7 +15,7 @@
 //! Restoring needs the base checkpoint plus the increment, mirroring
 //! the recovery-chain cost the paper cites from Naksinehaboon et al.
 
-use crate::wire::{ByteReader, ByteWriter};
+use crate::wire::{self, ByteReader, ByteWriter};
 use crate::{CkptError, Result};
 use ckpt_deflate::{gzip, Level};
 use ckpt_tensor::Tensor;
@@ -119,15 +119,15 @@ pub fn apply(base: &Tensor<f64>, packed: &[u8]) -> Result<Tensor<f64>> {
     if r.get_u32()? != MAGIC {
         return Err(CkptError::Format("bad incremental magic".into()));
     }
-    let ndim = r.get_u8()? as usize;
+    let ndim = usize::from(r.get_u8()?);
     let mut dims = Vec::with_capacity(ndim);
     for _ in 0..ndim {
-        dims.push(r.get_u64()? as usize);
+        dims.push(wire::usize_len(r.get_u64()?)?);
     }
     if dims != base.dims() {
         return Err(CkptError::Format("incremental dims mismatch".into()));
     }
-    let pages = r.get_u64()? as usize;
+    let pages = wire::usize_len(r.get_u64()?)?;
     let n = base.len();
     if pages != n.div_ceil(PAGE_ELEMS) {
         return Err(CkptError::Format("incremental page count mismatch".into()));

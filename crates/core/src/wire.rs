@@ -1,8 +1,59 @@
 //! Little-endian byte framing for the compressed-array and checkpoint
 //! formats. Self-contained (no serde): the format is part of the
 //! reproduction and must be byte-stable.
+//!
+//! All reader paths are panic-free on arbitrary input (enforced by
+//! `ckpt-lint`): out-of-range reads, length overflows, and bad UTF-8
+//! surface as [`WireError`] values, never as panics.
 
-use crate::CkptError;
+use std::fmt;
+
+/// Framing-level decode/encode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A read ran past the end of the buffer.
+    Truncated { needed: usize, offset: usize, have: usize },
+    /// A computed byte count overflowed `usize`.
+    LengthOverflow { count: usize },
+    /// `put_str` was handed a string longer than the u16 length prefix
+    /// can represent.
+    StringTooLong { len: usize },
+    /// `expect_end` found unconsumed bytes.
+    TrailingBytes { count: usize },
+    /// A length-prefixed string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A u64 count field exceeds this platform's address space.
+    CountTooLarge { count: u64 },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, offset, have } => {
+                write!(f, "truncated stream: need {needed} bytes at offset {offset}, have {have}")
+            }
+            WireError::LengthOverflow { count } => {
+                write!(f, "length overflow: {count} elements exceed the address space")
+            }
+            WireError::StringTooLong { len } => {
+                write!(f, "string of {len} bytes too long for u16 length prefix")
+            }
+            WireError::TrailingBytes { count } => write!(f, "{count} trailing bytes"),
+            WireError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::CountTooLarge { count } => {
+                write!(f, "declared count {count} exceeds the platform address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Converts a wire-read u64 length/count to `usize`, erroring instead
+/// of truncating when the platform cannot represent it.
+pub fn usize_len(v: u64) -> Result<usize, WireError> {
+    usize::try_from(v).map_err(|_| WireError::CountTooLarge { count: v })
+}
 
 /// Append-only byte buffer with typed little-endian writers.
 #[derive(Debug, Default)]
@@ -53,11 +104,14 @@ impl ByteWriter {
         }
     }
 
-    /// A length-prefixed UTF-8 string (u16 length).
-    pub fn put_str(&mut self, s: &str) {
-        assert!(s.len() <= u16::MAX as usize, "string too long for wire format");
-        self.put_u16(s.len() as u16);
+    /// A length-prefixed UTF-8 string (u16 length). Errors if the
+    /// string does not fit the prefix.
+    pub fn put_str(&mut self, s: &str) -> Result<(), WireError> {
+        let len =
+            u16::try_from(s.len()).map_err(|_| WireError::StringTooLong { len: s.len() })?;
+        self.put_u16(len);
         self.put_bytes(s.as_bytes());
+        Ok(())
     }
 
     /// Bytes written so far.
@@ -89,67 +143,81 @@ impl<'a> ByteReader<'a> {
         ByteReader { data, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
-        if self.pos + n > self.data.len() {
-            return Err(CkptError::Format(format!(
-                "truncated stream: need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.data.len() - self.pos
-            )));
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::LengthOverflow { count: n })?;
+        let s = self.data.get(self.pos..end).ok_or(WireError::Truncated {
+            needed: n,
+            offset: self.pos,
+            have: self.data.len().saturating_sub(self.pos),
+        })?;
+        self.pos = end;
         Ok(s)
     }
 
-    pub fn get_u8(&mut self) -> Result<u8, CkptError> {
-        Ok(self.take(1)?[0])
+    /// `take(N)` as a fixed array — the length always matches by
+    /// construction, so no fallible conversion is needed.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
     }
 
-    pub fn get_u16(&mut self) -> Result<u16, CkptError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take_array::<1>()?[0])
     }
 
-    pub fn get_u32(&mut self) -> Result<u32, CkptError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take_array::<2>()?))
     }
 
-    pub fn get_u64(&mut self) -> Result<u64, CkptError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
-    pub fn get_f64(&mut self) -> Result<f64, CkptError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
-    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take_array::<8>()?))
+    }
+
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         self.take(n)
     }
 
     /// Bulk f64 read.
-    pub fn get_f64_slice(&mut self, n: usize) -> Result<Vec<f64>, CkptError> {
-        let raw = self.take(n * 8)?;
-        Ok(raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+    pub fn get_f64_slice(&mut self, n: usize) -> Result<Vec<f64>, WireError> {
+        let bytes = n.checked_mul(8).ok_or(WireError::LengthOverflow { count: n })?;
+        let raw = self.take(bytes)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_le_bytes(a)
+            })
+            .collect())
     }
 
     /// Length-prefixed UTF-8 string.
-    pub fn get_str(&mut self) -> Result<String, CkptError> {
-        let len = self.get_u16()? as usize;
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let len = usize::from(self.get_u16()?);
         let raw = self.take(len)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|_| CkptError::Format("invalid UTF-8 in string field".into()))
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.data.len().saturating_sub(self.pos)
     }
 
     /// Errors unless the stream is fully consumed (guards against
     /// trailing garbage).
-    pub fn expect_end(&self) -> Result<(), CkptError> {
+    pub fn expect_end(&self) -> Result<(), WireError> {
         if self.remaining() != 0 {
-            return Err(CkptError::Format(format!("{} trailing bytes", self.remaining())));
+            return Err(WireError::TrailingBytes { count: self.remaining() });
         }
         Ok(())
     }
@@ -167,7 +235,7 @@ mod tests {
         w.put_u32(0xDEADBEEF);
         w.put_u64(0x0102030405060708);
         w.put_f64(-1234.5678);
-        w.put_str("temperature");
+        w.put_str("temperature").unwrap();
         w.put_f64_slice(&[1.5, -2.5]);
         w.put_bytes(&[9, 9, 9]);
         let bytes = w.into_bytes();
@@ -191,6 +259,7 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes[..2]);
         let err = r.get_u32().unwrap_err();
+        assert_eq!(err, WireError::Truncated { needed: 4, offset: 0, have: 2 });
         assert!(err.to_string().contains("truncated"));
     }
 
@@ -202,7 +271,7 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         r.get_u8().unwrap();
-        assert!(r.expect_end().is_err());
+        assert_eq!(r.expect_end(), Err(WireError::TrailingBytes { count: 1 }));
         r.get_u8().unwrap();
         r.expect_end().unwrap();
     }
@@ -229,6 +298,22 @@ mod tests {
         w.put_bytes(&[0xFF, 0xFE]);
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        assert!(r.get_str().is_err());
+        assert_eq!(r.get_str(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn oversized_string_rejected_at_write() {
+        let mut w = ByteWriter::new();
+        let huge = "x".repeat(usize::from(u16::MAX) + 1);
+        assert_eq!(w.put_str(&huge), Err(WireError::StringTooLong { len: huge.len() }));
+    }
+
+    #[test]
+    fn huge_f64_slice_count_is_an_overflow_not_a_panic() {
+        let mut r = ByteReader::new(&[0u8; 16]);
+        assert!(matches!(
+            r.get_f64_slice(usize::MAX / 4),
+            Err(WireError::LengthOverflow { .. })
+        ));
     }
 }

@@ -38,7 +38,8 @@ impl BitWriter {
     /// Pads with zero bits to the next byte boundary.
     pub fn align_byte(&mut self) {
         if self.nbits > 0 {
-            self.out.push(self.acc as u8);
+            let [low, ..] = self.acc.to_le_bytes();
+            self.out.push(low);
             self.acc = 0;
             self.nbits = 0;
         }
@@ -83,8 +84,9 @@ impl<'a> BitReader<'a> {
     /// Refills the accumulator as far as possible.
     #[inline]
     fn refill(&mut self) {
-        while self.nbits <= 56 && self.pos < self.data.len() {
-            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+        while self.nbits <= 56 {
+            let Some(&b) = self.data.get(self.pos) else { break };
+            self.acc |= u64::from(b) << self.nbits;
             self.pos += 1;
             self.nbits += 8;
         }
@@ -105,6 +107,16 @@ impl<'a> BitReader<'a> {
         self.acc >>= count;
         self.nbits -= count;
         Ok(v)
+    }
+
+    /// Reads `count` bits (<= 32) as a `usize` — the flavor of
+    /// [`BitReader::read_bits`] for fields that size in-memory
+    /// structures. A 32-bit field always fits `usize` on supported
+    /// targets, so the conversion never loses bits.
+    #[inline]
+    pub fn read_bits_usize(&mut self, count: u32) -> Result<usize, DeflateError> {
+        debug_assert!(count <= 32);
+        usize::try_from(self.read_bits(count)?).map_err(|_| DeflateError::UnexpectedEof)
     }
 
     /// Peeks up to `count` bits without consuming; missing trailing bits
@@ -130,7 +142,7 @@ impl<'a> BitReader<'a> {
 
     /// Number of bits still available.
     pub fn bits_remaining(&self) -> usize {
-        self.nbits as usize + (self.data.len() - self.pos) * 8
+        crate::usize_from_u32(self.nbits) + (self.data.len() - self.pos) * 8
     }
 
     /// Number of input bytes consumed so far, counting a partially-read
@@ -138,7 +150,7 @@ impl<'a> BitReader<'a> {
     /// where the next byte-aligned structure (e.g. a gzip trailer)
     /// begins.
     pub fn bytes_consumed(&self) -> usize {
-        (self.pos * 8 - self.nbits as usize).div_ceil(8)
+        (self.pos * 8 - crate::usize_from_u32(self.nbits)).div_ceil(8)
     }
 
     /// Discards buffered bits to the next byte boundary and returns the
@@ -152,10 +164,23 @@ impl<'a> BitReader<'a> {
     /// Reads `len` whole bytes after alignment.
     pub fn read_bytes(&mut self, len: usize) -> Result<Vec<u8>, DeflateError> {
         debug_assert_eq!(self.nbits % 8, 0, "read_bytes requires byte alignment");
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(self.read_bits(8)? as u8);
+        if self.bits_remaining() / 8 < len {
+            return Err(DeflateError::UnexpectedEof);
         }
+        let mut out = Vec::with_capacity(len);
+        // Drain whole bytes buffered in the accumulator first…
+        while out.len() < len && self.nbits >= 8 {
+            let [low, ..] = self.acc.to_le_bytes();
+            out.push(low);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+        // …then bulk-copy the rest straight from the input.
+        let need = len - out.len();
+        let end = self.pos.checked_add(need).ok_or(DeflateError::UnexpectedEof)?;
+        let tail = self.data.get(self.pos..end).ok_or(DeflateError::UnexpectedEof)?;
+        out.extend_from_slice(tail);
+        self.pos = end;
         Ok(out)
     }
 }

@@ -43,11 +43,34 @@ pub const VERSION: u8 = 1;
 /// against per-member header/trailer and match-window reset costs.
 pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
 
+/// Byte offsets of the fixed header fields. `ckpt-lint`'s spec-drift
+/// rule cross-checks these against the DESIGN.md §7 table.
+const OFF_CHUNK_COUNT: usize = 6;
+const OFF_TOTAL: usize = 10;
+const OFF_CHUNK_BYTES: usize = 18;
+const OFF_CRC: usize = 26;
 const HEADER_BYTES: usize = 30;
+
+/// DEFLATE's worst-case expansion is ~1032:1 (one bit per 258-byte
+/// match run); a header claiming more than this over the body size is
+/// a decompression bomb and is rejected before the output allocation.
+const MAX_EXPANSION: usize = 1032;
+
+/// Bounds-checked little-endian field read.
+fn le_bytes<const N: usize>(data: &[u8], at: usize) -> Result<[u8; N], DeflateError> {
+    crate::array_at(data, at)
+}
+
+/// The CRC-32 stored in a gzip member's trailer (last 8 bytes: CRC
+/// then ISIZE).
+fn member_stored_crc(member: &[u8]) -> Result<u32, DeflateError> {
+    let at = member.len().checked_sub(8).ok_or(DeflateError::UnexpectedEof)?;
+    Ok(u32::from_le_bytes(le_bytes(member, at)?))
+}
 
 /// True if `data` starts with the chunked-container magic.
 pub fn is_chunked(data: &[u8]) -> bool {
-    data.len() >= 4 && data[..4] == MAGIC
+    data.get(..MAGIC.len()).is_some_and(|head| head == MAGIC)
 }
 
 /// Compresses `data` into a WPK1 chunked container, fanning chunks out
@@ -82,10 +105,14 @@ pub fn compress_chunked(
     // each gzip trailer — no second pass over the data.
     let mut combined = 0u32;
     for (member, chunk) in members.iter().zip(&chunks) {
-        let crc = u32::from_le_bytes(member[member.len() - 8..member.len() - 4].try_into().unwrap());
+        let crc = member_stored_crc(member).expect("compressor emits complete gzip members");
         combined = crc32_combine(combined, crc, chunk.len() as u64);
     }
 
+    assert!(
+        u32::try_from(members.len()).is_ok(),
+        "chunk count exceeds the u32 header field"
+    );
     let body_len: usize = members.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(HEADER_BYTES + 8 * members.len() + body_len);
     out.extend_from_slice(&MAGIC);
@@ -120,16 +147,18 @@ pub fn decompress_chunked_with_limit(
     if data.len() < HEADER_BYTES {
         return Err(DeflateError::BadContainer("too short for chunked container"));
     }
-    if data[..4] != MAGIC {
+    if le_bytes::<4>(data, 0)? != MAGIC {
         return Err(DeflateError::BadContainer("bad chunked magic"));
     }
-    if data[4] != VERSION {
+    let [version] = le_bytes::<1>(data, 4)?;
+    if version != VERSION {
         return Err(DeflateError::BadContainer("unsupported chunked version"));
     }
-    let chunk_count = u32::from_le_bytes(data[6..10].try_into().unwrap()) as usize;
-    let total = u64::from_le_bytes(data[10..18].try_into().unwrap());
-    let chunk_bytes = u64::from_le_bytes(data[18..26].try_into().unwrap());
-    let stored_crc = u32::from_le_bytes(data[26..30].try_into().unwrap());
+    let chunk_count = usize::try_from(u32::from_le_bytes(le_bytes(data, OFF_CHUNK_COUNT)?))
+        .map_err(|_| DeflateError::BadContainer("chunk count exceeds address space"))?;
+    let total = u64::from_le_bytes(le_bytes(data, OFF_TOTAL)?);
+    let chunk_bytes = u64::from_le_bytes(le_bytes(data, OFF_CHUNK_BYTES)?);
+    let stored_crc = u32::from_le_bytes(le_bytes(data, OFF_CRC)?);
 
     let total: usize = total
         .try_into()
@@ -156,20 +185,28 @@ pub fn decompress_chunked_with_limit(
     if data.len() < index_end {
         return Err(DeflateError::UnexpectedEof);
     }
-    let mut offsets = Vec::with_capacity(chunk_count + 1);
+    let mut members: Vec<&[u8]> = Vec::with_capacity(chunk_count);
     let mut cursor = index_end;
-    offsets.push(cursor);
     for i in 0..chunk_count {
         let at = HEADER_BYTES + 8 * i;
-        let len = u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
-        let len: usize = len
-            .try_into()
+        let len = usize::try_from(u64::from_le_bytes(le_bytes(data, at)?))
             .map_err(|_| DeflateError::BadContainer("member length exceeds address space"))?;
-        cursor = cursor.checked_add(len).ok_or(DeflateError::UnexpectedEof)?;
-        offsets.push(cursor);
+        let end = cursor.checked_add(len).ok_or(DeflateError::UnexpectedEof)?;
+        members.push(data.get(cursor..end).ok_or(DeflateError::UnexpectedEof)?);
+        cursor = end;
     }
     if cursor != data.len() {
         return Err(DeflateError::BadContainer("member lengths do not span the body"));
+    }
+
+    // Decompression-bomb guard: the members physically cannot expand
+    // past MAX_EXPANSION× their stored size, so a header claiming more
+    // is corrupt or adversarial. Checked before the output allocation
+    // so a forged `total` cannot drive an over-allocation even when the
+    // caller passed no output limit.
+    let body_len = data.len().saturating_sub(index_end);
+    if total > body_len.saturating_mul(MAX_EXPANSION).saturating_add(64) {
+        return Err(DeflateError::BadContainer("claimed size exceeds maximum expansion"));
     }
 
     let mut out = vec![0u8; total];
@@ -187,16 +224,16 @@ pub fn decompress_chunked_with_limit(
         let mut results: Vec<Result<Vec<u32>, DeflateError>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(ranges.len());
-            let mut rest = &mut slots[..];
+            let mut rest = slots.as_mut_slice();
+            let mut members_rest = members.as_slice();
             for r in &ranges {
                 let (mine, tail) = rest.split_at_mut(r.len());
                 rest = tail;
-                let offsets = &offsets;
-                let r = r.clone();
+                let (my_members, members_tail) = members_rest.split_at(r.len());
+                members_rest = members_tail;
                 handles.push(scope.spawn(move || {
-                    let mut crcs = Vec::with_capacity(r.len());
-                    for (slot, i) in mine.iter_mut().zip(r) {
-                        let member = &data[offsets[i]..offsets[i + 1]];
+                    let mut crcs = Vec::with_capacity(mine.len());
+                    for (slot, member) in mine.iter_mut().zip(my_members) {
                         let (payload, consumed) = gzip::decompress_member(member, slot.len())?;
                         if consumed != member.len() {
                             return Err(DeflateError::BadContainer(
@@ -205,21 +242,25 @@ pub fn decompress_chunked_with_limit(
                         }
                         if payload.len() != slot.len() {
                             return Err(DeflateError::SizeMismatch {
-                                stored: slot.len() as u32,
-                                computed: payload.len() as u32,
+                                stored: u32::try_from(slot.len()).unwrap_or(u32::MAX),
+                                computed: u32::try_from(payload.len()).unwrap_or(u32::MAX),
                             });
                         }
                         slot.copy_from_slice(&payload);
                         // Per-member CRC was just verified by
                         // decompress_member; reuse the stored value.
-                        let m = member.len();
-                        crcs.push(u32::from_le_bytes(member[m - 8..m - 4].try_into().unwrap()));
+                        crcs.push(member_stored_crc(member)?);
                     }
                     Ok(crcs)
                 }));
             }
             for h in handles {
-                results.push(h.join().expect("chunk worker panicked"));
+                match h.join() {
+                    Ok(res) => results.push(res),
+                    // A worker panic is a programming error, not an
+                    // input error: propagate it unchanged.
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
             }
         });
         let mut crcs = Vec::with_capacity(chunk_count);
@@ -234,7 +275,7 @@ pub fn decompress_chunked_with_limit(
     let mut remaining = total;
     for crc in &crcs {
         let len = remaining.min(chunk_bytes.max(1));
-        combined = crc32_combine(combined, *crc, len as u64);
+        combined = crc32_combine(combined, *crc, crate::u64_from_usize(len));
         remaining -= len;
     }
     if combined != stored_crc {

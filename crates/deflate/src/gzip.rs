@@ -38,10 +38,11 @@ pub fn decompress_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, 
     }
     let mut out = Vec::new();
     let mut pos = 0usize;
-    while pos < data.len() {
-        let budget = max_output - out.len();
-        let (member, consumed) = decompress_member(&data[pos..], budget)?;
-        pos += consumed;
+    while let Some(rest) = data.get(pos..).filter(|r| !r.is_empty()) {
+        let budget = max_output.saturating_sub(out.len());
+        let (member, consumed) = decompress_member(rest, budget)?;
+        // A member is at least 18 bytes, so `pos` strictly advances.
+        pos = pos.saturating_add(consumed);
         if out.is_empty() {
             out = member;
         } else {
@@ -68,21 +69,20 @@ pub fn decompress_member(
     if data.len() < 18 {
         return Err(DeflateError::BadContainer("too short for gzip"));
     }
-    if data[0..2] != MAGIC {
+    let &[m0, m1, cm, flg, ..] = data else {
+        return Err(DeflateError::BadContainer("too short for gzip"));
+    };
+    if [m0, m1] != MAGIC {
         return Err(DeflateError::BadContainer("bad magic"));
     }
-    if data[2] != CM_DEFLATE {
+    if cm != CM_DEFLATE {
         return Err(DeflateError::BadContainer("unsupported compression method"));
     }
-    let flg = data[3];
     let mut pos = 10usize;
     // FEXTRA
     if flg & 0x04 != 0 {
-        if pos + 2 > data.len() {
-            return Err(DeflateError::UnexpectedEof);
-        }
-        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
-        pos += 2 + xlen;
+        let xlen = usize::from(u16::from_le_bytes(crate::array_at(data, pos)?));
+        pos = pos.checked_add(2 + xlen).ok_or(DeflateError::UnexpectedEof)?;
     }
     // FNAME, FCOMMENT: zero-terminated strings.
     for flag in [0x08u8, 0x10] {
@@ -93,34 +93,31 @@ pub fn decompress_member(
                 .iter()
                 .position(|&b| b == 0)
                 .ok_or(DeflateError::UnexpectedEof)?;
-            pos += end + 1;
+            pos = pos.checked_add(end + 1).ok_or(DeflateError::UnexpectedEof)?;
         }
     }
     // FHCRC
     if flg & 0x02 != 0 {
-        pos += 2;
+        pos = pos.checked_add(2).ok_or(DeflateError::UnexpectedEof)?;
     }
-    if pos + 8 > data.len() {
-        return Err(DeflateError::UnexpectedEof);
-    }
-    let body = &data[pos..data.len() - 8];
+    let body_end = data.len().checked_sub(8).ok_or(DeflateError::UnexpectedEof)?;
+    let body = data.get(pos..body_end).ok_or(DeflateError::UnexpectedEof)?;
     let (out, body_consumed) = inflate::inflate_with_limit_consumed(body, max_output)?;
-    let trailer = pos + body_consumed;
-    if trailer + 8 > data.len() {
-        return Err(DeflateError::UnexpectedEof);
-    }
-    let stored_crc = u32::from_le_bytes(data[trailer..trailer + 4].try_into().unwrap());
-    let stored_size = u32::from_le_bytes(data[trailer + 4..trailer + 8].try_into().unwrap());
+    let trailer = pos.checked_add(body_consumed).ok_or(DeflateError::UnexpectedEof)?;
+    let stored_crc = u32::from_le_bytes(crate::array_at(data, trailer)?);
+    let stored_size =
+        u32::from_le_bytes(crate::array_at(data, trailer.saturating_add(4))?);
     let computed_crc = crc32(&out);
     if stored_crc != computed_crc {
         return Err(DeflateError::ChecksumMismatch { stored: stored_crc, computed: computed_crc });
     }
-    // ISIZE is the payload length mod 2^32 (RFC 1952).
+    // ISIZE is the payload length mod 2^32 (RFC 1952), so the
+    // truncating cast is the field's defined semantics.
     let computed_size = out.len() as u32;
     if stored_size != computed_size {
         return Err(DeflateError::SizeMismatch { stored: stored_size, computed: computed_size });
     }
-    Ok((out, trailer + 8))
+    Ok((out, trailer.saturating_add(8)))
 }
 
 #[cfg(test)]

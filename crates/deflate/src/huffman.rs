@@ -16,6 +16,9 @@ use crate::DeflateError;
 /// Maximum code length DEFLATE permits for literal/distance alphabets.
 pub const MAX_BITS: u32 = 15;
 
+/// Number of per-length table slots (lengths 0..=MAX_BITS).
+const LEN_SLOTS: usize = (MAX_BITS + 1) as usize;
+
 /// Computes optimal length-limited code lengths via package-merge.
 ///
 /// `freqs[s]` is the occurrence count of symbol `s`; symbols with zero
@@ -84,18 +87,23 @@ pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
 /// Assigns canonical codes (RFC 1951 §3.2.2) for the given lengths.
 /// Returns one code per symbol (0 where the length is 0).
 pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
-    let max = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let max = usize::from(lengths.iter().copied().max().unwrap_or(0));
     let mut bl_count = vec![0u32; max + 1];
     for &l in lengths {
         if l > 0 {
-            bl_count[l as usize] += 1;
+            // `l <= max` by construction of `max`.
+            if let Some(c) = bl_count.get_mut(usize::from(l)) {
+                *c += 1;
+            }
         }
     }
     let mut next_code = vec![0u32; max + 2];
     let mut code = 0u32;
     for bits in 1..=max {
-        code = (code + bl_count[bits - 1]) << 1;
-        next_code[bits] = code;
+        code = (code + bl_count.get(bits - 1).copied().unwrap_or(0)) << 1;
+        if let Some(slot) = next_code.get_mut(bits) {
+            *slot = code;
+        }
     }
     lengths
         .iter()
@@ -103,9 +111,14 @@ pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
             if l == 0 {
                 0
             } else {
-                let c = next_code[l as usize];
-                next_code[l as usize] += 1;
-                c
+                match next_code.get_mut(usize::from(l)) {
+                    Some(c) => {
+                        let v = *c;
+                        *c += 1;
+                        v
+                    }
+                    None => 0,
+                }
             }
         })
         .collect()
@@ -118,8 +131,12 @@ pub fn check_kraft(lengths: &[u8]) -> Result<bool, DeflateError> {
     let mut any = false;
     for &l in lengths {
         if l > 0 {
+            let l = u32::from(l);
+            if l > MAX_BITS {
+                return Err(DeflateError::BadHuffmanTable("length exceeds 15"));
+            }
             any = true;
-            sum += 1u64 << (MAX_BITS - l as u32);
+            sum += 1u64 << (MAX_BITS - l);
         }
     }
     let full = 1u64 << MAX_BITS;
@@ -144,7 +161,7 @@ impl Encoder {
         let reversed = codes
             .iter()
             .zip(lengths)
-            .map(|(&c, &l)| if l == 0 { 0 } else { reverse_bits(c, l as u32) })
+            .map(|(&c, &l)| if l == 0 { 0 } else { reverse_bits(c, u32::from(l)) })
             .collect();
         Encoder { lengths: lengths.to_vec(), reversed }
     }
@@ -175,11 +192,11 @@ const FAST_BITS: u32 = 9;
 #[derive(Debug, Clone)]
 pub struct Decoder {
     /// count[l] = number of codes of length l.
-    count: [u16; (MAX_BITS + 1) as usize],
+    count: [u16; LEN_SLOTS],
     /// first_code[l] = canonical code value of the first code of length l.
-    first_code: [u32; (MAX_BITS + 1) as usize],
+    first_code: [u32; LEN_SLOTS],
     /// offset[l] = index into `symbols` of the first symbol of length l.
-    offset: [u16; (MAX_BITS + 1) as usize],
+    offset: [u16; LEN_SLOTS],
     /// Symbols sorted by (length, symbol).
     symbols: Vec<u16>,
     /// fast[peeked_bits] = (symbol, code_len); code_len 0 = slow path.
@@ -191,32 +208,45 @@ impl Decoder {
     /// tables are accepted (DEFLATE permits single-code distance trees);
     /// decoding an unassigned code errors at read time.
     pub fn from_lengths(lengths: &[u8]) -> Result<Self, DeflateError> {
+        // check_kraft also rejects any length above MAX_BITS, so every
+        // per-length table access below is in range.
         check_kraft(lengths)?;
-        let mut count = [0u16; (MAX_BITS + 1) as usize];
+        let mut count = [0u16; LEN_SLOTS];
         for &l in lengths {
-            if l as u32 > MAX_BITS {
-                return Err(DeflateError::BadHuffmanTable("length exceeds 15"));
-            }
             if l > 0 {
-                count[l as usize] += 1;
+                if let Some(c) = count.get_mut(usize::from(l)) {
+                    *c += 1;
+                }
             }
         }
-        let mut first_code = [0u32; (MAX_BITS + 1) as usize];
-        let mut offset = [0u16; (MAX_BITS + 1) as usize];
+        let mut first_code = [0u32; LEN_SLOTS];
+        let mut offset = [0u16; LEN_SLOTS];
         let mut code = 0u32;
+        // The Kraft bound caps the number of coded symbols at 2^MAX_BITS
+        // = 32768, so this running total cannot overflow u16.
         let mut sym_base = 0u16;
-        for l in 1..=MAX_BITS as usize {
-            code = (code + count[l - 1] as u32) << 1;
-            first_code[l] = code;
-            offset[l] = sym_base;
-            sym_base += count[l];
+        for l in 1..LEN_SLOTS {
+            code = (code + u32::from(count.get(l - 1).copied().unwrap_or(0))) << 1;
+            if let Some(slot) = first_code.get_mut(l) {
+                *slot = code;
+            }
+            if let Some(slot) = offset.get_mut(l) {
+                *slot = sym_base;
+            }
+            sym_base += count.get(l).copied().unwrap_or(0);
         }
-        let mut symbols = vec![0u16; sym_base as usize];
+        let mut symbols = vec![0u16; usize::from(sym_base)];
         let mut next = offset;
         for (s, &l) in lengths.iter().enumerate() {
             if l > 0 {
-                symbols[next[l as usize] as usize] = s as u16;
-                next[l as usize] += 1;
+                let sym = u16::try_from(s)
+                    .map_err(|_| DeflateError::BadHuffmanTable("alphabet too large"))?;
+                if let Some(n) = next.get_mut(usize::from(l)) {
+                    if let Some(slot) = symbols.get_mut(usize::from(*n)) {
+                        *slot = sym;
+                    }
+                    *n += 1;
+                }
             }
         }
 
@@ -224,17 +254,18 @@ impl Decoder {
         // entries whose low `len` bits equal the bit-reversed code.
         let codes = canonical_codes(lengths);
         let mut fast = vec![(0u16, 0u8); 1 << FAST_BITS];
-        for (s, &l) in lengths.iter().enumerate() {
-            let l = l as u32;
+        for (s, (&l, &code)) in lengths.iter().zip(&codes).enumerate() {
+            let l = u32::from(l);
             if l == 0 || l > FAST_BITS {
                 continue;
             }
-            let rev = crate::bitio::reverse_bits(codes[s], l);
+            // `s` fits u16 (validated above for every coded symbol) and
+            // `l <= FAST_BITS` fits u8.
+            let entry = (u16::try_from(s).unwrap_or(0), u8::try_from(l).unwrap_or(0));
+            let rev = crate::usize_from_u32(crate::bitio::reverse_bits(code, l));
             let step = 1usize << l;
-            let mut idx = rev as usize;
-            while idx < (1 << FAST_BITS) {
-                fast[idx] = (s as u16, l as u8);
-                idx += step;
+            for slot in fast.iter_mut().skip(rev).step_by(step) {
+                *slot = entry;
             }
         }
         Ok(Decoder { count, first_code, offset, symbols, fast })
@@ -243,13 +274,14 @@ impl Decoder {
     /// Decodes one symbol from the bit stream.
     #[inline]
     pub fn read(&self, r: &mut BitReader<'_>) -> Result<u16, DeflateError> {
-        // Fast path: one peek covers codes up to FAST_BITS.
-        let peek = r.peek_bits(FAST_BITS) as usize;
-        let (sym, len) = self.fast[peek];
+        // Fast path: one peek covers codes up to FAST_BITS. The peek is
+        // masked to FAST_BITS bits, so it always indexes in range.
+        let peek = usize::try_from(r.peek_bits(FAST_BITS)).unwrap_or(0);
+        let &(sym, len) = self.fast.get(peek).unwrap_or(&(0, 0));
         if len > 0 {
             // peek_bits pads missing bits with zeros; ensure the code's
             // bits were actually present.
-            r.consume(len as u32)?;
+            r.consume(u32::from(len))?;
             return Ok(sym);
         }
         self.read_slow(r)
@@ -260,13 +292,21 @@ impl Decoder {
     #[cold]
     fn read_slow(&self, r: &mut BitReader<'_>) -> Result<u16, DeflateError> {
         let mut code = 0u32;
-        for l in 1..=MAX_BITS as usize {
-            code = (code << 1) | r.read_bits(1)? as u32;
-            let cnt = self.count[l] as u32;
+        for l in 1..LEN_SLOTS {
+            let bit = u32::try_from(r.read_bits(1)?).unwrap_or(0);
+            code = (code << 1) | bit;
+            let cnt = u32::from(self.count.get(l).copied().unwrap_or(0));
             if cnt != 0 {
-                let idx = code.wrapping_sub(self.first_code[l]);
+                let first = self.first_code.get(l).copied().unwrap_or(0);
+                let idx = code.wrapping_sub(first);
                 if idx < cnt {
-                    return Ok(self.symbols[self.offset[l] as usize + idx as usize]);
+                    let base = usize::from(self.offset.get(l).copied().unwrap_or(0));
+                    let at = base.saturating_add(crate::usize_from_u32(idx));
+                    return self
+                        .symbols
+                        .get(at)
+                        .copied()
+                        .ok_or(DeflateError::BadHuffmanTable("code not in table"));
                 }
             }
         }

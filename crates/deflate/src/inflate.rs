@@ -59,47 +59,54 @@ fn stored_block(
     max_output: usize,
 ) -> Result<(), DeflateError> {
     r.align_byte();
-    let len = r.read_bits(16)? as u16;
-    let nlen = r.read_bits(16)? as u16;
-    if len != !nlen {
+    let len = r.read_bits(16)?;
+    let nlen = r.read_bits(16)?;
+    if len ^ nlen != 0xFFFF {
         return Err(DeflateError::BadStoredLength);
     }
-    if out.len() + len as usize > max_output {
+    // A 16-bit read is < 2^16, so the conversion cannot fail.
+    let len = usize::try_from(len).map_err(|_| DeflateError::BadStoredLength)?;
+    if out.len().saturating_add(len) > max_output {
         return Err(DeflateError::OutputLimit { limit: max_output });
     }
-    out.extend(r.read_bytes(len as usize)?);
+    out.extend(r.read_bytes(len)?);
     Ok(())
 }
 
 fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), DeflateError> {
-    let hlit = r.read_bits(5)? as usize + 257;
-    let hdist = r.read_bits(5)? as usize + 1;
-    let hclen = r.read_bits(4)? as usize + 4;
+    let hlit = r.read_bits_usize(5)? + 257;
+    let hdist = r.read_bits_usize(5)? + 1;
+    let hclen = r.read_bits_usize(4)? + 4;
     if hlit > 286 || hdist > 30 {
         return Err(DeflateError::BadHuffmanTable("HLIT/HDIST out of range"));
     }
     let mut cl_lens = [0u8; 19];
     for &ord in CLCODE_ORDER.iter().take(hclen) {
-        cl_lens[ord] = r.read_bits(3)? as u8;
+        // A 3-bit read is < 8 and CLCODE_ORDER entries are < 19 by
+        // construction, so neither access can fail.
+        let bits = u8::try_from(r.read_bits(3)?).unwrap_or(0);
+        if let Some(slot) = cl_lens.get_mut(ord) {
+            *slot = bits;
+        }
     }
     let cl = Decoder::from_lengths(&cl_lens)?;
 
     let mut lens = Vec::with_capacity(hlit + hdist);
     while lens.len() < hlit + hdist {
         match cl.read(r)? {
-            sym @ 0..=15 => lens.push(sym as u8),
+            sym @ 0..=15 => lens.push(u8::try_from(sym).unwrap_or(0)),
             16 => {
                 let &prev =
                     lens.last().ok_or(DeflateError::BadHuffmanTable("repeat with no previous"))?;
-                let n = r.read_bits(2)? as usize + 3;
+                let n = r.read_bits_usize(2)? + 3;
                 lens.extend(std::iter::repeat_n(prev, n));
             }
             17 => {
-                let n = r.read_bits(3)? as usize + 3;
+                let n = r.read_bits_usize(3)? + 3;
                 lens.extend(std::iter::repeat_n(0u8, n));
             }
             18 => {
-                let n = r.read_bits(7)? as usize + 11;
+                let n = r.read_bits_usize(7)? + 11;
                 lens.extend(std::iter::repeat_n(0u8, n));
             }
             s => return Err(DeflateError::BadSymbol(s)),
@@ -108,8 +115,11 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), Defl
     if lens.len() != hlit + hdist {
         return Err(DeflateError::BadHuffmanTable("code length overrun"));
     }
-    let lit = Decoder::from_lengths(&lens[..hlit])?;
-    let dist = Decoder::from_lengths(&lens[hlit..])?;
+    let (lit_lens, dist_lens) = lens
+        .split_at_checked(hlit)
+        .ok_or(DeflateError::BadHuffmanTable("code length underrun"))?;
+    let lit = Decoder::from_lengths(lit_lens)?;
+    let dist = Decoder::from_lengths(dist_lens)?;
     Ok((lit, dist))
 }
 
@@ -127,28 +137,38 @@ fn coded_block(
                 if out.len() >= max_output {
                     return Err(DeflateError::OutputLimit { limit: max_output });
                 }
-                out.push(sym as u8)
+                // In-range by the match arm.
+                out.push(u8::try_from(sym).unwrap_or(0))
             }
             256 => return Ok(()),
             257..=285 => {
-                let (base, extra) = LENGTH_TABLE[sym as usize - 257];
-                let len = base as usize + r.read_bits(extra as u32)? as usize;
-                if out.len() + len > max_output {
+                let (base, extra) = LENGTH_TABLE
+                    .get(usize::from(sym) - 257)
+                    .copied()
+                    .ok_or(DeflateError::BadSymbol(sym))?;
+                let len = usize::from(base) + r.read_bits_usize(u32::from(extra))?;
+                if out.len().saturating_add(len) > max_output {
                     return Err(DeflateError::OutputLimit { limit: max_output });
                 }
                 let dsym = dist.read(r)?;
-                if dsym >= 30 {
-                    return Err(DeflateError::BadSymbol(dsym));
-                }
-                let (dbase, dextra) = DIST_TABLE[dsym as usize];
-                let d = dbase as usize + r.read_bits(dextra as u32)? as usize;
+                let (dbase, dextra) = DIST_TABLE
+                    .get(usize::from(dsym))
+                    .copied()
+                    .ok_or(DeflateError::BadSymbol(dsym))?;
+                let d = usize::from(dbase) + r.read_bits_usize(u32::from(dextra))?;
                 if d == 0 || d > out.len() {
                     return Err(DeflateError::BadDistance { dist: d, avail: out.len() });
                 }
                 let start = out.len() - d;
                 for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                    match out.get(start + k).copied() {
+                        Some(b) => out.push(b),
+                        // Unreachable: start + k < out.len() because the
+                        // vector grows with every push.
+                        None => {
+                            return Err(DeflateError::BadDistance { dist: d, avail: out.len() })
+                        }
+                    }
                 }
             }
             s => return Err(DeflateError::BadSymbol(s)),

@@ -111,6 +111,39 @@ impl fmt::Display for DeflateError {
 
 impl std::error::Error for DeflateError {}
 
+// Every target this crate supports has at least 32-bit pointers, so
+// u32 -> usize widening below is lossless.
+const _USIZE_HOLDS_U32: () = assert!(usize::BITS >= 32);
+
+/// Lossless `u32 -> usize` widening. The standard library provides no
+/// `From` impl (16-bit targets exist in the abstract); the module-level
+/// const assertion above pins the assumption this helper relies on.
+#[inline]
+pub(crate) fn usize_from_u32(v: u32) -> usize {
+    v as usize
+}
+
+/// Lossless `usize -> u64` widening (no target has pointers wider than
+/// 64 bits); the standard library provides no `From` impl.
+#[inline]
+pub(crate) fn u64_from_usize(v: usize) -> u64 {
+    v as u64
+}
+
+/// Reads `N` bytes at offset `at` as a fixed array, erroring — never
+/// panicking — when the range runs past the end. The shared
+/// bounds-checked read for container header/trailer parsing.
+#[inline]
+pub(crate) fn array_at<const N: usize>(data: &[u8], at: usize) -> Result<[u8; N], DeflateError> {
+    let s = at
+        .checked_add(N)
+        .and_then(|end| data.get(at..end))
+        .ok_or(DeflateError::UnexpectedEof)?;
+    let mut a = [0u8; N];
+    a.copy_from_slice(s);
+    Ok(a)
+}
+
 /// Compresses a raw DEFLATE stream (no container).
 pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
     deflate::compress(data, level)

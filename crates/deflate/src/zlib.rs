@@ -41,20 +41,22 @@ fn decompress_inner(data: &[u8], max_output: usize) -> Result<Vec<u8>, DeflateEr
     if data.len() < 6 {
         return Err(DeflateError::BadContainer("too short for zlib"));
     }
-    let cmf = data[0];
-    let flg = data[1];
+    let &[cmf, flg, ..] = data else {
+        return Err(DeflateError::BadContainer("too short for zlib"));
+    };
     if cmf & 0x0F != 8 {
         return Err(DeflateError::BadContainer("unsupported compression method"));
     }
-    if !((cmf as u16) * 256 + flg as u16).is_multiple_of(31) {
+    if !(u16::from(cmf) * 256 + u16::from(flg)).is_multiple_of(31) {
         return Err(DeflateError::BadContainer("FCHECK failed"));
     }
     if flg & 0x20 != 0 {
         return Err(DeflateError::BadContainer("preset dictionary unsupported"));
     }
-    let body = &data[2..data.len() - 4];
+    let trailer_at = data.len().checked_sub(4).ok_or(DeflateError::UnexpectedEof)?;
+    let body = data.get(2..trailer_at).ok_or(DeflateError::UnexpectedEof)?;
     let out = inflate::inflate_with_limit(body, max_output)?;
-    let stored = u32::from_be_bytes(data[data.len() - 4..].try_into().unwrap());
+    let stored = u32::from_be_bytes(crate::array_at(data, trailer_at)?);
     let computed = adler32(&out);
     if stored != computed {
         return Err(DeflateError::ChecksumMismatch { stored, computed });

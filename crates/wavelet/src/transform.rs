@@ -86,7 +86,9 @@ fn transform_axis_threaded(
         return Ok(());
     }
     let ranges = ckpt_pool::partition_ranges(lanes.len(), workers);
-    let ptr = ckpt_pool::SendPtr::new(t.as_mut_slice().as_mut_ptr());
+    let buf = t.as_mut_slice();
+    let buf_len = buf.len();
+    let ptr = ckpt_pool::SendPtr::new(buf.as_mut_ptr(), buf_len);
     let lanes = &lanes;
     std::thread::scope(|scope| {
         for range in ranges {
@@ -94,11 +96,12 @@ fn transform_axis_threaded(
                 let mut gather = vec![0.0f64; len];
                 let mut result = vec![0.0f64; len];
                 for lane in &lanes[range] {
-                    // SAFETY: each lane's index set {start + k*stride}
-                    // is disjoint from every other lane's (lanes
-                    // partition the tensor), and this worker owns its
-                    // contiguous lane range exclusively.
                     for (k, g) in gather.iter_mut().enumerate().take(lane.len) {
+                        // SAFETY: a lane's index set {start + k·stride,
+                        // k < len} lies in bounds of the tensor buffer,
+                        // lanes partition the tensor, and each worker
+                        // owns a disjoint lane range — so no other
+                        // thread touches these indices.
                         *g = unsafe { ptr.read(lane.start + k * lane.stride) };
                     }
                     if forward_dir {
@@ -107,6 +110,9 @@ fn transform_axis_threaded(
                         kernel.inverse_lane(&gather, &mut result);
                     }
                     for (k, &r) in result.iter().enumerate().take(lane.len) {
+                        // SAFETY: same disjoint-lane argument as the
+                        // read above; this worker exclusively owns
+                        // every index of this lane.
                         unsafe { ptr.write(lane.start + k * lane.stride, r) };
                     }
                 }

@@ -1,0 +1,98 @@
+//! Regenerates the corrupt-input corpus under `tests/corpus/`.
+//!
+//! Each file is a deliberately damaged checkpoint artifact exercising a
+//! distinct decoder failure path; `tests/corrupt_corpus.rs` asserts
+//! every one of them decodes to an `Err` — never a panic and never
+//! silently wrong data. The generator is deterministic (fixed seeds,
+//! fixed corruption sites) so re-running it reproduces the checked-in
+//! bytes exactly.
+//!
+//! Run with: `cargo run --example gen_corpus`
+
+use lossy_ckpt::deflate::{chunked, gzip, Level};
+use lossy_ckpt::prelude::*;
+use std::fs;
+use std::path::Path;
+
+fn lcg_bytes(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    fs::create_dir_all(&dir).expect("create tests/corpus");
+    let write = |name: &str, bytes: &[u8]| {
+        let path = dir.join(name);
+        fs::write(&path, bytes).expect("write corpus file");
+        println!("{:>6} bytes  {}", bytes.len(), path.display());
+    };
+
+    let payload = lcg_bytes(20_000, 42);
+
+    // 1. WPK1 container cut off in the middle of the member-length
+    //    index: the chunk count promises more index entries than exist.
+    let wpk1 = chunked::compress_chunked(&payload, Level::Default, 4096, 2);
+    write("wpk1_truncated_index.bin", &wpk1[..34]);
+
+    // 2. WPK1 with a flipped CRC byte inside the first member's gzip
+    //    trailer: the geometry parses, the member checksum must not.
+    let mut bad = wpk1.clone();
+    let index_end = 30 + 8 * 5; // five 4096-byte chunks of 20 kB
+    let member0_len =
+        u64::from_le_bytes(wpk1[30..38].try_into().unwrap()) as usize;
+    bad[index_end + member0_len - 8] ^= 0xFF;
+    write("wpk1_bad_member_crc.bin", &bad);
+
+    // 3. WPK1 whose header claims a multi-gigabyte payload over a tiny
+    //    body: the decompression-bomb guard must reject it before
+    //    allocating.
+    let mut bomb = chunked::compress_chunked(&payload[..64], Level::Default, 4096, 1);
+    bomb[10..18].copy_from_slice(&(8u64 << 30).to_le_bytes()); // total = 8 GiB
+    write("wpk1_bomb_total.bin", &bomb);
+
+    // 4. WPK1 with a zeroed member length in the index: the member
+    //    lengths no longer span the body.
+    let mut zeroed = wpk1.clone();
+    zeroed[30..38].copy_from_slice(&0u64.to_le_bytes());
+    write("wpk1_zero_member.bin", &zeroed);
+
+    // 5. gzip stream truncated mid-body.
+    let gz = gzip::compress(&payload, Level::Default);
+    write("gzip_truncated.bin", &gz[..gz.len() / 2]);
+
+    // 6. gzip with a flipped ISIZE byte: inflate succeeds, the trailer
+    //    cross-check must not.
+    let mut gz_isize = gz.clone();
+    let n = gz_isize.len();
+    gz_isize[n - 1] ^= 0x01;
+    write("gzip_bad_isize.bin", &gz_isize);
+
+    // 7. Checkpoint image with an unknown variable-mode byte.
+    let field = generate(&FieldSpec::small(FieldKind::Temperature, 7));
+    let mut b = lossy_ckpt::core::checkpoint::CheckpointBuilder::new(3);
+    b.add_raw("temperature", &field).unwrap();
+    let img = b.into_bytes();
+    let mut bad_mode = img.clone();
+    // Layout: magic(4) version(1) step(8) count(2) namelen(2) name(11) mode(1).
+    bad_mode[4 + 1 + 8 + 2 + 2 + 11] = 9;
+    write("ckpt_bad_mode.bin", &bad_mode);
+
+    // 8. Checkpoint image truncated inside a variable payload.
+    write("ckpt_truncated.bin", &img[..img.len() - 100]);
+
+    // 9. Lossy WCK1 stream with a corrupted subband byte: the
+    //    container CRC (gzip layer) must catch it.
+    let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    let mut stream = comp.compress(&field).unwrap().bytes;
+    let mid = stream.len() / 2;
+    stream[mid] ^= 0x20;
+    write("wck1_corrupt_body.bin", &stream);
+
+    // 10. Pure noise: must be rejected by every container sniffer.
+    write("noise.bin", &lcg_bytes(4096, 1234));
+}
