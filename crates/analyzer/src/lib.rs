@@ -46,6 +46,7 @@ pub const DECODE_FILES: &[&str] = &[
     "crates/deflate/src/inflate.rs",
     "crates/deflate/src/bitio.rs",
     "crates/deflate/src/huffman.rs",
+    "crates/store/src/manifest.rs",
 ];
 
 /// Functions that receive bytes from disk/network: the BFS roots.
@@ -62,6 +63,8 @@ pub const ENTRY_POINTS: &[&str] = &[
     "apply",
     "decompress_chunked",
     "decompress_chunked_with_limit",
+    "inspect",
+    "parse_manifest",
     "decompress_member",
     "inflate",
     "inflate_with_limit",

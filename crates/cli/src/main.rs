@@ -14,6 +14,7 @@
 
 mod args;
 mod commands;
+mod store_cmd;
 
 use std::process::ExitCode;
 
@@ -38,6 +39,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "decompress" => commands::decompress(rest),
         "info" => commands::info(rest),
         "gen" => commands::gen(rest),
+        "store" => store_cmd::dispatch(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

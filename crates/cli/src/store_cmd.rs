@@ -1,0 +1,355 @@
+//! `ckpt store` — operate a crash-consistent checkpoint repository.
+
+use crate::args::Args;
+use ckpt_store::{SegmentFormat, Store};
+
+pub const STORE_USAGE: &str = "\
+USAGE:
+  ckpt store save    <dir> <rank0-file> [rank1-file ...] [--step N]
+                     [--format checkpoint|array|auto] [--base GEN] [--threads N]
+  ckpt store restore <dir> [--gen N] [--rank N] [--raw true] -o out
+  ckpt store list    <dir>
+  ckpt store verify  <dir>
+  ckpt store gc      <dir> [--keep N]
+
+save sniffs the payload format from its magic (CKPT image vs WCK1/WPK1
+array) unless --format is given; --base GEN saves the files as INC1
+increments chained onto generation GEN. restore materializes the latest
+committed generation (or --gen): a checkpoint image is written verbatim,
+an array chain is decompressed, increments applied, and written as raw
+little-endian f64 (--raw true copies the segment bytes instead). gc
+keeps the newest --keep (default 2) full generations plus every
+increment whose whole chain survives; unreadable segments are moved to
+quarantine/, never deleted.";
+
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = argv.split_first() else {
+        eprintln!("{STORE_USAGE}");
+        return Err("missing store subcommand".into());
+    };
+    match sub.as_str() {
+        "save" => save(rest),
+        "restore" => restore(rest),
+        "list" => list(rest),
+        "verify" => verify(rest),
+        "gc" => gc(rest),
+        "help" => {
+            println!("{STORE_USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown store subcommand {other:?}; try `ckpt store help`")),
+    }
+}
+
+fn open(dir: &str) -> Result<Store, String> {
+    let store = Store::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+    let report = store.open_report();
+    if report.truncated_bytes > 0 || !report.rolled_back_gens.is_empty() {
+        eprintln!(
+            "recovery: truncated {} torn manifest bytes, rolled back generations {:?}",
+            report.truncated_bytes, report.rolled_back_gens
+        );
+    }
+    if !report.quarantined_files.is_empty() {
+        eprintln!("recovery: quarantined {:?}", report.quarantined_files);
+    }
+    Ok(store)
+}
+
+/// Guesses the segment format from the payload's leading magic.
+fn sniff_format(payload: &[u8]) -> SegmentFormat {
+    match payload.get(..4) {
+        Some(b"CKPT") => SegmentFormat::Checkpoint,
+        _ => SegmentFormat::Array, // WCK1/WPK1/raw all save as arrays
+    }
+}
+
+fn save(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let [dir, files @ ..] = args.positional.as_slice() else {
+        return Err("save needs a store dir and at least one payload file".into());
+    };
+    if files.is_empty() {
+        return Err("save needs at least one payload file (one per rank)".into());
+    }
+    let payloads: Vec<Vec<u8>> = files
+        .iter()
+        .map(|f| std::fs::read(f).map_err(|e| format!("reading {f}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+    let step = args.get_or("step", 0u64)?;
+    let threads = args.get_or("threads", 1usize)?;
+
+    let mut store = open(dir)?;
+    let gen = if let Some(base_raw) = args.get("base") {
+        let base: u64 = base_raw.parse().map_err(|_| format!("invalid --base {base_raw:?}"))?;
+        store
+            .save_increment(step, base, &refs, threads)
+            .map_err(|e| e.to_string())?
+    } else {
+        let format = match args.get("format").unwrap_or("auto") {
+            "checkpoint" => SegmentFormat::Checkpoint,
+            "array" => SegmentFormat::Array,
+            "auto" => sniff_format(&payloads[0]),
+            other => return Err(format!("unknown --format {other:?}")),
+        };
+        store.save_full(step, format, &refs, threads).map_err(|e| e.to_string())?
+    };
+    let total: usize = payloads.iter().map(Vec::len).sum();
+    eprintln!("committed generation {gen} (step {step}, {} ranks, {total} bytes)", files.len());
+    Ok(())
+}
+
+fn restore(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let dir = args.one_positional("store dir")?;
+    let out = args.get("out").ok_or("-o/--out is required for restore")?;
+    let rank = args.get_or("rank", 0u32)?;
+    let raw = args.get_or("raw", false)?;
+
+    let store = open(dir)?;
+    let gen = match args.get("gen") {
+        Some(g) => g.parse().map_err(|_| format!("invalid --gen {g:?}"))?,
+        None => store
+            .latest_committed()
+            .ok_or("store has no committed generation to restore")?,
+    };
+    let info = store
+        .generations()
+        .into_iter()
+        .find(|g| g.gen == gen)
+        .ok_or_else(|| format!("generation {gen} not found"))?;
+
+    if raw || info.format == SegmentFormat::Checkpoint {
+        let bytes = store.read_segment(gen, rank).map_err(|e| e.to_string())?;
+        std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!(
+            "restored gen {gen} rank {rank} ({} segment, {} bytes) -> {out}",
+            info.format.name(),
+            bytes.len()
+        );
+    } else {
+        let tensor = store.restore_array(gen, rank).map_err(|e| e.to_string())?;
+        crate::commands::write_raw_tensor(out, &tensor)?;
+        let chain = store.resolve_chain(gen).map_err(|e| e.to_string())?;
+        eprintln!(
+            "restored gen {gen} rank {rank} (chain {chain:?}, dims {:?}) -> {out}",
+            tensor.dims()
+        );
+    }
+    Ok(())
+}
+
+fn list(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let dir = args.one_positional("store dir")?;
+    let store = open(dir)?;
+    let gens = store.generations();
+    if gens.is_empty() {
+        println!("(empty store)");
+        return Ok(());
+    }
+    println!("{:>8} {:>8} {:<10} {:>8} {:>5} {:>12} status", "gen", "step", "format", "base", "ranks", "bytes");
+    for g in &gens {
+        let status = match (g.committed, g.retired) {
+            (_, Some(r)) => match r {
+                ckpt_store::RetireReason::Gc => "retired(gc)",
+                ckpt_store::RetireReason::Quarantine => "quarantined",
+            },
+            (true, None) => "committed",
+            (false, None) => "uncommitted",
+        };
+        let base = if g.base_gen == g.gen { "-".to_string() } else { g.base_gen.to_string() };
+        println!(
+            "{:>8} {:>8} {:<10} {:>8} {:>5} {:>12} {status}",
+            g.gen,
+            g.step,
+            g.format.name(),
+            base,
+            g.ranks,
+            g.bytes
+        );
+    }
+    if let Some(latest) = store.latest_committed() {
+        println!("latest committed: generation {latest}");
+    }
+    Ok(())
+}
+
+fn verify(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let dir = args.one_positional("store dir")?;
+    let store = open(dir)?;
+    let report = store.verify().map_err(|e| e.to_string())?;
+    println!("checked {} segments", report.segments_checked);
+    if report.clean() {
+        println!("store is clean");
+        Ok(())
+    } else {
+        for (gen, rank, what) in &report.problems {
+            println!("PROBLEM gen {gen} rank {rank}: {what}");
+        }
+        Err(format!("{} problems found", report.problems.len()))
+    }
+}
+
+fn gc(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let dir = args.one_positional("store dir")?;
+    let keep = args.get_or("keep", 2usize)?;
+    let mut store = open(dir)?;
+    let report = store.gc(keep).map_err(|e| e.to_string())?;
+    println!(
+        "retained {:?}, pruned {:?} ({} files deleted), quarantined {:?}",
+        report.retained, report.pruned, report.files_deleted, report.quarantined
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> String {
+        let p = std::env::temp_dir().join(format!("ckpt-cli-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p.to_string_lossy().into_owned()
+    }
+
+    fn tempfile(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("ckpt-cli-store-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn save_list_verify_restore_gc_cycle() {
+        let dir = tempdir("cycle");
+        let raw = tempfile("cycle.f64");
+        let wck = tempfile("cycle.wck");
+        crate::commands::gen(&argv(&["--dims", "32x8", "-o", &raw])).unwrap();
+        crate::commands::compress(&argv(&[&raw, "--dims", "32x8", "-o", &wck])).unwrap();
+
+        // Two full generations.
+        dispatch(&argv(&["save", &dir, &wck, "--step", "10"])).unwrap();
+        dispatch(&argv(&["save", &dir, &wck, "--step", "20"])).unwrap();
+        dispatch(&argv(&["list", &dir])).unwrap();
+        dispatch(&argv(&["verify", &dir])).unwrap();
+
+        // Restore the latest to raw f64 and compare with decompress.
+        let back = tempfile("cycle.back.f64");
+        dispatch(&argv(&["restore", &dir, "-o", &back])).unwrap();
+        let direct = tempfile("cycle.direct.f64");
+        crate::commands::decompress(&argv(&[&wck, "-o", &direct])).unwrap();
+        assert_eq!(std::fs::read(&back).unwrap(), std::fs::read(&direct).unwrap());
+
+        // Raw restore hands back the exact stored segment.
+        let seg = tempfile("cycle.seg");
+        dispatch(&argv(&["restore", &dir, "--gen", "1", "--raw", "true", "-o", &seg])).unwrap();
+        assert_eq!(std::fs::read(&seg).unwrap(), std::fs::read(&wck).unwrap());
+
+        // GC to one full.
+        dispatch(&argv(&["gc", &dir, "--keep", "1"])).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.latest_committed(), Some(2));
+        assert!(store.read_segment(1, 0).is_err());
+        drop(store);
+
+        for p in [raw, wck, back, direct, seg] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_sniffs_checkpoint_magic_and_base_builds_chains() {
+        use ckpt_core::checkpoint::CheckpointBuilder;
+        use ckpt_core::incremental;
+        use ckpt_deflate::Level;
+        use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+
+        let dir = tempdir("sniff");
+        // A CKPT image is detected without --format.
+        let field = generate(&FieldSpec::small(FieldKind::Temperature, 8));
+        let mut b = CheckpointBuilder::new(5);
+        b.add_raw("t", &field).unwrap();
+        let ck = tempfile("sniff.ckpt");
+        std::fs::write(&ck, b.into_bytes()).unwrap();
+        dispatch(&argv(&["save", &dir, &ck, "--step", "5"])).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.generations()[0].format, SegmentFormat::Checkpoint);
+        drop(store);
+
+        // An increment chained onto an array generation via --base.
+        let comp =
+            ckpt_core::Compressor::new(ckpt_core::CompressorConfig::paper_proposed()).unwrap();
+        let packed = comp.compress(&field).unwrap().bytes;
+        let arr = tempfile("sniff.wck");
+        std::fs::write(&arr, &packed).unwrap();
+        dispatch(&argv(&["save", &dir, &arr, "--step", "6"])).unwrap();
+
+        let base = ckpt_core::Compressor::decompress(&packed).unwrap();
+        let mut cur = base.clone();
+        cur.map_inplace(|v| v + 2.0);
+        let (inc, _) = incremental::increment(&base, &cur, Level::Fast).unwrap();
+        let incf = tempfile("sniff.inc");
+        std::fs::write(&incf, &inc).unwrap();
+        dispatch(&argv(&["save", &dir, &incf, "--step", "7", "--base", "2"])).unwrap();
+
+        // Restoring the increment generation replays the chain.
+        let out = tempfile("sniff.out.f64");
+        dispatch(&argv(&["restore", &dir, "--gen", "3", "-o", &out])).unwrap();
+        let bytes = std::fs::read(&out).unwrap();
+        let restored: Vec<f64> =
+            bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(restored, cur.as_slice());
+
+        // Chaining onto a checkpoint generation is refused.
+        assert!(dispatch(&argv(&["save", &dir, &incf, "--base", "1"])).is_err());
+
+        for p in [ck, arr, incf, out] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_flags_on_disk_corruption() {
+        let dir = tempdir("verify");
+        let wck = tempfile("verify.wck");
+        let raw = tempfile("verify.f64");
+        crate::commands::gen(&argv(&["--dims", "16x4", "-o", &raw])).unwrap();
+        crate::commands::compress(&argv(&[&raw, "--dims", "16x4", "-o", &wck])).unwrap();
+        dispatch(&argv(&["save", &dir, &wck])).unwrap();
+
+        // Flip a byte in the committed segment.
+        let seg = std::path::Path::new(&dir).join("segments").join("00000001.0.seg");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[3] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = dispatch(&argv(&["verify", &dir])).unwrap_err();
+        assert!(err.contains("problems"), "{err}");
+
+        let _ = std::fs::remove_file(raw);
+        let _ = std::fs::remove_file(wck);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(dispatch(&argv(&[])).is_err());
+        assert!(dispatch(&argv(&["frobnicate", "/nope"])).is_err());
+        assert!(dispatch(&argv(&["save"])).is_err());
+        let dir = tempdir("badargs");
+        assert!(dispatch(&argv(&["save", &dir])).is_err(), "no payload files");
+        assert!(dispatch(&argv(&["restore", &dir, "-o", "/tmp/x"])).is_err(), "empty store");
+        assert!(dispatch(&argv(&["save", &dir, "/no/such/file"])).is_err());
+        dispatch(&argv(&["help"])).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

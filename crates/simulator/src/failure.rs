@@ -76,6 +76,48 @@ impl FailureTimeline {
     }
 }
 
+/// Where a failure-injected run keeps its checkpoints.
+///
+/// The default [`MemorySink`] models the paper's in-memory
+/// checkpoint buddy; a durable implementation (e.g. `ckpt-store`)
+/// can fail *during* `save` — the runner treats that exactly like a
+/// process crash at that step: roll back to whatever `load_latest`
+/// still returns and recompute.
+pub trait CheckpointSink {
+    /// Persists one checkpoint image taken at `step`.
+    fn save(&mut self, step: u64, image: &[u8]) -> Result<()>;
+
+    /// The most recent image that survived, if any. Called after every
+    /// failure — including a failed `save` — so implementations get a
+    /// chance to run their own recovery first.
+    fn load_latest(&mut self) -> Result<Option<Vec<u8>>>;
+}
+
+/// Keeps only the last checkpoint image in memory (no durability, can
+/// never fail). This is the classic in-memory double-buffer scheme.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    image: Option<Vec<u8>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+}
+
+impl CheckpointSink for MemorySink {
+    fn save(&mut self, _step: u64, image: &[u8]) -> Result<()> {
+        self.image = Some(image.to_vec());
+        Ok(())
+    }
+
+    fn load_latest(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(self.image.clone())
+    }
+}
+
 /// Runs the simulation to `target_step` under failure injection,
 /// checkpointing every `interval` steps (lossy if a compressor is
 /// given). On failure, the state rolls back to the last checkpoint and
@@ -87,9 +129,29 @@ pub fn run_with_failures(
     interval: u64,
     injector: &mut FailureInjector,
 ) -> Result<(ClimateSim, FailureTimeline)> {
+    let mut sink = MemorySink::new();
+    run_with_failures_sink(cfg, compressor, target_step, interval, injector, &mut sink)
+}
+
+/// [`run_with_failures`] generalized over the checkpoint destination.
+///
+/// A `sink.save` error is treated as a crash *during the checkpoint
+/// write* (the case a durable store must survive): it is recorded as a
+/// failure at that step and the run rolls back to `sink.load_latest()`
+/// — which may legitimately return an older image, or `None` for a
+/// restart from scratch. Errors from `load_latest` itself abort the
+/// run: with the checkpoint history unreadable there is nothing to
+/// roll back to.
+pub fn run_with_failures_sink(
+    cfg: SimConfig,
+    compressor: Option<&Compressor>,
+    target_step: u64,
+    interval: u64,
+    injector: &mut FailureInjector,
+    sink: &mut dyn CheckpointSink,
+) -> Result<(ClimateSim, FailureTimeline)> {
     assert!(interval >= 1, "checkpoint interval must be >= 1");
     let mut sim = ClimateSim::new(cfg);
-    let mut last_image: Option<Vec<u8>> = None;
     let mut timeline = FailureTimeline {
         failures: Vec::new(),
         checkpoints: Vec::new(),
@@ -102,18 +164,21 @@ pub fn run_with_failures(
         timeline.computed_steps += 1;
         let step = sim.step_count();
 
-        if injector.fails_at(step) && step < target_step {
+        let mut crashed = injector.fails_at(step) && step < target_step;
+        if !crashed && step.is_multiple_of(interval) {
+            let (image, _) = sim.checkpoint(compressor)?;
+            match sink.save(step, &image) {
+                Ok(()) => timeline.checkpoints.push(step),
+                // The "process" died mid-write; recover below.
+                Err(_) => crashed = true,
+            }
+        }
+        if crashed {
             timeline.failures.push(step);
-            sim = match &last_image {
-                Some(image) => ClimateSim::restore(cfg, image)?,
+            sim = match sink.load_latest()? {
+                Some(image) => ClimateSim::restore(cfg, &image)?,
                 None => ClimateSim::new(cfg), // no checkpoint yet: restart from scratch
             };
-            continue;
-        }
-        if step.is_multiple_of(interval) {
-            let (image, _) = sim.checkpoint(compressor)?;
-            last_image = Some(image);
-            timeline.checkpoints.push(step);
         }
     }
     timeline.final_step = sim.step_count();
@@ -183,6 +248,55 @@ mod tests {
         // State remains physical after lossy rollbacks.
         let (lo, hi) = sim.variable("temperature").unwrap().min_max();
         assert!(lo > 100.0 && hi < 400.0, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn sink_runner_with_memory_sink_matches_default_runner() {
+        let cfg = SimConfig::small(24);
+        let mut inj_a = FailureInjector::new(30.0, 11);
+        let mut inj_b = FailureInjector::new(30.0, 11);
+        let (sim_a, tl_a) = run_with_failures(cfg, None, 120, 10, &mut inj_a).unwrap();
+        let mut sink = MemorySink::new();
+        let (sim_b, tl_b) =
+            run_with_failures_sink(cfg, None, 120, 10, &mut inj_b, &mut sink).unwrap();
+        assert_eq!(tl_a, tl_b);
+        assert_eq!(
+            sim_a.variable("temperature").unwrap().as_slice(),
+            sim_b.variable("temperature").unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn sink_save_failure_is_a_crash_with_rollback() {
+        /// Fails the first `fail_first` saves, then behaves.
+        struct FlakySink {
+            inner: MemorySink,
+            fail_first: usize,
+            attempts: usize,
+        }
+        impl CheckpointSink for FlakySink {
+            fn save(&mut self, step: u64, image: &[u8]) -> Result<()> {
+                self.attempts += 1;
+                if self.attempts <= self.fail_first {
+                    return Err(ckpt_core::CkptError::Format("disk died mid-write".into()));
+                }
+                self.inner.save(step, image)
+            }
+            fn load_latest(&mut self) -> Result<Option<Vec<u8>>> {
+                self.inner.load_latest()
+            }
+        }
+
+        let cfg = SimConfig::small(25);
+        // No injector failures: every crash below comes from the sink.
+        let mut inj = FailureInjector::new(1e9, 1);
+        let mut sink = FlakySink { inner: MemorySink::new(), fail_first: 2, attempts: 0 };
+        let (sim, timeline) =
+            run_with_failures_sink(cfg, None, 60, 10, &mut inj, &mut sink).unwrap();
+        assert_eq!(sim.step_count(), 60);
+        assert_eq!(timeline.failures, vec![10, 10], "failed saves crash at their step");
+        assert!(timeline.wasted_steps() >= 20, "both crashes restarted from scratch");
+        assert!(timeline.checkpoints.contains(&10) || timeline.checkpoints.contains(&20));
     }
 
     #[test]

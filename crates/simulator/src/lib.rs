@@ -36,6 +36,6 @@ pub mod spectrum;
 
 pub use config::SimConfig;
 pub use diagnostics::{BudgetTrace, Diagnostics};
-pub use failure::{FailureInjector, FailureTimeline};
+pub use failure::{CheckpointSink, FailureInjector, FailureTimeline, MemorySink};
 pub use model::ClimateSim;
 pub use restart::{divergence_experiment, DivergencePoint};

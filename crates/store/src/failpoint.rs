@@ -1,0 +1,139 @@
+//! Byte-accurate kill injection for the save path.
+//!
+//! Crash consistency cannot be tested by asking the code to clean up
+//! after itself — a killed process runs no cleanup. [`FailPoint`]
+//! models SIGKILL at write granularity: every byte the save path
+//! writes draws down a shared budget, and the first operation that
+//! would exceed it writes only the bytes that fit, then returns
+//! [`StoreError::Killed`]. The store deliberately performs **no**
+//! cleanup on that error (it marks itself poisoned instead), leaving
+//! the partial on-disk state exactly as a kill would. Reopening the
+//! store exercises the same recovery a real restart would.
+//!
+//! The budget is an atomic shared across the pool workers that write
+//! rank segments concurrently, so kills also land mid-parallel-save.
+
+use crate::{Result, StoreError};
+use std::io::Write;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared write budget; `None` budget means unlimited (production).
+#[derive(Clone, Debug, Default)]
+pub struct FailPoint {
+    /// Remaining bytes before the injected kill; unlimited when absent.
+    budget: Option<Arc<AtomicI64>>,
+    /// Total bytes written through this fail point (always counted, so
+    /// tests can measure a save to enumerate its kill points).
+    written: Arc<AtomicU64>,
+}
+
+impl FailPoint {
+    /// A fail point that never fires.
+    pub fn unlimited() -> Self {
+        FailPoint::default()
+    }
+
+    /// A fail point that kills the writer after `n` more bytes.
+    pub fn after_bytes(n: u64) -> Self {
+        FailPoint {
+            budget: Some(Arc::new(AtomicI64::new(i64::try_from(n).unwrap_or(i64::MAX)))),
+            written: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Bytes written through this fail point so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// Errors with [`StoreError::Killed`] if the budget is exhausted.
+    /// Zero-byte barrier used before metadata operations (fsync,
+    /// rename) so kills can land *between* writes too.
+    pub fn check(&self) -> Result<()> {
+        match &self.budget {
+            Some(b) if b.load(Ordering::Relaxed) <= 0 => Err(StoreError::Killed),
+            _ => Ok(()),
+        }
+    }
+
+    /// Writes `buf` to `sink`, honoring the kill budget: if the budget
+    /// covers only a prefix, that prefix is written (a torn write) and
+    /// the kill fires.
+    pub fn write_all<W: Write>(&self, sink: &mut W, buf: &[u8]) -> Result<()> {
+        let allowed = match &self.budget {
+            None => buf.len(),
+            Some(b) => {
+                let len = i64::try_from(buf.len()).unwrap_or(i64::MAX);
+                let before = b.fetch_sub(len, Ordering::Relaxed);
+                usize::try_from(before.clamp(0, len)).unwrap_or(0)
+            }
+        };
+        let torn = &buf[..allowed];
+        sink.write_all(torn)?;
+        self.written.fetch_add(torn.len() as u64, Ordering::Relaxed);
+        if allowed < buf.len() {
+            // Flush what the "kernel" already accepted, then die.
+            let _ = sink.flush();
+            return Err(StoreError::Killed);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_writes_everything() {
+        let fp = FailPoint::unlimited();
+        let mut out = Vec::new();
+        fp.write_all(&mut out, b"hello").unwrap();
+        fp.check().unwrap();
+        assert_eq!(out, b"hello");
+        assert_eq!(fp.bytes_written(), 5);
+    }
+
+    #[test]
+    fn budget_tears_the_write_at_the_exact_byte() {
+        let fp = FailPoint::after_bytes(3);
+        let mut out = Vec::new();
+        assert!(matches!(fp.write_all(&mut out, b"hello"), Err(StoreError::Killed)));
+        assert_eq!(out, b"hel");
+        assert_eq!(fp.bytes_written(), 3);
+        // Dead is dead: later writes produce nothing.
+        assert!(matches!(fp.write_all(&mut out, b"more"), Err(StoreError::Killed)));
+        assert_eq!(out, b"hel");
+        assert!(fp.check().is_err());
+    }
+
+    #[test]
+    fn zero_budget_kills_before_any_byte() {
+        let fp = FailPoint::after_bytes(0);
+        let mut out = Vec::new();
+        assert!(fp.check().is_err());
+        assert!(fp.write_all(&mut out, b"x").is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn budget_boundary_exactly_at_write_end_survives() {
+        let fp = FailPoint::after_bytes(5);
+        let mut out = Vec::new();
+        fp.write_all(&mut out, b"hello").unwrap();
+        // Budget now exhausted: the *next* op dies.
+        assert!(fp.check().is_err());
+    }
+
+    #[test]
+    fn clones_share_one_budget() {
+        let fp = FailPoint::after_bytes(4);
+        let fp2 = fp.clone();
+        let mut out = Vec::new();
+        fp.write_all(&mut out, b"ab").unwrap();
+        assert!(fp2.write_all(&mut out, b"cdef").is_err());
+        assert_eq!(out, b"abcd");
+        assert_eq!(fp.bytes_written(), 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! Garbage collection: quarantine unreadable generations, then prune
+//! by the keep-last-K-fulls retention policy.
+//!
+//! Two invariants the tests pin down:
+//!
+//! * GC never deletes a segment reachable from a retained chain — an
+//!   increment is retained only if its *entire* chain down to a
+//!   retained full is, and a full is never pruned while a retained
+//!   increment chains onto it.
+//! * Unreadable segments are **moved** to `quarantine/`, never
+//!   deleted; only the retention policy deletes files, and only after
+//!   the matching `Retire` record is durably in the manifest.
+
+use crate::layout::segment_name;
+use crate::manifest::{RetireReason, SegmentFormat};
+use crate::store::Store;
+use crate::Result;
+use std::collections::BTreeSet;
+use std::fs;
+
+/// What one GC pass did.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Live generations surviving the pass.
+    pub retained: Vec<u64>,
+    /// Generations retired by retention; their files were deleted.
+    pub pruned: Vec<u64>,
+    /// Generations retired because a segment was unreadable; their
+    /// files were moved to `quarantine/`.
+    pub quarantined: Vec<u64>,
+    /// Segment files deleted by retention.
+    pub files_deleted: usize,
+}
+
+impl Store {
+    /// Runs one GC pass: first a readability scan (CRC against the
+    /// manifest) that quarantines damaged generations, then retention
+    /// keeping the newest `keep_fulls` full generations plus every
+    /// increment whose whole chain is retained. `keep_fulls` is
+    /// clamped to at least 1 so GC can never empty a non-empty store.
+    pub fn gc(&mut self, keep_fulls: usize) -> Result<GcReport> {
+        let keep_fulls = keep_fulls.max(1);
+        let mut report = GcReport::default();
+
+        // Phase 1: quarantine generations with unreadable segments.
+        let live: Vec<u64> = self
+            .generations()
+            .into_iter()
+            .filter(|g| g.committed && g.retired.is_none())
+            .map(|g| g.gen)
+            .collect();
+        let mut damaged = Vec::new();
+        for &gen in &live {
+            let ranks = self.gen_state(gen)?.segs.len() as u32;
+            if (0..ranks).any(|rank| self.read_segment(gen, rank).is_err()) {
+                damaged.push((gen, RetireReason::Quarantine));
+            }
+        }
+        if !damaged.is_empty() {
+            // Record first: if we crash mid-move, recovery sees the
+            // retired generation and sweeps the leftovers itself.
+            self.append_retires(&damaged)?;
+            for &(gen, reason) in &damaged {
+                let ranks = {
+                    let g = self.gens_mut().get_mut(&gen).expect("damaged gen is live");
+                    g.retired = Some(reason);
+                    g.segs.len() as u32
+                };
+                for rank in 0..ranks {
+                    let src = self.layout().segment_path(gen, rank);
+                    if src.exists() {
+                        let dst = self.layout().quarantine_path(&segment_name(gen, rank));
+                        let _ = fs::rename(&src, &dst);
+                    }
+                }
+                report.quarantined.push(gen);
+            }
+        }
+
+        // Phase 2: retention over the survivors.
+        let survivors: Vec<u64> =
+            live.iter().copied().filter(|g| !report.quarantined.contains(g)).collect();
+        let fulls: Vec<u64> = survivors
+            .iter()
+            .copied()
+            .filter(|&g| {
+                self.gen_state(g).map(|s| s.format != SegmentFormat::Increment).unwrap_or(false)
+            })
+            .collect();
+        let mut retained: BTreeSet<u64> =
+            fulls.iter().rev().take(keep_fulls).copied().collect();
+        // Ascending order: a base generation always precedes its
+        // increments, so one pass settles every chain.
+        for &gen in &survivors {
+            let s = self.gen_state(gen)?;
+            if s.format == SegmentFormat::Increment && retained.contains(&s.base_gen) {
+                retained.insert(gen);
+            }
+        }
+
+        let pruned: Vec<(u64, RetireReason)> = survivors
+            .iter()
+            .copied()
+            .filter(|g| !retained.contains(g))
+            .map(|g| (g, RetireReason::Gc))
+            .collect();
+        if !pruned.is_empty() {
+            // Retire records become durable before any file dies, so a
+            // crash mid-delete leaves retired leftovers recovery can
+            // sweep, never a committed generation missing files.
+            self.append_retires(&pruned)?;
+            for &(gen, reason) in &pruned {
+                let ranks = {
+                    let g = self.gens_mut().get_mut(&gen).expect("pruned gen is live");
+                    g.retired = Some(reason);
+                    g.segs.len() as u32
+                };
+                for rank in 0..ranks {
+                    if fs::remove_file(self.layout().segment_path(gen, rank)).is_ok() {
+                        report.files_deleted += 1;
+                    }
+                }
+                report.pruned.push(gen);
+            }
+        }
+
+        report.retained = retained.into_iter().collect();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::SegmentFormat;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ckpt-store-gc-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn payload(tag: u8) -> Vec<u8> {
+        (0..200u32).map(|i| (i as u8).wrapping_mul(tag)).collect()
+    }
+
+    /// Raw-bytes generations are enough to exercise retention; the
+    /// chain math never looks inside payloads.
+    fn full(store: &mut Store, step: u64, tag: u8) -> u64 {
+        store.save_full(step, SegmentFormat::Array, &[&payload(tag)], 1).unwrap()
+    }
+
+    #[test]
+    fn retention_keeps_last_k_fulls() {
+        let dir = scratch("keep-k");
+        let mut store = Store::open(&dir).unwrap();
+        let gens: Vec<u64> = (0..5).map(|i| full(&mut store, 100 + i, i as u8 + 1)).collect();
+        let report = store.gc(2).unwrap();
+        assert_eq!(report.retained, gens[3..].to_vec());
+        assert_eq!(report.pruned, gens[..3].to_vec());
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.files_deleted, 3);
+        for &g in &gens[..3] {
+            assert!(!store.layout().segment_path(g, 0).exists());
+            assert!(store.read_segment(g, 0).is_err(), "pruned gen must not restore");
+        }
+        assert_eq!(store.latest_committed(), Some(gens[4]));
+        // Reopen sees the same picture: retires are durable.
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.latest_committed(), Some(gens[4]));
+        assert!(store.read_segment(gens[0], 0).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn increments_live_and_die_with_their_chain() {
+        let dir = scratch("chains");
+        let mut store = Store::open(&dir).unwrap();
+        let f1 = full(&mut store, 10, 1);
+        let i1 = store.save_increment(11, f1, &[&payload(2)], 1).unwrap();
+        let i2 = store.save_increment(12, i1, &[&payload(3)], 1).unwrap();
+        let f2 = full(&mut store, 20, 4);
+        let i3 = store.save_increment(21, f2, &[&payload(5)], 1).unwrap();
+
+        // keep_fulls=1 retains f2 and its increment; f1's chain dies
+        // as a unit.
+        let report = store.gc(1).unwrap();
+        assert_eq!(report.retained, vec![f2, i3]);
+        assert_eq!(report.pruned, vec![f1, i1, i2]);
+        // Retained chain files all still on disk (the acceptance
+        // invariant: GC never removes segments reachable from a
+        // retained chain).
+        for g in [f2, i3] {
+            assert!(store.layout().segment_path(g, 0).exists());
+        }
+        assert_eq!(store.resolve_chain(i3).unwrap(), vec![f2, i3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_segments_are_quarantined_not_deleted() {
+        let dir = scratch("quarantine");
+        let mut store = Store::open(&dir).unwrap();
+        let g1 = full(&mut store, 1, 1);
+        let g2 = full(&mut store, 2, 2);
+        // Corrupt g1's segment on disk.
+        let p = store.layout().segment_path(g1, 0);
+        let mut bytes = fs::read(&p).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&p, &bytes).unwrap();
+
+        let report = store.gc(10).unwrap();
+        assert_eq!(report.quarantined, vec![g1]);
+        assert_eq!(report.retained, vec![g2]);
+        assert!(report.pruned.is_empty());
+        assert!(!store.layout().segment_path(g1, 0).exists());
+        // The damaged bytes survive in quarantine for forensics.
+        let q = store.layout().quarantine.join(segment_name(g1, 0));
+        assert_eq!(fs::read(&q).unwrap(), bytes);
+        assert_eq!(store.latest_committed(), Some(g2));
+        // Durable across reopen.
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.latest_committed(), Some(g2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_never_empties_the_store() {
+        let dir = scratch("min-keep");
+        let mut store = Store::open(&dir).unwrap();
+        let g = full(&mut store, 7, 9);
+        let report = store.gc(0).unwrap(); // clamped to keep 1
+        assert_eq!(report.retained, vec![g]);
+        assert!(report.pruned.is_empty());
+        assert_eq!(store.latest_committed(), Some(g));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn increment_onto_quarantined_base_is_pruned() {
+        let dir = scratch("orphan-inc");
+        let mut store = Store::open(&dir).unwrap();
+        let f1 = full(&mut store, 1, 1);
+        let i1 = store.save_increment(2, f1, &[&payload(2)], 1).unwrap();
+        let f2 = full(&mut store, 3, 3);
+        // Damage the base full: its increment is useless without it.
+        let p = store.layout().segment_path(f1, 0);
+        fs::write(&p, b"garbage").unwrap();
+
+        let report = store.gc(10).unwrap();
+        assert_eq!(report.quarantined, vec![f1]);
+        assert_eq!(report.pruned, vec![i1]);
+        assert_eq!(report.retained, vec![f2]);
+        assert!(store.resolve_chain(i1).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,133 @@
+//! # ckpt-store
+//!
+//! A crash-consistent on-disk checkpoint repository. The compression
+//! pipeline ([`ckpt_core`]) produces checkpoint *bytes*; this crate
+//! answers the operational question the paper's whole premise depends
+//! on: after a failure — including a failure *during a checkpoint
+//! write* — which bytes are safe to restart from?
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/
+//!   manifest              append-only commit log (CSM1, CRC-framed)
+//!   segments/             committed payloads, one file per rank
+//!     <gen:08>.<rank>.seg
+//!   quarantine/           unreadable/orphaned segments (never deleted)
+//!   tmp/                  staging area for in-flight segment writes
+//! ```
+//!
+//! ## Commit protocol
+//!
+//! A generation (one multi-rank checkpoint) becomes durable in two
+//! ordered phases:
+//!
+//! 1. every rank's payload is written to `tmp/`, fsynced, and renamed
+//!    into `segments/` (rename is atomic on POSIX); the segments
+//!    directory is fsynced once after the last rename;
+//! 2. the manifest records (`Begin`, one `Seg` per rank, `Commit`) are
+//!    appended in a **single** buffered write and fsynced.
+//!
+//! A kill at any byte boundary therefore leaves either: no manifest
+//! mention of the new generation (its files are swept to quarantine on
+//! the next open), or a torn manifest tail (truncated on the next
+//! open, same sweep), or a fully committed generation. Previously
+//! committed generations are never touched by the save path, so the
+//! last committed generation is always restorable. [`Store::open`]
+//! performs exactly this recovery; [`failpoint::FailPoint`] lets tests
+//! inject a byte-accurate kill into every write of the save path.
+//!
+//! ## Generation chains
+//!
+//! A generation is either *full* (a `CKPT` checkpoint image or a
+//! `WCK1`/`WPK1` compressed array per rank) or *incremental* (an
+//! `INC1` increment per rank against a base generation, see
+//! `ckpt_core::incremental`). Restore resolves the chain base-first;
+//! GC retains the last K fulls plus every increment whose entire chain
+//! is retained, and quarantines unreadable segments instead of
+//! deleting them.
+
+pub mod failpoint;
+pub mod gc;
+pub mod layout;
+pub mod manifest;
+pub mod segment;
+pub mod store;
+
+pub use failpoint::FailPoint;
+pub use gc::GcReport;
+pub use manifest::{RetireReason, SegmentFormat};
+pub use store::{GenInfo, OpenReport, Store, VerifyReport};
+
+use std::fmt;
+
+/// Any failure while operating the checkpoint store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem I/O failure.
+    Io(std::io::Error),
+    /// The on-disk state is inconsistent beyond crash recovery (bad
+    /// manifest header, CRC mismatch in a committed segment, …).
+    Corrupt(String),
+    /// An injected fail-point fired: the simulated process was killed
+    /// mid-write. The store object is poisoned and must be reopened.
+    Killed,
+    /// A previous save failed; the in-memory view may not match disk.
+    /// Reopen the store to recover.
+    Poisoned,
+    /// The requested generation/rank does not exist or is not
+    /// restorable (uncommitted, retired, or an empty store).
+    NotFound(String),
+    /// A recovery chain cannot be resolved (missing or retired base,
+    /// format mismatch, cycle).
+    Chain(String),
+    /// Payload decode failure surfaced by verify/restore.
+    Ckpt(ckpt_core::CkptError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Corrupt(why) => write!(f, "store corrupt: {why}"),
+            StoreError::Killed => write!(f, "fail-point kill injected mid-write"),
+            StoreError::Poisoned => {
+                write!(f, "store poisoned by a failed save; reopen to recover")
+            }
+            StoreError::NotFound(what) => write!(f, "not found: {what}"),
+            StoreError::Chain(why) => write!(f, "recovery chain error: {why}"),
+            StoreError::Ckpt(e) => write!(f, "payload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Ckpt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ckpt_core::CkptError> for StoreError {
+    fn from(e: ckpt_core::CkptError) -> Self {
+        StoreError::Ckpt(e)
+    }
+}
+
+impl From<ckpt_deflate::DeflateError> for StoreError {
+    fn from(e: ckpt_deflate::DeflateError) -> Self {
+        StoreError::Ckpt(ckpt_core::CkptError::Deflate(e))
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

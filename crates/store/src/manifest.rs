@@ -1,0 +1,394 @@
+//! The `CSM1` manifest: an append-only, CRC-framed commit log.
+//!
+//! The manifest is the single source of truth for what is committed.
+//! Segment files carry raw payload bytes; every fact *about* them
+//! (length, CRC, generation membership, commit status, retirement)
+//! lives here, so recovery never has to trust a partially-written
+//! segment.
+//!
+//! ```text
+//! header   : "CSM1" + version u8 (=1) + 3 reserved zero bytes
+//! record   : u32 body_len | u32 crc32(body) | body
+//! body     : u8 kind, then per kind:
+//!   1 Begin  : gen u64, step u64, format u8, base_gen u64, ranks u32
+//!   2 Seg    : gen u64, rank u32, payload_len u64, payload crc32 u32
+//!   3 Commit : gen u64
+//!   4 Retire : gen u64, reason u8 (0 gc, 1 quarantine)
+//! ```
+//!
+//! The scanner ([`parse_manifest`]) accepts the longest valid prefix
+//! and reports where it ends; a torn append (the only corruption our
+//! single-writer crash model can produce) is recovered by truncating
+//! to that point. The parser is panic-free on arbitrary bytes — it is
+//! part of `ckpt-lint`'s decoder scope.
+
+use crate::{Result, StoreError};
+use ckpt_core::wire::{ByteReader, ByteWriter};
+use ckpt_deflate::crc32::crc32;
+
+/// Manifest magic.
+pub const MAGIC: [u8; 4] = *b"CSM1";
+/// Current manifest version.
+pub const VERSION: u8 = 1;
+/// Header length: magic + version + 3 reserved bytes.
+pub const HEADER_LEN: usize = 8;
+/// Upper bound on one record body; real bodies are tens of bytes, so
+/// anything larger is garbage and ends the valid prefix.
+pub const MAX_RECORD_BODY: usize = 1 << 16;
+
+/// What a generation's segments contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentFormat {
+    /// A full multi-variable `CKPT` checkpoint image.
+    Checkpoint,
+    /// A full compressed array (`WCK1`, possibly in a gzip/`WPK1`
+    /// container) or raw bytes.
+    Array,
+    /// An `INC1` increment against `base_gen`.
+    Increment,
+}
+
+impl SegmentFormat {
+    /// Wire tag.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            SegmentFormat::Checkpoint => 0,
+            SegmentFormat::Array => 1,
+            SegmentFormat::Increment => 2,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(SegmentFormat::Checkpoint),
+            1 => Some(SegmentFormat::Array),
+            2 => Some(SegmentFormat::Increment),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name for listings.
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentFormat::Checkpoint => "checkpoint",
+            SegmentFormat::Array => "array",
+            SegmentFormat::Increment => "increment",
+        }
+    }
+}
+
+/// Why a generation was retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireReason {
+    /// Pruned by the retention policy; files deleted.
+    Gc,
+    /// A segment was unreadable; files moved to `quarantine/`.
+    Quarantine,
+}
+
+impl RetireReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            RetireReason::Gc => 0,
+            RetireReason::Quarantine => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(RetireReason::Gc),
+            1 => Some(RetireReason::Quarantine),
+            _ => None,
+        }
+    }
+}
+
+/// One manifest record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// Opens a generation; all `Seg` records for it follow.
+    Begin { gen: u64, step: u64, format: SegmentFormat, base_gen: u64, ranks: u32 },
+    /// One rank's payload metadata.
+    Seg { gen: u64, rank: u32, payload_len: u64, crc: u32 },
+    /// Marks the generation durable; only committed generations are
+    /// restorable.
+    Commit { gen: u64 },
+    /// Removes a generation from the live set (GC or quarantine).
+    Retire { gen: u64, reason: RetireReason },
+}
+
+impl Record {
+    /// The generation this record belongs to.
+    pub fn gen(&self) -> u64 {
+        match *self {
+            Record::Begin { gen, .. }
+            | Record::Seg { gen, .. }
+            | Record::Commit { gen }
+            | Record::Retire { gen, .. } => gen,
+        }
+    }
+}
+
+/// The manifest file header.
+pub fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4] = VERSION;
+    h
+}
+
+/// Frames one record (length + CRC + body).
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    let mut body = ByteWriter::with_capacity(40);
+    match *rec {
+        Record::Begin { gen, step, format, base_gen, ranks } => {
+            body.put_u8(1);
+            body.put_u64(gen);
+            body.put_u64(step);
+            body.put_u8(format.to_u8());
+            body.put_u64(base_gen);
+            body.put_u32(ranks);
+        }
+        Record::Seg { gen, rank, payload_len, crc } => {
+            body.put_u8(2);
+            body.put_u64(gen);
+            body.put_u32(rank);
+            body.put_u64(payload_len);
+            body.put_u32(crc);
+        }
+        Record::Commit { gen } => {
+            body.put_u8(3);
+            body.put_u64(gen);
+        }
+        Record::Retire { gen, reason } => {
+            body.put_u8(4);
+            body.put_u64(gen);
+            body.put_u8(reason.to_u8());
+        }
+    }
+    let body = body.into_bytes();
+    let len = u32::try_from(body.len()).unwrap_or(u32::MAX);
+    let mut out = ByteWriter::with_capacity(8 + body.len());
+    out.put_u32(len);
+    out.put_u32(crc32(&body));
+    out.put_bytes(&body);
+    out.into_bytes()
+}
+
+/// Result of scanning a manifest: the records of the longest valid
+/// prefix, and that prefix's byte length. `valid_len < bytes.len()`
+/// means a torn tail that recovery should truncate away.
+#[derive(Debug, Clone)]
+pub struct ManifestScan {
+    pub records: Vec<Record>,
+    /// Byte offset where each record starts, parallel to `records`.
+    pub offsets: Vec<usize>,
+    pub valid_len: usize,
+}
+
+/// Scans a manifest image. Errors only when the 8-byte header itself
+/// is invalid (which a crash cannot produce — the header is written
+/// and fsynced once, at store creation); everything after the header
+/// is scanned tolerantly.
+pub fn parse_manifest(bytes: &[u8]) -> Result<ManifestScan> {
+    let head = bytes
+        .get(..HEADER_LEN)
+        .ok_or_else(|| StoreError::Corrupt("manifest shorter than its header".into()))?;
+    if head.get(..4) != Some(MAGIC.as_slice()) {
+        return Err(StoreError::Corrupt("bad manifest magic".into()));
+    }
+    if head.get(4) != Some(&VERSION) {
+        return Err(StoreError::Corrupt("unsupported manifest version".into()));
+    }
+    let mut records = Vec::new();
+    let mut offsets = Vec::new();
+    let mut at = HEADER_LEN;
+    while let Some((rec, next)) = parse_record_at(bytes, at) {
+        records.push(rec);
+        offsets.push(at);
+        at = next;
+    }
+    Ok(ManifestScan { records, offsets, valid_len: at })
+}
+
+/// Parses the record starting at `at`; `None` when the frame is
+/// truncated, oversized, CRC-damaged, or semantically unknown — all of
+/// which end the valid prefix.
+fn parse_record_at(bytes: &[u8], at: usize) -> Option<(Record, usize)> {
+    let frame = bytes.get(at..)?;
+    let mut r = ByteReader::new(frame);
+    let body_len = usize::try_from(r.get_u32().ok()?).ok()?;
+    if body_len > MAX_RECORD_BODY {
+        return None;
+    }
+    let stored_crc = r.get_u32().ok()?;
+    let body = r.get_bytes(body_len).ok()?;
+    if crc32(body) != stored_crc {
+        return None;
+    }
+    let rec = decode_body(body)?;
+    let next = at.checked_add(8)?.checked_add(body_len)?;
+    Some((rec, next))
+}
+
+/// Decodes one record body; strict about trailing bytes.
+fn decode_body(body: &[u8]) -> Option<Record> {
+    let mut r = ByteReader::new(body);
+    let rec = match r.get_u8().ok()? {
+        1 => Record::Begin {
+            gen: r.get_u64().ok()?,
+            step: r.get_u64().ok()?,
+            format: SegmentFormat::from_u8(r.get_u8().ok()?)?,
+            base_gen: r.get_u64().ok()?,
+            ranks: r.get_u32().ok()?,
+        },
+        2 => Record::Seg {
+            gen: r.get_u64().ok()?,
+            rank: r.get_u32().ok()?,
+            payload_len: r.get_u64().ok()?,
+            crc: r.get_u32().ok()?,
+        },
+        3 => Record::Commit { gen: r.get_u64().ok()? },
+        4 => Record::Retire {
+            gen: r.get_u64().ok()?,
+            reason: RetireReason::from_u8(r.get_u8().ok()?)?,
+        },
+        _ => return None,
+    };
+    r.expect_end().ok()?;
+    Some(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Begin {
+                gen: 1,
+                step: 720,
+                format: SegmentFormat::Checkpoint,
+                base_gen: 1,
+                ranks: 2,
+            },
+            Record::Seg { gen: 1, rank: 0, payload_len: 1234, crc: 0xDEADBEEF },
+            Record::Seg { gen: 1, rank: 1, payload_len: 99, crc: 7 },
+            Record::Commit { gen: 1 },
+            Record::Retire { gen: 1, reason: RetireReason::Quarantine },
+        ]
+    }
+
+    fn image(records: &[Record]) -> Vec<u8> {
+        let mut bytes = header_bytes().to_vec();
+        for r in records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        bytes
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let recs = sample_records();
+        let bytes = image(&recs);
+        let scan = parse_manifest(&bytes).unwrap();
+        assert_eq!(scan.records, recs);
+        assert_eq!(scan.valid_len, bytes.len());
+        assert_eq!(scan.offsets.len(), recs.len());
+        assert_eq!(scan.offsets[0], HEADER_LEN);
+    }
+
+    #[test]
+    fn torn_tail_ends_the_valid_prefix() {
+        let recs = sample_records();
+        let bytes = image(&recs);
+        let scan_full = parse_manifest(&bytes).unwrap();
+        // Cut anywhere strictly inside the last record: the prefix must
+        // end exactly at the last record's start.
+        let last_start = *scan_full.offsets.last().unwrap();
+        for cut in last_start + 1..bytes.len() {
+            let scan = parse_manifest(&bytes[..cut]).unwrap();
+            assert_eq!(scan.records.len(), recs.len() - 1, "cut={cut}");
+            assert_eq!(scan.valid_len, last_start, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn crc_flip_ends_the_valid_prefix() {
+        let recs = sample_records();
+        let mut bytes = image(&recs);
+        let scan_full = parse_manifest(&bytes).unwrap();
+        let third_start = scan_full.offsets[2];
+        bytes[third_start + 10] ^= 0x40; // inside record 3's body
+        let scan = parse_manifest(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, third_start);
+    }
+
+    #[test]
+    fn bad_header_is_fatal() {
+        assert!(parse_manifest(b"").is_err());
+        assert!(parse_manifest(b"CSM").is_err());
+        let mut bytes = header_bytes().to_vec();
+        bytes[0] = b'X';
+        assert!(parse_manifest(&bytes).is_err());
+        let mut bytes = header_bytes().to_vec();
+        bytes[4] = 99;
+        assert!(parse_manifest(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_manifest_is_valid() {
+        let scan = parse_manifest(&header_bytes()).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, HEADER_LEN);
+    }
+
+    #[test]
+    fn oversized_or_unknown_records_end_the_prefix() {
+        let mut bytes = header_bytes().to_vec();
+        // A frame claiming a 1 GiB body.
+        bytes.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 100]);
+        let scan = parse_manifest(&bytes).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, HEADER_LEN);
+
+        // A well-framed record with an unknown kind byte.
+        let body = [9u8, 1, 2, 3];
+        let mut bytes = header_bytes().to_vec();
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let scan = parse_manifest(&bytes).unwrap();
+        assert!(scan.records.is_empty());
+    }
+
+    #[test]
+    fn format_and_reason_tags_roundtrip() {
+        for f in [SegmentFormat::Checkpoint, SegmentFormat::Array, SegmentFormat::Increment] {
+            assert_eq!(SegmentFormat::from_u8(f.to_u8()), Some(f));
+            assert!(!f.name().is_empty());
+        }
+        assert_eq!(SegmentFormat::from_u8(9), None);
+        assert_eq!(RetireReason::from_u8(0), Some(RetireReason::Gc));
+        assert_eq!(RetireReason::from_u8(1), Some(RetireReason::Quarantine));
+        assert_eq!(RetireReason::from_u8(2), None);
+    }
+
+    /// Random bytes after a valid header never panic the scanner.
+    #[test]
+    fn noise_scan_is_total() {
+        let mut state = 77u64;
+        for len in [0usize, 1, 7, 64, 1024] {
+            let mut bytes = header_bytes().to_vec();
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                bytes.push((state >> 33) as u8);
+            }
+            let scan = parse_manifest(&bytes).unwrap();
+            assert!(scan.valid_len <= bytes.len());
+        }
+    }
+}

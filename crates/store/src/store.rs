@@ -1,0 +1,593 @@
+//! The checkpoint repository: open-time recovery, atomic multi-rank
+//! saves, chain-resolving restores, and verification.
+
+use crate::failpoint::FailPoint;
+use crate::layout::{self, Layout};
+use crate::manifest::{self, Record, RetireReason, SegmentFormat};
+use crate::segment;
+use crate::{Result, StoreError};
+use ckpt_core::checkpoint::Checkpoint;
+use ckpt_core::incremental;
+use ckpt_core::Compressor;
+use ckpt_deflate::crc32::crc32;
+use ckpt_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+
+/// Longest base chain restore will follow before declaring a cycle.
+const MAX_CHAIN: usize = 1024;
+
+/// Per-rank metadata from a committed `Seg` record.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SegMeta {
+    pub payload_len: u64,
+    pub crc: u32,
+}
+
+/// In-memory state of one generation.
+#[derive(Debug, Clone)]
+pub(crate) struct GenState {
+    pub step: u64,
+    pub format: SegmentFormat,
+    pub base_gen: u64,
+    pub segs: Vec<Option<SegMeta>>,
+    pub committed: bool,
+    pub retired: Option<RetireReason>,
+}
+
+impl GenState {
+    /// Committed and not retired: eligible for restore.
+    pub fn live(&self) -> bool {
+        self.committed && self.retired.is_none()
+    }
+}
+
+/// Public listing entry for one generation.
+#[derive(Debug, Clone)]
+pub struct GenInfo {
+    pub gen: u64,
+    pub step: u64,
+    pub format: SegmentFormat,
+    /// Base generation (== `gen` for full generations).
+    pub base_gen: u64,
+    pub ranks: u32,
+    /// Total committed payload bytes across ranks.
+    pub bytes: u64,
+    pub committed: bool,
+    pub retired: Option<RetireReason>,
+}
+
+/// What open-time recovery had to do.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Torn manifest bytes truncated away.
+    pub truncated_bytes: u64,
+    /// Generations rolled back (Begin without Commit).
+    pub rolled_back_gens: Vec<u64>,
+    /// Segment files swept to `quarantine/` (orphans and rollbacks).
+    pub quarantined_files: Vec<String>,
+    /// Staging files removed from `tmp/`.
+    pub tmp_files_removed: usize,
+}
+
+/// Verification outcome; `problems` is empty for a healthy store.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// (generation, rank) pairs whose segments were checked.
+    pub segments_checked: usize,
+    /// (gen, rank, what) triples describing each corruption found.
+    pub problems: Vec<(u64, u32, String)>,
+}
+
+impl VerifyReport {
+    /// True when every committed segment checked out.
+    pub fn clean(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// A crash-consistent checkpoint repository rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    layout: Layout,
+    gens: BTreeMap<u64, GenState>,
+    next_gen: u64,
+    poisoned: bool,
+    failpoint: FailPoint,
+    open_report: OpenReport,
+}
+
+impl Store {
+    /// Opens (or creates) a store, running crash recovery: truncate
+    /// any torn manifest tail, roll back uncommitted generations,
+    /// sweep orphaned segments to quarantine, and clear `tmp/`.
+    pub fn open(root: impl AsRef<std::path::Path>) -> Result<Store> {
+        let layout = Layout::new(root);
+        layout.create_dirs()?;
+        let mut report = OpenReport::default();
+
+        // Create the manifest header durably before anything else.
+        if !layout.manifest.exists() {
+            let mut f = fs::File::create(&layout.manifest)?;
+            f.write_all(&manifest::header_bytes())?;
+            f.sync_all()?;
+            layout::fsync_dir(&layout.root)?;
+        }
+        let bytes = fs::read(&layout.manifest)?;
+        let scan = manifest::parse_manifest(&bytes)?;
+
+        // 1. Torn tail → truncate back to the last valid record.
+        if scan.valid_len < bytes.len() {
+            report.truncated_bytes = (bytes.len() - scan.valid_len) as u64;
+            let f = fs::OpenOptions::new().write(true).open(&layout.manifest)?;
+            f.set_len(scan.valid_len as u64)?;
+            f.sync_all()?;
+        }
+
+        // 2. Interpret the valid prefix.
+        let mut gens: BTreeMap<u64, GenState> = BTreeMap::new();
+        let mut max_gen = 0u64;
+        for rec in &scan.records {
+            max_gen = max_gen.max(rec.gen());
+            match *rec {
+                Record::Begin { gen, step, format, base_gen, ranks } => {
+                    gens.entry(gen).or_insert_with(|| GenState {
+                        step,
+                        format,
+                        base_gen,
+                        segs: vec![None; ranks as usize],
+                        committed: false,
+                        retired: None,
+                    });
+                }
+                Record::Seg { gen, rank, payload_len, crc } => {
+                    if let Some(g) = gens.get_mut(&gen) {
+                        if let Some(slot) = g.segs.get_mut(rank as usize) {
+                            *slot = Some(SegMeta { payload_len, crc });
+                        }
+                    }
+                }
+                Record::Commit { gen } => {
+                    if let Some(g) = gens.get_mut(&gen) {
+                        if g.segs.iter().all(Option::is_some) {
+                            g.committed = true;
+                        }
+                    }
+                }
+                Record::Retire { gen, reason } => {
+                    if let Some(g) = gens.get_mut(&gen) {
+                        g.retired = Some(reason);
+                    }
+                }
+            }
+        }
+
+        // 3. Roll back uncommitted generations. The single-writer save
+        // path appends a generation's records in one write, so
+        // uncommitted generations can only be a contiguous tail; if
+        // that holds, drop their records from the manifest too.
+        let dead: Vec<u64> =
+            gens.iter().filter(|(_, g)| !g.committed).map(|(&gen, _)| gen).collect();
+        if !dead.is_empty() {
+            let mut cut = scan.records.len();
+            while cut > 0 && dead.contains(&scan.records[cut - 1].gen()) {
+                cut -= 1;
+            }
+            let tail_only =
+                scan.records[cut..].iter().all(|r| dead.contains(&r.gen()))
+                    && scan.records[..cut].iter().all(|r| !dead.contains(&r.gen()));
+            if tail_only && cut < scan.records.len() {
+                let keep = scan.offsets[cut] as u64;
+                let f = fs::OpenOptions::new().write(true).open(&layout.manifest)?;
+                f.set_len(keep)?;
+                f.sync_all()?;
+            }
+            for gen in &dead {
+                gens.remove(gen);
+                report.rolled_back_gens.push(*gen);
+            }
+        }
+
+        // 4. Sweep segment files nothing live (or retired-by-record)
+        // refers to: leftovers of killed saves. Quarantine, never
+        // delete — if the manifest ever regresses, the bytes survive.
+        if let Ok(entries) = fs::read_dir(&layout.segments) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let known = layout::parse_segment_name(&name).is_some_and(|(gen, rank)| {
+                    gens.get(&gen).is_some_and(|g| {
+                        g.retired.is_none() && (rank as usize) < g.segs.len()
+                    })
+                });
+                if !known {
+                    let dst = layout.quarantine_path(&name);
+                    if fs::rename(entry.path(), &dst).is_ok() {
+                        report.quarantined_files.push(name);
+                    }
+                }
+            }
+        }
+
+        // 5. Staging files were never renamed, so nothing refers to
+        // them; remove them outright.
+        if let Ok(entries) = fs::read_dir(&layout.tmp) {
+            for entry in entries.flatten() {
+                if fs::remove_file(entry.path()).is_ok() {
+                    report.tmp_files_removed += 1;
+                }
+            }
+        }
+
+        report.rolled_back_gens.sort_unstable();
+        report.quarantined_files.sort_unstable();
+        Ok(Store {
+            layout,
+            gens,
+            next_gen: max_gen + 1,
+            poisoned: false,
+            failpoint: FailPoint::unlimited(),
+            open_report: report,
+        })
+    }
+
+    /// What recovery did when this store was opened.
+    pub fn open_report(&self) -> &OpenReport {
+        &self.open_report
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.layout.root
+    }
+
+    /// Arms (or disarms, with `None`) the kill fail point for
+    /// subsequent saves. Test instrumentation.
+    pub fn set_failpoint(&mut self, kill_after_bytes: Option<u64>) {
+        self.failpoint = match kill_after_bytes {
+            Some(n) => FailPoint::after_bytes(n),
+            None => FailPoint::unlimited(),
+        };
+    }
+
+    /// Bytes written through the current fail point (measure a save
+    /// with an unlimited fail point to enumerate its kill points).
+    pub fn bytes_written(&self) -> u64 {
+        self.failpoint.bytes_written()
+    }
+
+    /// True after a failed save: disk may hold a torn write the
+    /// in-memory view does not know about. Every mutating or reading
+    /// operation refuses until the store is reopened.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn guard(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        Ok(())
+    }
+
+    /// Saves a full generation (one payload per rank) and commits it
+    /// atomically. Returns the new generation id. Rank segment writes
+    /// fan out over `threads` pool workers.
+    pub fn save_full(
+        &mut self,
+        step: u64,
+        format: SegmentFormat,
+        payloads: &[&[u8]],
+        threads: usize,
+    ) -> Result<u64> {
+        if format == SegmentFormat::Increment {
+            return Err(StoreError::Chain(
+                "save_full cannot write increments; use save_increment".into(),
+            ));
+        }
+        self.save(step, format, 0, payloads, threads)
+    }
+
+    /// Saves an incremental generation whose per-rank `INC1` payloads
+    /// were built against generation `base_gen` (which must be live
+    /// and itself an array or increment generation with the same rank
+    /// count).
+    pub fn save_increment(
+        &mut self,
+        step: u64,
+        base_gen: u64,
+        payloads: &[&[u8]],
+        threads: usize,
+    ) -> Result<u64> {
+        self.guard()?;
+        let base = self
+            .gens
+            .get(&base_gen)
+            .ok_or_else(|| StoreError::Chain(format!("base generation {base_gen} not found")))?;
+        if !base.live() {
+            return Err(StoreError::Chain(format!(
+                "base generation {base_gen} is not committed and live"
+            )));
+        }
+        if base.format == SegmentFormat::Checkpoint {
+            return Err(StoreError::Chain(
+                "increments chain onto array generations, not checkpoint images".into(),
+            ));
+        }
+        if base.segs.len() != payloads.len() {
+            return Err(StoreError::Chain(format!(
+                "increment has {} ranks, base generation {base_gen} has {}",
+                payloads.len(),
+                base.segs.len()
+            )));
+        }
+        self.save(step, SegmentFormat::Increment, base_gen, payloads, threads)
+    }
+
+    fn save(
+        &mut self,
+        step: u64,
+        format: SegmentFormat,
+        base_gen: u64,
+        payloads: &[&[u8]],
+        threads: usize,
+    ) -> Result<u64> {
+        self.guard()?;
+        if payloads.is_empty() {
+            return Err(StoreError::NotFound("a save needs at least one rank payload".into()));
+        }
+        if payloads.len() > u32::MAX as usize {
+            return Err(StoreError::Chain("rank count exceeds the u32 manifest field".into()));
+        }
+        let gen = self.next_gen;
+        let base_gen = if format == SegmentFormat::Increment { base_gen } else { gen };
+
+        match self.write_generation(gen, step, format, base_gen, payloads, threads) {
+            Ok(()) => {}
+            Err(e) => {
+                // A failed save is a simulated crash: run no cleanup,
+                // require a reopen (which performs real recovery).
+                self.poisoned = true;
+                return Err(e);
+            }
+        }
+
+        // Disk is durable; only now update the in-memory view.
+        self.gens.insert(
+            gen,
+            GenState {
+                step,
+                format,
+                base_gen,
+                segs: payloads
+                    .iter()
+                    .map(|p| Some(SegMeta { payload_len: p.len() as u64, crc: crc32(p) }))
+                    .collect(),
+                committed: true,
+                retired: None,
+            },
+        );
+        self.next_gen = gen + 1;
+        Ok(gen)
+    }
+
+    /// Phase 1 + 2 of the commit protocol (see crate docs).
+    fn write_generation(
+        &mut self,
+        gen: u64,
+        step: u64,
+        format: SegmentFormat,
+        base_gen: u64,
+        payloads: &[&[u8]],
+        threads: usize,
+    ) -> Result<()> {
+        // Phase 1: segments, fanned over pool workers.
+        let ranges = ckpt_pool::partition_ranges(
+            payloads.len(),
+            ckpt_pool::effective_workers(threads, payloads.len()),
+        );
+        let layout = &self.layout;
+        let fp = &self.failpoint;
+        let results: Vec<Result<()>> = ckpt_pool::run_workers(ranges.len(), |w| {
+            for rank in ranges[w].clone() {
+                segment::write_segment(layout, gen, rank as u32, payloads[rank], fp)?;
+            }
+            Ok(())
+        });
+        for r in results {
+            r?;
+        }
+        self.failpoint.check()?;
+        layout::fsync_dir(&self.layout.segments)?;
+
+        // Phase 2: one buffered manifest append, then fsync.
+        let mut records = Vec::with_capacity(payloads.len() + 2);
+        records.push(Record::Begin {
+            gen,
+            step,
+            format,
+            base_gen,
+            ranks: payloads.len() as u32,
+        });
+        for (rank, payload) in payloads.iter().enumerate() {
+            records.push(Record::Seg {
+                gen,
+                rank: rank as u32,
+                payload_len: payload.len() as u64,
+                crc: crc32(payload),
+            });
+        }
+        records.push(Record::Commit { gen });
+        self.append_records(&records)
+    }
+
+    /// Appends records to the manifest in a single write + fsync,
+    /// through the fail point.
+    fn append_records(&self, records: &[Record]) -> Result<()> {
+        let mut buf = Vec::new();
+        for r in records {
+            buf.extend_from_slice(&manifest::encode_record(r));
+        }
+        let mut f = fs::OpenOptions::new().append(true).open(&self.layout.manifest)?;
+        self.failpoint.write_all(&mut f, &buf)?;
+        self.failpoint.check()?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Lists every generation the manifest knows, ascending.
+    pub fn generations(&self) -> Vec<GenInfo> {
+        self.gens
+            .iter()
+            .map(|(&gen, g)| GenInfo {
+                gen,
+                step: g.step,
+                format: g.format,
+                base_gen: g.base_gen,
+                ranks: g.segs.len() as u32,
+                bytes: g
+                    .segs
+                    .iter()
+                    .flatten()
+                    .map(|s| s.payload_len)
+                    .sum(),
+                committed: g.committed,
+                retired: g.retired,
+            })
+            .collect()
+    }
+
+    /// The newest live generation, if any.
+    pub fn latest_committed(&self) -> Option<u64> {
+        self.gens.iter().rev().find(|(_, g)| g.live()).map(|(&gen, _)| gen)
+    }
+
+    /// The newest live *full* generation (restorable without a chain).
+    pub fn latest_full(&self) -> Option<u64> {
+        self.gens
+            .iter()
+            .rev()
+            .find(|(_, g)| g.live() && g.format != SegmentFormat::Increment)
+            .map(|(&gen, _)| gen)
+    }
+
+    pub(crate) fn gen_state(&self, gen: u64) -> Result<&GenState> {
+        self.gens
+            .get(&gen)
+            .ok_or_else(|| StoreError::NotFound(format!("generation {gen}")))
+    }
+
+    pub(crate) fn gens_mut(&mut self) -> &mut BTreeMap<u64, GenState> {
+        &mut self.gens
+    }
+
+    pub(crate) fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    pub(crate) fn append_retires(&self, gens: &[(u64, RetireReason)]) -> Result<()> {
+        let records: Vec<Record> =
+            gens.iter().map(|&(gen, reason)| Record::Retire { gen, reason }).collect();
+        self.append_records(&records)
+    }
+
+    /// Reads one committed segment, CRC-checked against the manifest.
+    pub fn read_segment(&self, gen: u64, rank: u32) -> Result<Vec<u8>> {
+        self.guard()?;
+        let g = self.gen_state(gen)?;
+        if !g.live() {
+            return Err(StoreError::NotFound(format!(
+                "generation {gen} is not committed and live"
+            )));
+        }
+        let meta = g
+            .segs
+            .get(rank as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| StoreError::NotFound(format!("gen {gen} rank {rank}")))?;
+        segment::read_segment(&self.layout, gen, rank, meta.payload_len, meta.crc)
+    }
+
+    /// Resolves the recovery chain of `(gen, rank)`: the generations
+    /// to replay, base-first (a full generation resolves to itself).
+    pub fn resolve_chain(&self, gen: u64) -> Result<Vec<u64>> {
+        self.guard()?;
+        let mut chain = vec![];
+        let mut cur = gen;
+        for _ in 0..MAX_CHAIN {
+            let g = self.gen_state(cur)?;
+            if !g.live() {
+                return Err(StoreError::Chain(format!(
+                    "chain for generation {gen} needs generation {cur}, which is not live"
+                )));
+            }
+            chain.push(cur);
+            if g.format != SegmentFormat::Increment {
+                chain.reverse();
+                return Ok(chain);
+            }
+            cur = g.base_gen;
+        }
+        Err(StoreError::Chain(format!("chain for generation {gen} exceeds {MAX_CHAIN} links")))
+    }
+
+    /// Reads every payload of the recovery chain, base-first.
+    pub fn restore_chain(&self, gen: u64, rank: u32) -> Result<Vec<Vec<u8>>> {
+        self.resolve_chain(gen)?
+            .into_iter()
+            .map(|g| self.read_segment(g, rank))
+            .collect()
+    }
+
+    /// Restores a full checkpoint image (format `Checkpoint`).
+    pub fn restore_checkpoint(&self, gen: u64, rank: u32) -> Result<Checkpoint> {
+        let g = self.gen_state(gen)?;
+        if g.format != SegmentFormat::Checkpoint {
+            return Err(StoreError::Chain(format!(
+                "generation {gen} holds {} payloads, not checkpoint images",
+                g.format.name()
+            )));
+        }
+        Ok(Checkpoint::from_bytes(&self.read_segment(gen, rank)?)?)
+    }
+
+    /// Materializes an array generation: decompresses the chain's base
+    /// `WCK1` stream and applies each `INC1` increment in order.
+    pub fn restore_array(&self, gen: u64, rank: u32) -> Result<Tensor<f64>> {
+        let chain = self.resolve_chain(gen)?;
+        let base_gen = *chain.first().ok_or_else(|| StoreError::Chain("empty chain".into()))?;
+        if self.gen_state(base_gen)?.format != SegmentFormat::Array {
+            return Err(StoreError::Chain(format!(
+                "chain base generation {base_gen} is not an array generation"
+            )));
+        }
+        let mut tensor = Compressor::decompress(&self.read_segment(base_gen, rank)?)?;
+        for &g in chain.get(1..).unwrap_or(&[]) {
+            tensor = incremental::apply(&tensor, &self.read_segment(g, rank)?)?;
+        }
+        Ok(tensor)
+    }
+
+    /// Checks every live generation's segments against the manifest
+    /// (length + CRC) and their declared format against the hardened
+    /// decoders. Read-only; never modifies the store.
+    pub fn verify(&self) -> Result<VerifyReport> {
+        self.guard()?;
+        let mut report = VerifyReport::default();
+        for (&gen, g) in &self.gens {
+            if !g.live() {
+                continue;
+            }
+            for rank in 0..g.segs.len() as u32 {
+                report.segments_checked += 1;
+                let check = self
+                    .read_segment(gen, rank)
+                    .and_then(|bytes| segment::verify_payload(g.format, &bytes));
+                if let Err(e) = check {
+                    report.problems.push((gen, rank, e.to_string()));
+                }
+            }
+        }
+        Ok(report)
+    }
+}

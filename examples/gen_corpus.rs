@@ -95,4 +95,32 @@ fn main() {
 
     // 10. Pure noise: must be rejected by every container sniffer.
     write("noise.bin", &lcg_bytes(4096, 1234));
+
+    // INC1 increments against the deterministic base the corpus tests
+    // rebuild (Pressure field, seed 11, every 7th element perturbed).
+    let base = generate(&FieldSpec::small(FieldKind::Pressure, 11));
+    let mut cur = base.clone();
+    for i in (0..cur.len()).step_by(7) {
+        cur.as_mut_slice()[i] += 1.5;
+    }
+    let (inc, _) =
+        lossy_ckpt::core::incremental::increment(&base, &cur, Level::Default).unwrap();
+
+    // 11. INC1 truncated mid-stream: the gzip layer must error.
+    write("inc1_truncated.bin", &inc[..inc.len() / 2]);
+
+    // 12. INC1 with a lying dirty-page map: flip the first bitmap bit
+    //     inside the decompressed image and re-pack; the XOR payload no
+    //     longer matches the map, so apply must reject it.
+    let mut inner = gzip::decompress(&inc).unwrap();
+    let bitmap_at = 4 + 1 + 8 * base.ndim() + 8; // magic, ndim, dims, pages
+    inner[bitmap_at] ^= 0x01;
+    write("inc1_bad_page_map.bin", &gzip::compress(&inner, Level::Default));
+
+    // 13. INC1 with a flipped byte in the gzip trailer CRC: inflate
+    //     succeeds, the checksum cross-check must not.
+    let mut inc_crc = inc.clone();
+    let n = inc_crc.len();
+    inc_crc[n - 8] ^= 0xFF;
+    write("inc1_crc_flip.bin", &inc_crc);
 }

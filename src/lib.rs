@@ -14,7 +14,8 @@
 //! * [`core`] — the lossy checkpoint compression pipeline,
 //! * [`sim`] — the NICAM-substitute climate proxy with
 //!   checkpoint/restart,
-//! * [`cluster`] — the weak-scaling checkpoint time model.
+//! * [`cluster`] — the weak-scaling checkpoint time model,
+//! * [`store`] — the crash-consistent on-disk checkpoint repository.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the paper-to-module
 //! map.
@@ -24,6 +25,7 @@ pub use ckpt_core as core;
 pub use ckpt_deflate as deflate;
 pub use ckpt_quant as quant;
 pub use ckpt_sim as sim;
+pub use ckpt_store as store;
 pub use ckpt_tensor as tensor;
 pub use ckpt_wavelet as wavelet;
 

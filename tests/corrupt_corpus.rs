@@ -7,22 +7,33 @@
 #![allow(clippy::needless_update)]
 
 use lossy_ckpt::core::checkpoint::Checkpoint;
+use lossy_ckpt::core::incremental;
 use lossy_ckpt::deflate::{chunked, gzip, zlib, Level};
 use lossy_ckpt::prelude::*;
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The deterministic base tensor the INC1 corpus entries were built
+/// against (must match `examples/gen_corpus.rs`).
+fn inc_base() -> &'static Tensor<f64> {
+    static BASE: OnceLock<Tensor<f64>> = OnceLock::new();
+    BASE.get_or_init(|| generate(&FieldSpec::small(FieldKind::Pressure, 11)))
+}
 
 /// Decodes `bytes` through every untrusted-input entry point and
 /// asserts each returns (it may error, it must not panic or hang).
 fn all_decoders_return(bytes: &[u8]) {
     let _ = chunked::decompress_chunked(bytes, 2);
     let _ = chunked::decompress_chunked_with_limit(bytes, 2, 1 << 24);
+    let _ = chunked::inspect(bytes);
     let _ = gzip::decompress(bytes);
     let _ = gzip::decompress_with_limit(bytes, 1 << 24);
     let _ = zlib::decompress(bytes);
     let _ = lossy_ckpt::deflate::decompress(bytes);
     let _ = Compressor::decompress(bytes);
     let _ = Checkpoint::from_bytes(bytes);
+    let _ = incremental::apply(inc_base(), bytes);
 }
 
 #[test]
@@ -81,6 +92,36 @@ fn corpus_checkpoint_files_all_error() {
         all_decoders_return(bytes);
     }
     assert!(Compressor::decompress(include_bytes!("corpus/wck1_corrupt_body.bin")).is_err());
+}
+
+#[test]
+fn corpus_increment_files_all_error() {
+    for (name, bytes) in [
+        ("inc1_truncated", &include_bytes!("corpus/inc1_truncated.bin")[..]),
+        ("inc1_bad_page_map", &include_bytes!("corpus/inc1_bad_page_map.bin")[..]),
+        ("inc1_crc_flip", &include_bytes!("corpus/inc1_crc_flip.bin")[..]),
+    ] {
+        assert!(incremental::apply(inc_base(), bytes).is_err(), "{name} must fail to apply");
+        all_decoders_return(bytes);
+    }
+    // The damaged CRC is caught by the gzip checksum cross-check, not
+    // by accident further in.
+    assert!(matches!(
+        gzip::decompress(include_bytes!("corpus/inc1_crc_flip.bin")),
+        Err(lossy_ckpt::deflate::DeflateError::ChecksumMismatch { .. })
+    ));
+    // The lying dirty map decompresses fine at the container layer —
+    // it is the increment parser that must reject it.
+    assert!(gzip::decompress(include_bytes!("corpus/inc1_bad_page_map.bin")).is_ok());
+
+    // Sanity: an undamaged increment against the same base applies.
+    let base = inc_base();
+    let mut cur = base.clone();
+    for i in (0..cur.len()).step_by(7) {
+        cur.as_mut_slice()[i] += 1.5;
+    }
+    let (inc, _) = incremental::increment(base, &cur, Level::Default).unwrap();
+    assert_eq!(incremental::apply(base, &inc).unwrap(), cur);
 }
 
 proptest! {

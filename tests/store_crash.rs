@@ -1,0 +1,239 @@
+//! Crash-consistency integration: kill the checkpoint writer at
+//! *every* byte of a save, and drive the climate proxy against a
+//! durable store whose saves die mid-write.
+//!
+//! This is the acceptance test for the store's core promise: a kill at
+//! any byte boundary leaves the previous generation restorable.
+
+use lossy_ckpt::core::{Compressor, CompressorConfig};
+use lossy_ckpt::sim::failure::{run_with_failures_sink, CheckpointSink, FailureInjector};
+use lossy_ckpt::sim::{ClimateSim, SimConfig};
+use lossy_ckpt::store::{SegmentFormat, Store, StoreError};
+use lossy_ckpt::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ckpt-store-crash-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Two small real compressed-array payloads (distinct per rank).
+fn rank_payloads() -> Vec<Vec<u8>> {
+    let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    (0..2u64)
+        .map(|r| {
+            let t = Tensor::from_fn(&[16, 4], |ix| {
+                ((ix[0] * 4 + ix[1]) as f64 * 0.25 + r as f64).sin() * 50.0 + 200.0
+            })
+            .unwrap();
+            comp.compress(&t).unwrap().bytes
+        })
+        .collect()
+}
+
+/// The exhaustive sweep: for every kill byte `k` of gen 2's save, the
+/// store must reopen with gen 1 intact and bit-exact; gen 2 is either
+/// absent or fully committed and bit-exact — never half-present.
+#[test]
+fn kill_at_every_byte_preserves_previous_generation() {
+    let payloads = rank_payloads();
+    let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+
+    // Measure how many bytes one save writes (segments + manifest).
+    let total = {
+        let dir = scratch("measure");
+        let mut store = Store::open(&dir).unwrap();
+        store.save_full(1, SegmentFormat::Array, &refs, 1).unwrap();
+        store.set_failpoint(None);
+        store.save_full(2, SegmentFormat::Array, &refs, 1).unwrap();
+        let total = store.bytes_written();
+        let _ = fs::remove_dir_all(&dir);
+        total
+    };
+    assert!(total > 0, "a save must write bytes");
+
+    let dir = scratch("sweep");
+    for k in 0..=total {
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir).unwrap();
+        let g1 = store.save_full(1, SegmentFormat::Array, &refs, 1).unwrap();
+        store.set_failpoint(Some(k));
+        let outcome = store.save_full(2, SegmentFormat::Array, &refs, 1);
+        drop(store);
+
+        // The store must reopen whatever happened.
+        let store = Store::open(&dir).unwrap_or_else(|e| panic!("k={k}: reopen failed: {e}"));
+        // Gen 1 always intact, bit-exact, restorable.
+        for (rank, expect) in payloads.iter().enumerate() {
+            let got = store
+                .read_segment(g1, rank as u32)
+                .unwrap_or_else(|e| panic!("k={k}: gen1 rank {rank}: {e}"));
+            assert_eq!(&got, expect, "k={k}: gen1 rank {rank} not bit-exact");
+        }
+        // Gen 2: all-or-nothing.
+        match store.latest_committed() {
+            Some(g) if g == g1 => {
+                assert!(
+                    outcome.is_err(),
+                    "k={k}: save reported success but gen2 is not committed"
+                );
+                assert!(store.read_segment(g1 + 1, 0).is_err());
+            }
+            Some(g) => {
+                assert_eq!(g, g1 + 1, "k={k}");
+                for (rank, expect) in payloads.iter().enumerate() {
+                    let got = store.read_segment(g, rank as u32).unwrap();
+                    assert_eq!(&got, expect, "k={k}: gen2 rank {rank} not bit-exact");
+                }
+            }
+            None => panic!("k={k}: committed gen 1 vanished"),
+        }
+        let report = store.verify().unwrap();
+        assert!(report.clean(), "k={k}: verify problems: {:?}", report.problems);
+        // Recovery leaves no staging litter behind.
+        let tmp_entries = fs::read_dir(store.root().join("tmp")).unwrap().count();
+        assert_eq!(tmp_entries, 0, "k={k}: tmp/ not empty after recovery");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A durable sink whose saves can be killed mid-write by a schedule of
+/// byte budgets. A killed save poisons the store; `load_latest`
+/// reopens it (running real recovery) before answering, exactly like a
+/// restarted process would.
+struct StoreSink {
+    dir: PathBuf,
+    store: Option<Store>,
+    /// attempt index → kill budget as a fraction of the image length.
+    kills: BTreeMap<usize, f64>,
+    attempts: usize,
+    /// Every image ever handed to `save`, by step (committed or not).
+    attempted: BTreeMap<u64, Vec<u8>>,
+    /// Steps whose save returned success.
+    succeeded: Vec<u64>,
+}
+
+impl StoreSink {
+    fn new(dir: PathBuf, kills: BTreeMap<usize, f64>) -> Self {
+        StoreSink { dir, store: None, kills, attempts: 0, attempted: BTreeMap::new(), succeeded: Vec::new() }
+    }
+
+    fn store(&mut self) -> lossy_ckpt::core::Result<&mut Store> {
+        if self.store.as_ref().is_none_or(|s| s.poisoned()) {
+            let reopened = Store::open(&self.dir)
+                .map_err(|e| lossy_ckpt::core::CkptError::Format(format!("store open: {e}")))?;
+            self.store = Some(reopened);
+        }
+        Ok(self.store.as_mut().expect("just opened"))
+    }
+}
+
+impl CheckpointSink for StoreSink {
+    fn save(&mut self, step: u64, image: &[u8]) -> lossy_ckpt::core::Result<()> {
+        let attempt = self.attempts;
+        self.attempts += 1;
+        self.attempted.insert(step, image.to_vec());
+        let kill = self.kills.get(&attempt).map(|f| (image.len() as f64 * f) as u64);
+        let store = self.store()?;
+        store.set_failpoint(kill);
+        let result = store.save_full(step, SegmentFormat::Checkpoint, &[image], 1);
+        store.set_failpoint(None);
+        match result {
+            Ok(_) => {
+                self.succeeded.push(step);
+                Ok(())
+            }
+            Err(StoreError::Killed) => {
+                Err(lossy_ckpt::core::CkptError::Format("killed mid-checkpoint".into()))
+            }
+            Err(e) => Err(lossy_ckpt::core::CkptError::Format(format!("save: {e}"))),
+        }
+    }
+
+    fn load_latest(&mut self) -> lossy_ckpt::core::Result<Option<Vec<u8>>> {
+        let store = self.store()?;
+        match store.latest_committed() {
+            Some(gen) => {
+                let bytes = store.read_segment(gen, 0).map_err(|e| {
+                    lossy_ckpt::core::CkptError::Format(format!("read gen {gen}: {e}"))
+                })?;
+                Ok(Some(bytes))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// End-to-end: the climate proxy checkpoints into a store whose writer
+/// is killed mid-save several times. Every kill rolls the run back to
+/// the last committed generation; the store stays verifiable and its
+/// committed images are bit-exact copies of what the app handed over.
+#[test]
+fn simulator_survives_kills_mid_checkpoint_write() {
+    let dir = scratch("sim");
+    // Kill the very first save after 37 bytes (guaranteed mid-segment),
+    // a later one mid-manifest (99% of the image), and one in between.
+    let kills = BTreeMap::from([(0usize, 0.001f64), (2, 0.5), (4, 0.99)]);
+    let mut sink = StoreSink::new(dir.clone(), kills);
+    let cfg = SimConfig::small(31);
+    // MTBF far out: every failure in the timeline comes from the store.
+    let mut injector = FailureInjector::new(1e9, 3);
+    let (sim, timeline) =
+        run_with_failures_sink(cfg, None, 80, 10, &mut injector, &mut sink).unwrap();
+
+    assert_eq!(sim.step_count(), 80);
+    assert_eq!(timeline.failures.len(), 3, "all three scheduled kills must fire");
+    assert!(timeline.wasted_steps() > 0, "kills force recomputation");
+    assert!(!sink.succeeded.is_empty());
+
+    // Reopen cold and audit: every committed generation is bit-exact
+    // with the image the application handed to save().
+    let store = Store::open(&dir).unwrap();
+    let report = store.verify().unwrap();
+    assert!(report.clean(), "{:?}", report.problems);
+    let gens = store.generations();
+    let committed: Vec<_> = gens.iter().filter(|g| g.committed && g.retired.is_none()).collect();
+    assert!(!committed.is_empty());
+    for info in &committed {
+        let expect = sink
+            .attempted
+            .get(&info.step)
+            .unwrap_or_else(|| panic!("store has step {} the app never saved", info.step));
+        assert_eq!(&store.read_segment(info.gen, 0).unwrap(), expect, "step {}", info.step);
+        // The committed image really restores into a simulator.
+        let restored = ClimateSim::restore(cfg, &store.read_segment(info.gen, 0).unwrap()).unwrap();
+        assert_eq!(restored.step_count(), info.step);
+    }
+    // The newest committed step can only be the last successful save
+    // (or later, if a "killed" save actually reached its commit byte).
+    let latest = store.latest_committed().unwrap();
+    let latest_step = gens.iter().find(|g| g.gen == latest).unwrap().step;
+    assert!(latest_step >= *sink.succeeded.last().unwrap());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// GC under the application workload: after many generations, pruning
+/// keeps the newest fulls and the run's restart images stay readable.
+#[test]
+fn gc_after_simulated_run_keeps_latest_restorable() {
+    let dir = scratch("gc");
+    let mut sink = StoreSink::new(dir.clone(), BTreeMap::new());
+    let cfg = SimConfig::small(32);
+    let mut injector = FailureInjector::new(1e9, 5);
+    run_with_failures_sink(cfg, None, 100, 10, &mut injector, &mut sink).unwrap();
+
+    let mut store = Store::open(&dir).unwrap();
+    let before = store.generations().len();
+    assert!(before >= 10);
+    let report = store.gc(3).unwrap();
+    assert_eq!(report.retained.len(), 3);
+    assert_eq!(report.pruned.len(), before - 3);
+    let latest = store.latest_committed().unwrap();
+    let image = store.read_segment(latest, 0).unwrap();
+    let restored = ClimateSim::restore(cfg, &image).unwrap();
+    assert_eq!(restored.step_count(), 100);
+    let _ = fs::remove_dir_all(&dir);
+}
