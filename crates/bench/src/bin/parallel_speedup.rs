@@ -93,7 +93,9 @@ fn main() {
     println!();
     println!("wrote {out_path}");
     if cores < 2 {
-        println!("note: single-core host — parallel speedup cannot manifest here;");
-        println!("rerun on a multi-core machine to observe >= 2x at 4 threads.");
+        eprintln!("warning: single-core host (host_cores = 1) — thread counts above 1 time-slice");
+        eprintln!("warning: one core, so \"speedup\" columns measure overhead, not parallelism.");
+        eprintln!("warning: treat the threads=1 row as the only meaningful number in {out_path};");
+        eprintln!("warning: rerun on a multi-core machine to observe >= 2x at 4 threads.");
     }
 }

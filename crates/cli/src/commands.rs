@@ -5,6 +5,7 @@ use ckpt_core::bound::compress_bounded;
 #[cfg(test)]
 use ckpt_core::metrics::relative_error;
 use ckpt_core::{Compressor, CompressorConfig, Container};
+use ckpt_deflate::Level;
 use ckpt_quant::Method;
 use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
 use ckpt_tensor::Tensor;
@@ -16,6 +17,7 @@ USAGE:
   ckpt compress   <in.f64> --dims AxBxC [--method proposed|simple|lloyd] [--n 1..256]
                   [--d 64] [--levels 1] [--kernel haar|cdf53|cdf97]
                   [--container gzip|zlib|tempfile|none]
+                  [--level store|fast|default|best]
                   [--threads N] [--chunk-bytes BYTES]
                   [--bound FRACTION] [-o out.wck]
   ckpt decompress <in.wck> [--threads N] [-o out.f64]
@@ -60,6 +62,17 @@ pub(crate) fn write_raw_tensor(path: &str, t: &Tensor<f64>) -> Result<(), String
     std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))
 }
 
+/// Parses a `--level` value; shared with `ckpt store save`.
+pub(crate) fn parse_level(name: &str) -> Result<Level, String> {
+    match name {
+        "store" => Ok(Level::Store),
+        "fast" => Ok(Level::Fast),
+        "default" => Ok(Level::Default),
+        "best" => Ok(Level::Best),
+        other => Err(format!("unknown --level {other:?} (store|fast|default|best)")),
+    }
+}
+
 fn config_from(args: &Args) -> Result<CompressorConfig, String> {
     let mut cfg = CompressorConfig::paper_proposed();
     cfg = match args.get("method").unwrap_or("proposed") {
@@ -84,6 +97,7 @@ fn config_from(args: &Args) -> Result<CompressorConfig, String> {
         "none" => cfg.with_container(Container::None),
         other => return Err(format!("unknown --container {other:?}")),
     };
+    cfg = cfg.with_level(parse_level(args.get("level").unwrap_or("default"))?);
     cfg = cfg.with_threads(args.get_or("threads", 1usize)?);
     if let Some(raw) = args.get("chunk-bytes") {
         let chunk: usize =
@@ -383,7 +397,21 @@ mod tests {
         assert!(
             config_from(&Args::parse(&["--container".into(), "7z".into()]).unwrap()).is_err()
         );
+        assert!(config_from(&Args::parse(&["--level".into(), "turbo".into()]).unwrap()).is_err());
         assert!(gen(&["--dims".into(), "4x4".into()]).is_err()); // missing -o
+    }
+
+    #[test]
+    fn level_flag_reaches_the_compressor_config() {
+        for (name, level) in
+            [("store", Level::Store), ("fast", Level::Fast), ("best", Level::Best)]
+        {
+            let cfg =
+                config_from(&Args::parse(&["--level".into(), name.into()]).unwrap()).unwrap();
+            assert_eq!(cfg.level, level);
+        }
+        let default = config_from(&Args::parse(&[]).unwrap()).unwrap();
+        assert_eq!(default.level, Level::Default);
     }
 
     #[test]

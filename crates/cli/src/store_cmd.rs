@@ -1,12 +1,14 @@
 //! `ckpt store` — operate a crash-consistent checkpoint repository.
 
 use crate::args::Args;
+use ckpt_deflate::Level;
 use ckpt_store::{SegmentFormat, Store};
 
 pub const STORE_USAGE: &str = "\
 USAGE:
   ckpt store save    <dir> <rank0-file> [rank1-file ...] [--step N]
-                     [--format checkpoint|array|auto] [--base GEN] [--threads N]
+                     [--format checkpoint|array|auto] [--base GEN]
+                     [--level store|fast|default|best] [--threads N]
   ckpt store restore <dir> [--gen N] [--rank N] [--raw true] -o out
   ckpt store list    <dir>
   ckpt store verify  <dir>
@@ -14,7 +16,11 @@ USAGE:
 
 save sniffs the payload format from its magic (CKPT image vs WCK1/WPK1
 array) unless --format is given; --base GEN saves the files as INC1
-increments chained onto generation GEN. restore materializes the latest
+increments chained onto generation GEN. A --base payload that is not
+already a packed INC1 increment is treated as the full current array:
+the store materializes the base generation, computes the increment
+itself, and compresses it at --level (previously the level was fixed
+by whatever built the increment offline). restore materializes the latest
 committed generation (or --gen): a checkpoint image is written verbatim,
 an array chain is decompressed, increments applied, and written as raw
 little-endian f64 (--raw true copies the segment bytes instead). gc
@@ -76,13 +82,28 @@ fn save(argv: &[String]) -> Result<(), String> {
         .iter()
         .map(|f| std::fs::read(f).map_err(|e| format!("reading {f}: {e}")))
         .collect::<Result<_, _>>()?;
-    let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
     let step = args.get_or("step", 0u64)?;
     let threads = args.get_or("threads", 1usize)?;
+    let level = crate::commands::parse_level(args.get("level").unwrap_or("default"))?;
+
+    let base: Option<u64> = match args.get("base") {
+        Some(raw) => {
+            Some(raw.parse().map_err(|_| format!("invalid --base {raw:?}"))?)
+        }
+        None => None,
+    };
 
     let mut store = open(dir)?;
-    let gen = if let Some(base_raw) = args.get("base") {
-        let base: u64 = base_raw.parse().map_err(|_| format!("invalid --base {base_raw:?}"))?;
+    let payloads = match base {
+        Some(base) => payloads
+            .into_iter()
+            .enumerate()
+            .map(|(rank, bytes)| build_increment(&store, base, rank, bytes, level))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => payloads,
+    };
+    let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+    let gen = if let Some(base) = base {
         store
             .save_increment(step, base, &refs, threads)
             .map_err(|e| e.to_string())?
@@ -98,6 +119,48 @@ fn save(argv: &[String]) -> Result<(), String> {
     let total: usize = payloads.iter().map(Vec::len).sum();
     eprintln!("committed generation {gen} (step {step}, {} ranks, {total} bytes)", files.len());
     Ok(())
+}
+
+/// True when the payload is already a packed `INC1` increment: a gzip
+/// member whose inner stream leads with the INC1 magic. (The gzip
+/// header alone does not discriminate — full WCK1 arrays are gzip
+/// members too.)
+fn is_packed_increment(bytes: &[u8]) -> bool {
+    bytes.starts_with(&[0x1f, 0x8b])
+        && matches!(ckpt_deflate::gzip::decompress(bytes), Ok(inner) if inner.starts_with(b"INC1"))
+}
+
+/// Prepares one rank's payload for an incremental save. A payload that
+/// is already a packed `INC1` increment passes through untouched;
+/// anything else is taken to be the rank's full current array, and the
+/// increment is computed here against the base generation and
+/// compressed at `level`.
+fn build_increment(
+    store: &Store,
+    base_gen: u64,
+    rank: usize,
+    bytes: Vec<u8>,
+    level: Level,
+) -> Result<Vec<u8>, String> {
+    if is_packed_increment(&bytes) {
+        return Ok(bytes);
+    }
+    let rank_u32 =
+        u32::try_from(rank).map_err(|_| format!("rank {rank} exceeds the u32 manifest field"))?;
+    let current = ckpt_core::Compressor::decompress(&bytes)
+        .map_err(|e| format!("rank {rank}: payload is neither an INC1 increment nor a decodable array: {e}"))?;
+    let base = store
+        .restore_array(base_gen, rank_u32)
+        .map_err(|e| format!("rank {rank}: materializing base generation {base_gen}: {e}"))?;
+    let (packed, stats) = ckpt_core::incremental::increment(&base, &current, level)
+        .map_err(|e| format!("rank {rank}: building increment: {e}"))?;
+    eprintln!(
+        "rank {rank}: built increment against gen {base_gen} ({}/{} pages dirty, {} bytes)",
+        stats.dirty_pages,
+        stats.pages,
+        packed.len()
+    );
+    Ok(packed)
 }
 
 fn restore(argv: &[String]) -> Result<(), String> {
@@ -313,6 +376,53 @@ mod tests {
         assert!(dispatch(&argv(&["save", &dir, &incf, "--base", "1"])).is_err());
 
         for p in [ck, arr, incf, out] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_base_builds_increment_in_store_at_requested_level() {
+        let dir = tempdir("level");
+        let raw = tempfile("level.f64");
+        let wck = tempfile("level.wck");
+        crate::commands::gen(&argv(&["--dims", "64x16", "-o", &raw])).unwrap();
+        crate::commands::compress(&argv(&[&raw, "--dims", "64x16", "-o", &wck])).unwrap();
+        dispatch(&argv(&["save", &dir, &wck, "--step", "1"])).unwrap();
+
+        // Drift the state and compress the *full* new array — no
+        // offline increment. `save --base` must build it in-store.
+        let base = ckpt_core::Compressor::decompress(&std::fs::read(&wck).unwrap()).unwrap();
+        let mut cur = base.clone();
+        cur.map_inplace(|v| v + 1.5);
+        let rawf = tempfile("level.cur.f64");
+        let wck2 = tempfile("level.cur.wck");
+        crate::commands::write_raw_tensor(&rawf, &cur).unwrap();
+        crate::commands::compress(&argv(&[&rawf, "--dims", "64x16", "-o", &wck2])).unwrap();
+        dispatch(&argv(&["save", &dir, &wck2, "--step", "2", "--base", "1", "--level", "fast"]))
+            .unwrap();
+
+        // The stored segment is a packed INC1 increment, and the chain
+        // restores to the lossy image the full array decodes to.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.generations()[1].format, SegmentFormat::Increment);
+        drop(store);
+        let out = tempfile("level.out.f64");
+        dispatch(&argv(&["restore", &dir, "--gen", "2", "-o", &out])).unwrap();
+        let bytes = std::fs::read(&out).unwrap();
+        let restored: Vec<f64> =
+            bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        let expect = ckpt_core::Compressor::decompress(&std::fs::read(&wck2).unwrap()).unwrap();
+        assert_eq!(restored, expect.as_slice());
+
+        // The level knob is validated, and pre-built increments still
+        // pass through untouched (covered by the sniff test too).
+        assert!(dispatch(&argv(&[
+            "save", &dir, &wck2, "--base", "1", "--level", "turbo"
+        ]))
+        .is_err());
+
+        for p in [raw, wck, rawf, wck2, out] {
             let _ = std::fs::remove_file(p);
         }
         let _ = std::fs::remove_dir_all(&dir);

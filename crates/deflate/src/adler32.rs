@@ -23,16 +23,35 @@ impl Adler32 {
         Adler32 { a: 1, b: 0 }
     }
 
-    /// Feeds bytes into the checksum.
+    /// Feeds bytes into the checksum. The modulo is deferred to once
+    /// per NMAX-byte chunk (the largest span that cannot overflow u32),
+    /// and within a chunk 16 bytes are folded at a time: over a block,
+    /// `b` advances by `16·a₀ + Σ (16−i)·xᵢ`, so the inner sums have no
+    /// loop-carried dependency and vectorize.
     pub fn update(&mut self, data: &[u8]) {
+        let mut a = self.a;
+        let mut b = self.b;
         for chunk in data.chunks(NMAX) {
-            for &byte in chunk {
-                self.a += byte as u32;
-                self.b += self.a;
+            let mut blocks = chunk.chunks_exact(16);
+            for block in &mut blocks {
+                let mut sum = 0u32;
+                let mut weighted = 0u32;
+                for (i, &x) in block.iter().enumerate() {
+                    sum += u32::from(x);
+                    weighted += (16 - i as u32) * u32::from(x);
+                }
+                b += 16 * a + weighted;
+                a += sum;
             }
-            self.a %= MOD;
-            self.b %= MOD;
+            for &byte in blocks.remainder() {
+                a += u32::from(byte);
+                b += a;
+            }
+            a %= MOD;
+            b %= MOD;
         }
+        self.a = a;
+        self.b = b;
     }
 
     /// Final checksum value.

@@ -2,6 +2,11 @@
 //! data elements are packed starting from the least-significant bit of
 //! each byte; Huffman codes are packed most-significant-bit first *of the
 //! code*, which callers handle by reversing code bits before writing.
+//!
+//! Both ends run on a 64-bit accumulator. The writer drains whole bytes
+//! with a single `extend_from_slice` of the accumulator's little-endian
+//! image per call; the reader refills with one unaligned 8-byte load
+//! and branch-free arithmetic whenever at least 8 input bytes remain.
 
 use crate::DeflateError;
 
@@ -21,18 +26,24 @@ impl BitWriter {
         Self::default()
     }
 
-    /// Writes the low `count` bits of `bits` (count <= 57 per call).
+    /// Writes the low `count` bits of `bits` (count <= 56 per call).
+    ///
+    /// Callers batching several fields into one call (a Huffman code
+    /// plus its extra bits, or a whole match token) stay within the
+    /// 56-bit budget: 15 + 5 + 15 + 13 = 48 bits worst case.
     #[inline]
     pub fn write_bits(&mut self, bits: u64, count: u32) {
-        debug_assert!(count <= 57, "bit count {count} too large for accumulator");
+        debug_assert!(count <= 56, "bit count {count} too large for accumulator");
         debug_assert!(count == 64 || bits < (1u64 << count), "extraneous high bits");
         self.acc |= bits << self.nbits;
         self.nbits += count;
-        while self.nbits >= 8 {
-            self.out.push(self.acc as u8);
-            self.acc >>= 8;
-            self.nbits -= 8;
-        }
+        // Flush every complete byte in one shot. `nbits` stays < 8
+        // between calls, so `nbits + count <= 63` and the shift below
+        // is always in range.
+        let bytes = (self.nbits / 8) as usize;
+        self.out.extend_from_slice(&self.acc.to_le_bytes()[..bytes]);
+        self.acc >>= bytes * 8;
+        self.nbits &= 7;
     }
 
     /// Pads with zero bits to the next byte boundary.
@@ -82,8 +93,27 @@ impl<'a> BitReader<'a> {
     }
 
     /// Refills the accumulator as far as possible.
+    ///
+    /// Fast path: one unaligned 8-byte little-endian load, then
+    /// branch-free advance. `nbits | 56` equals
+    /// `nbits + 8 * ((63 - nbits) >> 3)` for `nbits < 64`, i.e. the
+    /// accumulator ends up holding 56..=63 valid bits and `pos` moves
+    /// by exactly the bytes those new bits came from.
     #[inline]
     fn refill(&mut self) {
+        match self.data.get(self.pos..).and_then(|tail| tail.first_chunk::<8>()) {
+            Some(chunk) => {
+                self.acc |= u64::from_le_bytes(*chunk) << self.nbits;
+                self.pos += crate::usize_from_u32((63 - self.nbits) >> 3);
+                self.nbits |= 56;
+            }
+            None => self.refill_tail(),
+        }
+    }
+
+    /// Byte-at-a-time refill for the last < 8 bytes of input.
+    #[cold]
+    fn refill_tail(&mut self) {
         while self.nbits <= 56 {
             let Some(&b) = self.data.get(self.pos) else { break };
             self.acc |= u64::from(b) << self.nbits;
@@ -92,10 +122,10 @@ impl<'a> BitReader<'a> {
         }
     }
 
-    /// Reads `count` bits (<= 57). Errors at end of input.
+    /// Reads `count` bits (<= 56). Errors at end of input.
     #[inline]
     pub fn read_bits(&mut self, count: u32) -> Result<u64, DeflateError> {
-        debug_assert!(count <= 57);
+        debug_assert!(count <= 56);
         if self.nbits < count {
             self.refill();
             if self.nbits < count {
@@ -123,8 +153,10 @@ impl<'a> BitReader<'a> {
     /// read as zero (standard for Huffman peek at stream end).
     #[inline]
     pub fn peek_bits(&mut self, count: u32) -> u64 {
-        debug_assert!(count <= 57);
-        self.refill();
+        debug_assert!(count <= 56);
+        if self.nbits < count {
+            self.refill();
+        }
         let mask = if count >= 64 { u64::MAX } else { (1u64 << count) - 1 };
         self.acc & mask
     }
@@ -174,6 +206,15 @@ impl<'a> BitReader<'a> {
             out.push(low);
             self.acc >>= 8;
             self.nbits -= 8;
+        }
+        // The wide refill loads 8 bytes but advances `pos` by 7, so the
+        // accumulator may hold uncounted bits above `nbits` that mirror
+        // `data[pos]`. Bit reads keep that mirror consistent; jumping
+        // `pos` below would not, so drop everything past `nbits` here.
+        if self.nbits == 0 {
+            self.acc = 0;
+        } else {
+            self.acc &= (1u64 << self.nbits) - 1;
         }
         // …then bulk-copy the rest straight from the input.
         let need = len - out.len();
@@ -277,6 +318,39 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         for i in 0..10_000u64 {
             assert_eq!(r.read_bits(5).unwrap(), i % 32);
+        }
+    }
+
+    #[test]
+    fn wide_writes_interleave_with_narrow() {
+        // Maximum-width writes next to 1-bit writes exercise the
+        // multi-byte flush path at every alignment.
+        let mut w = BitWriter::new();
+        for i in 0..1_000u64 {
+            w.write_bits(i & 1, 1);
+            w.write_bits(i.wrapping_mul(0x9E37_79B9) & ((1 << 48) - 1), 48);
+            w.write_bits(i & 0x7F, 7);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..1_000u64 {
+            assert_eq!(r.read_bits(1).unwrap(), i & 1);
+            assert_eq!(r.read_bits(48).unwrap(), i.wrapping_mul(0x9E37_79B9) & ((1 << 48) - 1));
+            assert_eq!(r.read_bits(7).unwrap(), i & 0x7F);
+        }
+    }
+
+    #[test]
+    fn refill_fast_and_tail_paths_agree() {
+        // Inputs straddling the 8-byte fast-path boundary: every length
+        // from 0 to 24 bytes, read back bit by bit.
+        for n in 0..24usize {
+            let data: Vec<u8> = (0..n).map(|i| (i * 37 + 11) as u8).collect();
+            let mut r = BitReader::new(&data);
+            for (i, &b) in data.iter().enumerate() {
+                assert_eq!(r.read_bits(8).unwrap(), u64::from(b), "len {n} byte {i}");
+            }
+            assert!(r.read_bits(1).is_err());
         }
     }
 

@@ -1,16 +1,25 @@
 //! DEFLATE block encoder (RFC 1951).
 //!
-//! The input is tokenized once, then split into segments of roughly
-//! [`SEGMENT_BYTES`] source bytes; each segment is emitted as whichever
-//! block type is cheapest — stored, fixed-Huffman, or dynamic-Huffman
-//! (stored blocks chunk at the 65 535-byte limit). Per-segment Huffman
-//! tables matter for checkpoint streams, whose sections have very
-//! different statistics (f64 low band, then one-byte quantizer
-//! indexes, then a bitmap).
+//! Tokens stream from the LZ77 matcher straight into a segment encoder
+//! (fused tokenize→encode: no whole-input `Vec<Token>`). The encoder
+//! buffers one segment of roughly [`SEGMENT_BYTES`] source bytes as
+//! packed `u32` tokens while accumulating symbol histograms and
+//! extra-bit counts, then emits the segment as whichever block type is
+//! cheapest — stored, fixed-Huffman, or dynamic-Huffman (stored blocks
+//! chunk at the 65 535-byte limit). Per-segment Huffman tables matter
+//! for checkpoint streams, whose sections have very different
+//! statistics (f64 low band, then one-byte quantizer indexes, then a
+//! bitmap).
+//!
+//! Length and distance symbols resolve through precomputed tables
+//! (`LEN_CODE`, `DIST_SYM_LO`/`DIST_SYM_HI`) instead of per-token
+//! linear scans, and a match emits its four fields (length code, length
+//! extra, distance code, distance extra — at most 48 bits) with a
+//! single accumulator write.
 
 use crate::bitio::BitWriter;
 use crate::huffman::{code_lengths, Encoder};
-use crate::lz77::{self, Token};
+use crate::lz77::{self, TokenSink};
 use crate::Level;
 
 /// Number of literal/length symbols (0..=285, 286/287 reserved).
@@ -47,36 +56,90 @@ pub const DIST_TABLE: [(u16, u8); 30] = [
 pub const CLCODE_ORDER: [usize; 19] =
     [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
 
+/// `LEN_CODE[len - 3] = (length_code_index, extra_bits, extra_value)`,
+/// precomputed for every legal match length.
+const LEN_CODE: [(u8, u8, u8); 256] = build_len_code();
+
+const fn build_len_code() -> [(u8, u8, u8); 256] {
+    let mut t = [(0u8, 0u8, 0u8); 256];
+    let mut len = 3usize;
+    while len <= 258 {
+        // Last code whose base <= len; length 258 lands on code 285
+        // (extra 0), not 284 + extra 31.
+        let mut idx = 0usize;
+        let mut i = 0usize;
+        while i < 29 {
+            if LENGTH_TABLE[i].0 as usize <= len {
+                idx = i;
+            }
+            i += 1;
+        }
+        let base = LENGTH_TABLE[idx].0 as usize;
+        t[len - 3] = (idx as u8, LENGTH_TABLE[idx].1, (len - base) as u8);
+        len += 1;
+    }
+    t
+}
+
+/// Distance-to-code maps: `DIST_SYM_LO[d - 1]` for d in 1..=256, and
+/// `DIST_SYM_HI[(d - 1) >> 7]` for d in 257..=32768 (every 128-wide
+/// slice above 256 falls inside one distance bucket, since all bases
+/// above 257 sit on 128-byte boundaries).
+const DIST_SYM_LO: [u8; 256] = build_dist_sym_lo();
+const DIST_SYM_HI: [u8; 256] = build_dist_sym_hi();
+
+const fn dist_code_of(d: usize) -> u8 {
+    let mut idx = 0usize;
+    let mut i = 0usize;
+    while i < 30 {
+        if DIST_TABLE[i].0 as usize <= d {
+            idx = i;
+        }
+        i += 1;
+    }
+    idx as u8
+}
+
+const fn build_dist_sym_lo() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut d = 1usize;
+    while d <= 256 {
+        t[d - 1] = dist_code_of(d);
+        d += 1;
+    }
+    t
+}
+
+const fn build_dist_sym_hi() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    // Index j covers distances j*128+1 ..= (j+1)*128; entries 0 and 1
+    // are shadowed by DIST_SYM_LO.
+    let mut j = 2usize;
+    while j < 256 {
+        t[j] = dist_code_of(j * 128 + 1);
+        j += 1;
+    }
+    t
+}
+
 /// Maps a match length (3..=258) to `(symbol, extra_bits, extra_value)`.
+#[inline]
 pub fn length_symbol(len: u16) -> (usize, u8, u16) {
     debug_assert!((3..=258).contains(&len));
-    // Find the last code whose base <= len. Lengths are dense; a linear
-    // scan over 29 entries is fine (called per token; table is tiny and
-    // cached).
-    let mut idx = 0;
-    for (i, &(base, _)) in LENGTH_TABLE.iter().enumerate() {
-        if base <= len {
-            idx = i;
-        } else {
-            break;
-        }
-    }
-    // Length 258 must use code 285 (extra 0), not 284 + extra 31.
-    let (base, extra) = LENGTH_TABLE[idx];
-    (257 + idx, extra, len - base)
+    let (idx, extra, val) = LEN_CODE[len as usize - 3];
+    (257 + idx as usize, extra, val as u16)
 }
 
 /// Maps a distance (1..=32768) to `(symbol, extra_bits, extra_value)`.
+#[inline]
 pub fn dist_symbol(dist: u16) -> (usize, u8, u16) {
     debug_assert!(dist >= 1);
-    let mut idx = 0;
-    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
-        if base <= dist {
-            idx = i;
-        } else {
-            break;
-        }
-    }
+    let d = dist as usize;
+    let idx = if d <= 256 {
+        DIST_SYM_LO[d - 1] as usize
+    } else {
+        DIST_SYM_HI[(d - 1) >> 7] as usize
+    };
     let (base, extra) = DIST_TABLE[idx];
     (idx, extra, dist - base)
 }
@@ -98,62 +161,65 @@ pub fn fixed_dist_lengths() -> Vec<u8> {
     vec![5u8; 32]
 }
 
-/// Histograms a token stream into literal/length and distance frequency
-/// tables (including the mandatory end-of-block symbol).
-fn histogram(tokens: &[Token]) -> (Vec<u64>, Vec<u64>) {
-    let mut lit = vec![0u64; NUM_LITLEN];
-    let mut dist = vec![0u64; NUM_DIST];
-    for &t in tokens {
-        match t {
-            Token::Literal(b) => lit[b as usize] += 1,
-            Token::Match { len, dist: d } => {
-                lit[length_symbol(len).0] += 1;
-                dist[dist_symbol(d).0] += 1;
-            }
-        }
-    }
-    lit[END_OF_BLOCK] += 1;
-    (lit, dist)
-}
+/// Packed token: literals are the byte value; matches set bit 31 and
+/// carry `len - 3` in bits 16..24 and `dist - 1` in bits 0..16.
+const TOKEN_MATCH: u32 = 1 << 31;
 
-/// Bit cost of coding `tokens` with the given length tables (header not
-/// included).
-fn body_cost(tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) -> usize {
-    let mut bits = lit_lens[END_OF_BLOCK] as usize;
-    for &t in tokens {
-        match t {
-            Token::Literal(b) => bits += lit_lens[b as usize] as usize,
-            Token::Match { len, dist } => {
-                let (ls, le, _) = length_symbol(len);
-                let (ds, de, _) = dist_symbol(dist);
-                bits += lit_lens[ls] as usize + le as usize;
-                bits += dist_lens[ds] as usize + de as usize;
-            }
-        }
+/// Bit cost of the token body (without the 3-bit block header) under
+/// the given code lengths, computed from the segment histograms — the
+/// extra bits were counted while tokenizing, so no token pass is
+/// needed.
+fn body_cost_from_freqs(
+    lit_freq: &[u64],
+    dist_freq: &[u64],
+    extra_bits: u64,
+    lit_lens: &[u8],
+    dist_lens: &[u8],
+) -> u64 {
+    let mut bits = extra_bits;
+    for (&f, &l) in lit_freq.iter().zip(lit_lens) {
+        bits += f * u64::from(l);
+    }
+    for (&f, &l) in dist_freq.iter().zip(dist_lens) {
+        bits += f * u64::from(l);
     }
     bits
 }
 
-/// Writes the token body with prepared encoders.
-fn write_body(w: &mut BitWriter, tokens: &[Token], lit: &Encoder, dist: &Encoder) {
+/// Writes the packed token body with prepared encoders. Each match is
+/// one accumulator write: length code + length extra + distance code +
+/// distance extra never exceed 15 + 5 + 15 + 13 = 48 bits.
+fn write_body(w: &mut BitWriter, tokens: &[u32], lit: &Encoder, dist: &Encoder) {
     for &t in tokens {
-        match t {
-            Token::Literal(b) => lit.write(w, b as usize),
-            Token::Match { len, dist: d } => {
-                let (ls, le, lv) = length_symbol(len);
-                lit.write(w, ls);
-                if le > 0 {
-                    w.write_bits(lv as u64, le as u32);
-                }
-                let (ds, de, dv) = dist_symbol(d);
-                dist.write(w, ds);
-                if de > 0 {
-                    w.write_bits(dv as u64, de as u32);
-                }
-            }
+        if t & TOKEN_MATCH == 0 {
+            let e = lit.entry(t as usize);
+            w.write_bits(u64::from(e & 0x00FF_FFFF), e >> 24);
+        } else {
+            let (li, le, lv) = LEN_CODE[(t >> 16) as usize & 0xFF];
+            let e1 = lit.entry(257 + li as usize);
+            let mut acc = u64::from(e1 & 0x00FF_FFFF);
+            let mut n = e1 >> 24;
+            acc |= u64::from(lv) << n;
+            n += u32::from(le);
+
+            let d = (t & 0xFFFF) as usize + 1;
+            let di = if d <= 256 {
+                DIST_SYM_LO[d - 1] as usize
+            } else {
+                DIST_SYM_HI[(d - 1) >> 7] as usize
+            };
+            let e2 = dist.entry(di);
+            acc |= u64::from(e2 & 0x00FF_FFFF) << n;
+            n += e2 >> 24;
+            let (dbase, dextra) = DIST_TABLE[di];
+            acc |= ((d - dbase as usize) as u64) << n;
+            n += u32::from(dextra);
+
+            w.write_bits(acc, n);
         }
     }
-    lit.write(w, END_OF_BLOCK);
+    let e = lit.entry(END_OF_BLOCK);
+    w.write_bits(u64::from(e & 0x00FF_FFFF), e >> 24);
 }
 
 /// Run-length-encodes the concatenated code-length arrays into
@@ -238,7 +304,7 @@ fn plan_dynamic(lit_freq: &[u64], dist_freq: &[u64]) -> DynamicPlan {
     DynamicPlan { lit_lens, dist_lens, rle, cl_lens, hclen, header_bits }
 }
 
-fn write_dynamic_block(w: &mut BitWriter, plan: &DynamicPlan, tokens: &[Token], bfinal: bool) {
+fn write_dynamic_block(w: &mut BitWriter, plan: &DynamicPlan, tokens: &[u32], bfinal: bool) {
     w.write_bits(bfinal as u64, 1);
     w.write_bits(0b10, 2);
     w.write_bits((plan.lit_lens.len() - 257) as u64, 5);
@@ -264,7 +330,7 @@ fn write_dynamic_block(w: &mut BitWriter, plan: &DynamicPlan, tokens: &[Token], 
     write_body(w, tokens, &lit, &dist);
 }
 
-fn write_fixed_block(w: &mut BitWriter, tokens: &[Token], bfinal: bool) {
+fn write_fixed_block(w: &mut BitWriter, tokens: &[u32], bfinal: bool) {
     w.write_bits(bfinal as u64, 1);
     w.write_bits(0b01, 2);
     let lit = Encoder::from_lengths(&fixed_litlen_lengths());
@@ -296,61 +362,162 @@ fn write_stored_chunks(w: &mut BitWriter, data: &[u8], bfinal: bool) {
 /// their own Huffman tables.
 pub const SEGMENT_BYTES: usize = 128 * 1024;
 
-/// Emits one segment (tokens + the source bytes they cover) as the
-/// cheapest block type.
-fn write_segment(w: &mut BitWriter, tokens: &[Token], src: &[u8], bfinal: bool) {
-    let (lit_freq, dist_freq) = histogram(tokens);
-    let plan = plan_dynamic(&lit_freq, &dist_freq);
-    let mut lit_padded = plan.lit_lens.clone();
-    lit_padded.resize(NUM_LITLEN, 0);
-    let mut dist_padded = plan.dist_lens.clone();
-    dist_padded.resize(NUM_DIST, 0);
-    let dynamic_cost = 3 + plan.header_bits + body_cost(tokens, &lit_padded, &dist_padded);
-    let fixed_cost = 3 + body_cost(tokens, &fixed_litlen_lengths(), &fixed_dist_lengths());
-    let stored_cost = src.chunks(65_535).count().max(1) * (3 + 32) + src.len() * 8 + 7;
+/// Streaming segment encoder: the [`TokenSink`] the LZ77 matcher feeds.
+/// Buffers packed tokens for the current segment and keeps histograms
+/// and extra-bit counts current, so segment emission needs no extra
+/// pass over the tokens for costing.
+struct SegmentEncoder<'a> {
+    w: BitWriter,
+    data: &'a [u8],
+    tokens: Vec<u32>,
+    lit_freq: [u64; NUM_LITLEN],
+    dist_freq: [u64; NUM_DIST],
+    extra_bits: u64,
+    /// Source offset where the current segment starts.
+    seg_start: usize,
+    /// Source bytes covered by the buffered tokens.
+    covered: usize,
+    /// Segment reached SEGMENT_BYTES: flush before the next token so
+    /// the final segment (whatever its size) carries BFINAL.
+    boundary: bool,
+}
 
-    if stored_cost < dynamic_cost && stored_cost < fixed_cost {
-        write_stored_chunks(w, src, bfinal);
-    } else if fixed_cost <= dynamic_cost {
-        write_fixed_block(w, tokens, bfinal);
-    } else {
-        write_dynamic_block(w, &plan, tokens, bfinal);
+impl<'a> SegmentEncoder<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        SegmentEncoder {
+            w: BitWriter::new(),
+            data,
+            tokens: Vec::with_capacity(SEGMENT_BYTES / 4),
+            lit_freq: [0; NUM_LITLEN],
+            dist_freq: [0; NUM_DIST],
+            extra_bits: 0,
+            seg_start: 0,
+            covered: 0,
+            boundary: false,
+        }
+    }
+
+    #[inline]
+    fn pre_token(&mut self) {
+        if self.boundary {
+            self.flush(false);
+        }
+    }
+
+    /// Emits the buffered segment as the cheapest block type.
+    fn flush(&mut self, bfinal: bool) {
+        self.lit_freq[END_OF_BLOCK] += 1;
+        let src = &self.data[self.seg_start..self.seg_start + self.covered];
+        let plan = plan_dynamic(&self.lit_freq, &self.dist_freq);
+        let mut lit_padded = plan.lit_lens.clone();
+        lit_padded.resize(NUM_LITLEN, 0);
+        let mut dist_padded = plan.dist_lens.clone();
+        dist_padded.resize(NUM_DIST, 0);
+        let dynamic_cost = 3
+            + plan.header_bits as u64
+            + body_cost_from_freqs(
+                &self.lit_freq,
+                &self.dist_freq,
+                self.extra_bits,
+                &lit_padded,
+                &dist_padded,
+            );
+        let fixed_cost = 3 + body_cost_from_freqs(
+            &self.lit_freq,
+            &self.dist_freq,
+            self.extra_bits,
+            &fixed_litlen_lengths(),
+            &fixed_dist_lengths(),
+        );
+        let stored_cost = (src.chunks(65_535).count().max(1) * (3 + 32) + src.len() * 8 + 7) as u64;
+
+        if stored_cost < dynamic_cost && stored_cost < fixed_cost {
+            write_stored_chunks(&mut self.w, src, bfinal);
+        } else if fixed_cost <= dynamic_cost {
+            write_fixed_block(&mut self.w, &self.tokens, bfinal);
+        } else {
+            write_dynamic_block(&mut self.w, &plan, &self.tokens, bfinal);
+        }
+
+        self.seg_start += self.covered;
+        self.covered = 0;
+        self.boundary = false;
+        self.tokens.clear();
+        self.lit_freq = [0; NUM_LITLEN];
+        self.dist_freq = [0; NUM_DIST];
+        self.extra_bits = 0;
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        self.flush(true);
+        self.w.finish()
+    }
+}
+
+impl TokenSink for SegmentEncoder<'_> {
+    #[inline]
+    fn literal(&mut self, byte: u8) {
+        self.pre_token();
+        self.tokens.push(u32::from(byte));
+        self.lit_freq[byte as usize] += 1;
+        self.covered += 1;
+        if self.covered >= SEGMENT_BYTES {
+            self.boundary = true;
+        }
+    }
+
+    /// Bulk literal run: one segment-boundary check per piece instead
+    /// of per byte. Splitting at `SEGMENT_BYTES - covered` reproduces
+    /// the per-byte segmentation cuts exactly.
+    fn literals(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            self.pre_token();
+            let take = rest.len().min(SEGMENT_BYTES - self.covered);
+            let (now, later) = rest.split_at(take);
+            self.tokens.extend(now.iter().map(|&b| u32::from(b)));
+            for &b in now {
+                self.lit_freq[b as usize] += 1;
+            }
+            self.covered += take;
+            if self.covered >= SEGMENT_BYTES {
+                self.boundary = true;
+            }
+            rest = later;
+        }
+    }
+
+    #[inline]
+    fn backref(&mut self, len: u32, dist: u32) {
+        self.pre_token();
+        self.tokens.push(TOKEN_MATCH | ((len - 3) << 16) | (dist - 1));
+        let (li, le, _) = LEN_CODE[(len as usize) - 3];
+        let d = dist as usize;
+        let di = if d <= 256 {
+            DIST_SYM_LO[d - 1] as usize
+        } else {
+            DIST_SYM_HI[(d - 1) >> 7] as usize
+        };
+        self.lit_freq[257 + li as usize] += 1;
+        self.dist_freq[di] += 1;
+        self.extra_bits += u64::from(le) + u64::from(DIST_TABLE[di].1);
+        self.covered += len as usize;
+        if self.covered >= SEGMENT_BYTES {
+            self.boundary = true;
+        }
     }
 }
 
 /// Compresses `data` into a raw DEFLATE stream.
 pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
-    let mut w = BitWriter::new();
     if level == Level::Store {
+        let mut w = BitWriter::new();
         write_stored_chunks(&mut w, data, true);
         return w.finish();
     }
-    let tokens = lz77::tokenize(data, level);
-
-    // Split the token stream at ~SEGMENT_BYTES source-byte boundaries.
-    let mut w_tokens = &tokens[..];
-    let mut src_pos = 0usize;
-    if tokens.is_empty() {
-        write_segment(&mut w, &[], &[], true);
-        return w.finish();
-    }
-    while !w_tokens.is_empty() {
-        let mut seg_src = 0usize;
-        let mut cut = 0usize;
-        while cut < w_tokens.len() && seg_src < SEGMENT_BYTES {
-            seg_src += match w_tokens[cut] {
-                Token::Literal(_) => 1,
-                Token::Match { len, .. } => len as usize,
-            };
-            cut += 1;
-        }
-        let (seg, rest) = w_tokens.split_at(cut);
-        let bfinal = rest.is_empty();
-        write_segment(&mut w, seg, &data[src_pos..src_pos + seg_src], bfinal);
-        src_pos += seg_src;
-        w_tokens = rest;
-    }
-    w.finish()
+    let mut enc = SegmentEncoder::new(data);
+    lz77::tokenize_into(data, level, &mut enc);
+    enc.finish()
 }
 
 #[cfg(test)]
@@ -478,6 +645,26 @@ mod tests {
             let packed = compress(&[], level);
             assert!(!packed.is_empty());
             assert_eq!(crate::inflate::inflate(&packed).unwrap(), Vec::<u8>::new());
+        }
+    }
+
+    #[test]
+    fn multi_segment_inputs_roundtrip() {
+        // > SEGMENT_BYTES of mixed content forces several blocks, each
+        // picked independently; the stream must still decode as one.
+        let mut data = Vec::with_capacity(3 * SEGMENT_BYTES);
+        let mut state = 9u64;
+        while data.len() < 3 * SEGMENT_BYTES {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state.is_multiple_of(3) {
+                data.extend_from_slice(b"repetitive section repetitive section ");
+            } else {
+                data.extend_from_slice(&state.to_le_bytes());
+            }
+        }
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let packed = compress(&data, level);
+            assert_eq!(crate::inflate::inflate(&packed).unwrap(), data, "{level:?}");
         }
     }
 }

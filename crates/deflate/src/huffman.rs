@@ -6,18 +6,17 @@
 //!   7).
 //! * [`canonical_codes`] assigns the RFC 1951 §3.2.2 canonical codes for
 //!   a set of lengths.
-//! * [`Encoder`] writes symbols to a [`BitWriter`]; [`Decoder`] reads
-//!   them back via a single-peek fast table for codes up to 9 bits,
-//!   falling back to canonical first-code arithmetic for longer codes.
+//! * [`Encoder`] writes symbols to a [`BitWriter`] from a packed
+//!   (pre-reversed code | length) table; [`Decoder`] reads them back
+//!   through a two-level table — a 2^9-entry primary resolving every
+//!   code up to 9 bits in one peek, with per-prefix subtables for the
+//!   rare longer codes, so no decode ever walks bits one at a time.
 
 use crate::bitio::{reverse_bits, BitReader, BitWriter};
 use crate::DeflateError;
 
 /// Maximum code length DEFLATE permits for literal/distance alphabets.
 pub const MAX_BITS: u32 = 15;
-
-/// Number of per-length table slots (lengths 0..=MAX_BITS).
-const LEN_SLOTS: usize = (MAX_BITS + 1) as usize;
 
 /// Computes optimal length-limited code lengths via package-merge.
 ///
@@ -146,61 +145,78 @@ pub fn check_kraft(lengths: &[u8]) -> Result<bool, DeflateError> {
     Ok(!any || sum == full)
 }
 
-/// Symbol writer for one canonical code table.
+/// Symbol writer for one canonical code table: one packed u32 per
+/// symbol, `(pre-reversed code) | (length << 24)`, so the per-symbol
+/// write is a single load, shift, and [`BitWriter::write_bits`].
 #[derive(Debug, Clone)]
 pub struct Encoder {
-    lengths: Vec<u8>,
-    /// Codes pre-reversed for the LSB-first stream.
-    reversed: Vec<u32>,
+    entries: Vec<u32>,
 }
 
 impl Encoder {
     /// Builds an encoder from code lengths.
     pub fn from_lengths(lengths: &[u8]) -> Self {
         let codes = canonical_codes(lengths);
-        let reversed = codes
+        let entries = codes
             .iter()
             .zip(lengths)
-            .map(|(&c, &l)| if l == 0 { 0 } else { reverse_bits(c, u32::from(l)) })
+            .map(|(&c, &l)| {
+                if l == 0 {
+                    0
+                } else {
+                    reverse_bits(c, u32::from(l)) | (u32::from(l) << 24)
+                }
+            })
             .collect();
-        Encoder { lengths: lengths.to_vec(), reversed }
+        Encoder { entries }
+    }
+
+    /// Packed `(reversed_code | len << 24)` entry for `symbol`; 0 means
+    /// the symbol has no code. For callers that fuse several codes into
+    /// one accumulator write.
+    #[inline]
+    pub fn entry(&self, symbol: usize) -> u32 {
+        self.entries[symbol]
     }
 
     /// Writes `symbol`'s code. Panics if the symbol has no code
     /// (frequency accounting bug, not a data error).
     #[inline]
     pub fn write(&self, w: &mut BitWriter, symbol: usize) {
-        let len = self.lengths[symbol];
-        assert!(len > 0, "symbol {symbol} has no code");
-        w.write_bits(self.reversed[symbol] as u64, len as u32);
+        let e = self.entries[symbol];
+        assert!(e != 0, "symbol {symbol} has no code");
+        w.write_bits(u64::from(e & 0x00FF_FFFF), e >> 24);
     }
 
     /// Code length of a symbol in bits (0 = absent), for cost estimates.
     #[inline]
     pub fn length(&self, symbol: usize) -> u32 {
-        self.lengths[symbol] as u32
+        self.entries[symbol] >> 24
     }
 }
 
-/// Width of the one-level fast lookup table: codes up to this many bits
-/// decode with a single peek (covers virtually every symbol of real
-/// DEFLATE tables); longer codes fall back to canonical arithmetic.
+/// Width of the primary lookup table: codes up to this many bits decode
+/// with a single peek (covers virtually every symbol of real DEFLATE
+/// tables); longer codes chain through one per-prefix subtable.
 const FAST_BITS: u32 = 9;
 
-/// Canonical decoder: a fast single-peek table for short codes plus
-/// first-code/first-symbol arithmetic for the tail.
+/// Mask of the primary table index.
+const FAST_MASK: usize = (1 << FAST_BITS) - 1;
+
+/// Subtable-pointer flag inside a primary entry.
+const SUB_FLAG: u32 = 0x100;
+
+/// Canonical two-level table decoder (zlib `ENOUGH`-style).
+///
+/// `table` entry layout, packed in a `u32`:
+/// * direct entry: `symbol << 16 | code_len` (`code_len` in 1..=15);
+/// * primary entry pointing at a subtable: `offset << 16 | SUB_FLAG |
+///   sub_bits`, where the subtable holds `1 << sub_bits` direct entries
+///   indexed by the bits above the primary 9;
+/// * 0: no code with this prefix (invalid stream).
 #[derive(Debug, Clone)]
 pub struct Decoder {
-    /// count[l] = number of codes of length l.
-    count: [u16; LEN_SLOTS],
-    /// first_code[l] = canonical code value of the first code of length l.
-    first_code: [u32; LEN_SLOTS],
-    /// offset[l] = index into `symbols` of the first symbol of length l.
-    offset: [u16; LEN_SLOTS],
-    /// Symbols sorted by (length, symbol).
-    symbols: Vec<u16>,
-    /// fast[peeked_bits] = (symbol, code_len); code_len 0 = slow path.
-    fast: Vec<(u16, u8)>,
+    table: Vec<u32>,
 }
 
 impl Decoder {
@@ -209,108 +225,109 @@ impl Decoder {
     /// decoding an unassigned code errors at read time.
     pub fn from_lengths(lengths: &[u8]) -> Result<Self, DeflateError> {
         // check_kraft also rejects any length above MAX_BITS, so every
-        // per-length table access below is in range.
+        // shift below is in range.
         check_kraft(lengths)?;
-        let mut count = [0u16; LEN_SLOTS];
-        for &l in lengths {
-            if l > 0 {
-                if let Some(c) = count.get_mut(usize::from(l)) {
-                    *c += 1;
-                }
-            }
-        }
-        let mut first_code = [0u32; LEN_SLOTS];
-        let mut offset = [0u16; LEN_SLOTS];
-        let mut code = 0u32;
-        // The Kraft bound caps the number of coded symbols at 2^MAX_BITS
-        // = 32768, so this running total cannot overflow u16.
-        let mut sym_base = 0u16;
-        for l in 1..LEN_SLOTS {
-            code = (code + u32::from(count.get(l - 1).copied().unwrap_or(0))) << 1;
-            if let Some(slot) = first_code.get_mut(l) {
-                *slot = code;
-            }
-            if let Some(slot) = offset.get_mut(l) {
-                *slot = sym_base;
-            }
-            sym_base += count.get(l).copied().unwrap_or(0);
-        }
-        let mut symbols = vec![0u16; usize::from(sym_base)];
-        let mut next = offset;
-        for (s, &l) in lengths.iter().enumerate() {
-            if l > 0 {
-                let sym = u16::try_from(s)
-                    .map_err(|_| DeflateError::BadHuffmanTable("alphabet too large"))?;
-                if let Some(n) = next.get_mut(usize::from(l)) {
-                    if let Some(slot) = symbols.get_mut(usize::from(*n)) {
-                        *slot = sym;
-                    }
-                    *n += 1;
-                }
-            }
-        }
-
-        // Fast table: for every code of length <= FAST_BITS, fill all
-        // entries whose low `len` bits equal the bit-reversed code.
         let codes = canonical_codes(lengths);
-        let mut fast = vec![(0u16, 0u8); 1 << FAST_BITS];
+        let mut table = vec![0u32; 1 << FAST_BITS];
+
+        // Direct entries: replicate each short code across every index
+        // whose low `len` bits equal the bit-reversed code.
         for (s, (&l, &code)) in lengths.iter().zip(&codes).enumerate() {
             let l = u32::from(l);
             if l == 0 || l > FAST_BITS {
                 continue;
             }
-            // `s` fits u16 (validated above for every coded symbol) and
-            // `l <= FAST_BITS` fits u8.
-            let entry = (u16::try_from(s).unwrap_or(0), u8::try_from(l).unwrap_or(0));
-            let rev = crate::usize_from_u32(crate::bitio::reverse_bits(code, l));
+            let sym = u32::try_from(s)
+                .map_err(|_| DeflateError::BadHuffmanTable("alphabet too large"))?;
+            let entry = (sym << 16) | l;
+            let rev = crate::usize_from_u32(reverse_bits(code, l));
             let step = 1usize << l;
-            for slot in fast.iter_mut().skip(rev).step_by(step) {
+            for slot in table.iter_mut().skip(rev).step_by(step) {
                 *slot = entry;
             }
         }
-        Ok(Decoder { count, first_code, offset, symbols, fast })
+
+        // Long codes: group by their 9-bit primary prefix. First pass
+        // sizes each subtable to the longest code sharing the prefix.
+        let mut sub_bits = [0u8; 1 << FAST_BITS];
+        for (&l, &code) in lengths.iter().zip(&codes) {
+            let l = u32::from(l);
+            if l <= FAST_BITS {
+                continue;
+            }
+            let prefix = crate::usize_from_u32(reverse_bits(code, l)) & FAST_MASK;
+            let need = u8::try_from(l - FAST_BITS)
+                .map_err(|_| DeflateError::BadHuffmanTable("length exceeds 15"))?;
+            if let Some(slot) = sub_bits.get_mut(prefix) {
+                *slot = (*slot).max(need);
+            }
+        }
+        // Allocate subtables and point the primary entries at them.
+        for (prefix, &bits) in sub_bits.iter().enumerate() {
+            if bits == 0 {
+                continue;
+            }
+            let offset = u32::try_from(table.len())
+                .map_err(|_| DeflateError::BadHuffmanTable("table too large"))?;
+            if let Some(slot) = table.get_mut(prefix) {
+                *slot = (offset << 16) | SUB_FLAG | u32::from(bits);
+            }
+            let grow = 1usize << bits;
+            table.resize(table.len() + grow, 0);
+        }
+        // Second pass fills the subtable entries, replicating each code
+        // across the indexes matching its suffix bits.
+        for (s, (&l, &code)) in lengths.iter().zip(&codes).enumerate() {
+            let l = u32::from(l);
+            if l <= FAST_BITS {
+                continue;
+            }
+            let rev = crate::usize_from_u32(reverse_bits(code, l));
+            let prefix = rev & FAST_MASK;
+            let head = sub_bits.get(prefix).copied().unwrap_or(0);
+            let offset = table
+                .get(prefix)
+                .map(|&e| crate::usize_from_u32(e >> 16))
+                .unwrap_or(0);
+            let sym = u32::try_from(s)
+                .map_err(|_| DeflateError::BadHuffmanTable("alphabet too large"))?;
+            let entry = (sym << 16) | l;
+            let suffix = rev >> FAST_BITS;
+            let step = 1usize << (l - FAST_BITS);
+            let span = 1usize << u32::from(head);
+            let mut at = suffix;
+            while at < span {
+                if let Some(slot) = table.get_mut(offset + at) {
+                    *slot = entry;
+                }
+                at += step;
+            }
+        }
+        Ok(Decoder { table })
     }
 
     /// Decodes one symbol from the bit stream.
     #[inline]
     pub fn read(&self, r: &mut BitReader<'_>) -> Result<u16, DeflateError> {
-        // Fast path: one peek covers codes up to FAST_BITS. The peek is
-        // masked to FAST_BITS bits, so it always indexes in range.
-        let peek = usize::try_from(r.peek_bits(FAST_BITS)).unwrap_or(0);
-        let &(sym, len) = self.fast.get(peek).unwrap_or(&(0, 0));
-        if len > 0 {
-            // peek_bits pads missing bits with zeros; ensure the code's
-            // bits were actually present.
-            r.consume(u32::from(len))?;
-            return Ok(sym);
+        // One peek covers the longest possible code; peek_bits pads
+        // missing trailing bits with zeros and `consume` verifies the
+        // code's bits were actually present.
+        let peek = usize::try_from(r.peek_bits(MAX_BITS)).unwrap_or(0);
+        let entry = self.table.get(peek & FAST_MASK).copied().unwrap_or(0);
+        let entry = if entry & SUB_FLAG == 0 {
+            entry
+        } else {
+            let offset = crate::usize_from_u32(entry >> 16);
+            let mask = (1usize << (entry & 0xFF)) - 1;
+            let at = offset + ((peek >> FAST_BITS) & mask);
+            self.table.get(at).copied().unwrap_or(0)
+        };
+        let len = entry & 0xFF;
+        if len == 0 {
+            return Err(DeflateError::BadHuffmanTable("code not in table"));
         }
-        self.read_slow(r)
-    }
-
-    /// Bitwise canonical decode for codes longer than FAST_BITS (and
-    /// for invalid streams, where it produces the error).
-    #[cold]
-    fn read_slow(&self, r: &mut BitReader<'_>) -> Result<u16, DeflateError> {
-        let mut code = 0u32;
-        for l in 1..LEN_SLOTS {
-            let bit = u32::try_from(r.read_bits(1)?).unwrap_or(0);
-            code = (code << 1) | bit;
-            let cnt = u32::from(self.count.get(l).copied().unwrap_or(0));
-            if cnt != 0 {
-                let first = self.first_code.get(l).copied().unwrap_or(0);
-                let idx = code.wrapping_sub(first);
-                if idx < cnt {
-                    let base = usize::from(self.offset.get(l).copied().unwrap_or(0));
-                    let at = base.saturating_add(crate::usize_from_u32(idx));
-                    return self
-                        .symbols
-                        .get(at)
-                        .copied()
-                        .ok_or(DeflateError::BadHuffmanTable("code not in table"));
-                }
-            }
-        }
-        Err(DeflateError::BadHuffmanTable("code not in table"))
+        r.consume(len)?;
+        u16::try_from(entry >> 16).map_err(|_| DeflateError::BadHuffmanTable("code not in table"))
     }
 }
 
@@ -442,7 +459,7 @@ mod fast_path_tests {
     use crate::bitio::{BitReader, BitWriter};
 
     /// A table guaranteed to contain codes longer than FAST_BITS, so
-    /// both decode paths are exercised and must agree.
+    /// both the primary table and the subtables are exercised.
     fn long_code_table() -> Vec<u8> {
         // Fibonacci-like frequencies over 30 symbols give a skewed tree
         // with depths beyond 9 at limit 15.
@@ -458,11 +475,11 @@ mod fast_path_tests {
     }
 
     #[test]
-    fn fast_and_slow_paths_agree_on_long_code_tables() {
+    fn primary_and_subtable_paths_agree_on_long_code_tables() {
         let lens = long_code_table();
         assert!(
             lens.iter().any(|&l| l as u32 > FAST_BITS),
-            "test requires codes beyond the fast table: {lens:?}"
+            "test requires codes beyond the primary table: {lens:?}"
         );
         let enc = Encoder::from_lengths(&lens);
         let dec = Decoder::from_lengths(&lens).unwrap();
@@ -480,6 +497,26 @@ mod fast_path_tests {
     }
 
     #[test]
+    fn max_depth_table_roundtrips_every_symbol() {
+        // A full 15-deep comb: lengths 1,2,3,...,14,15,15 form a
+        // complete code whose deepest codes need the widest subtable.
+        let mut lens: Vec<u8> = (1..=15u8).collect();
+        lens.push(15);
+        assert!(check_kraft(&lens).unwrap());
+        let enc = Encoder::from_lengths(&lens);
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let mut w = BitWriter::new();
+        for s in 0..lens.len() {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for s in 0..lens.len() {
+            assert_eq!(dec.read(&mut r).unwrap(), s as u16, "symbol {s}");
+        }
+    }
+
+    #[test]
     fn truncated_fast_path_code_errors() {
         // One 8-bit code, stream holds only 3 bits of it.
         let mut lens = vec![0u8; 2];
@@ -487,6 +524,21 @@ mod fast_path_tests {
         lens[1] = 1;
         let dec = Decoder::from_lengths(&lens).unwrap();
         let mut r = BitReader::new(&[]);
+        assert!(dec.read(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_long_code_errors() {
+        // Deep table, stream holds only the primary prefix of a long
+        // code: consume must fail rather than fabricate a symbol.
+        let lens = long_code_table();
+        let enc = Encoder::from_lengths(&lens);
+        let deep = (0..lens.len()).max_by_key(|&s| lens[s]).unwrap();
+        let mut w = BitWriter::new();
+        enc.write(&mut w, deep);
+        let bytes = w.finish();
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let mut r = BitReader::new(&bytes[..1]);
         assert!(dec.read(&mut r).is_err());
     }
 }

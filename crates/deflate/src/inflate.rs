@@ -12,6 +12,24 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, DeflateError> {
     inflate_with_limit(data, usize::MAX)
 }
 
+/// The fixed-Huffman decoders (RFC 1951 §3.2.6) never change, so they
+/// are built once per process instead of once per block — fixed blocks
+/// are common in small checkpoint sections and table construction was
+/// visible in profiles.
+fn fixed_decoders() -> Result<(&'static Decoder, &'static Decoder), DeflateError> {
+    use std::sync::OnceLock;
+    static FIXED: OnceLock<Result<(Decoder, Decoder), DeflateError>> = OnceLock::new();
+    let cached = FIXED.get_or_init(|| {
+        let lit = Decoder::from_lengths(&fixed_litlen_lengths())?;
+        let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
+        Ok((lit, dist))
+    });
+    match cached {
+        Ok((lit, dist)) => Ok((lit, dist)),
+        Err(e) => Err(e.clone()),
+    }
+}
+
 /// Decompresses a raw DEFLATE stream, aborting with
 /// [`DeflateError::OutputLimit`] once the output would exceed
 /// `max_output` bytes — the decompression-bomb guard for streams from
@@ -36,9 +54,8 @@ pub fn inflate_with_limit_consumed(
         match r.read_bits(2)? {
             0b00 => stored_block(&mut r, &mut out, max_output)?,
             0b01 => {
-                let lit = Decoder::from_lengths(&fixed_litlen_lengths())?;
-                let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
-                coded_block(&mut r, &mut out, &lit, &dist, max_output)?;
+                let (lit, dist) = fixed_decoders()?;
+                coded_block(&mut r, &mut out, lit, dist, max_output)?;
             }
             0b10 => {
                 let (lit, dist) = read_dynamic_tables(&mut r)?;
@@ -159,16 +176,18 @@ fn coded_block(
                 if d == 0 || d > out.len() {
                     return Err(DeflateError::BadDistance { dist: d, avail: out.len() });
                 }
+                // Chunked copy: each pass appends up to the whole span
+                // available so far, so an overlapping match (dist <
+                // len) doubles the replicated region per pass instead
+                // of copying byte-by-byte. `take <= out.len() - start`
+                // keeps every source range in bounds.
                 let start = out.len() - d;
-                for k in 0..len {
-                    match out.get(start + k).copied() {
-                        Some(b) => out.push(b),
-                        // Unreachable: start + k < out.len() because the
-                        // vector grows with every push.
-                        None => {
-                            return Err(DeflateError::BadDistance { dist: d, avail: out.len() })
-                        }
-                    }
+                let mut copied = 0usize;
+                while copied < len {
+                    let avail = out.len() - start;
+                    let take = (len - copied).min(avail);
+                    out.extend_from_within(start..start + take);
+                    copied += take;
                 }
             }
             s => return Err(DeflateError::BadSymbol(s)),

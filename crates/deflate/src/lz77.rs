@@ -3,6 +3,17 @@
 //! Produces a token stream of literals and back-references within the
 //! 32 KiB DEFLATE window. Matching effort (chain depth, lazy evaluation)
 //! scales with [`Level`].
+//!
+//! The hot path is built for single-thread throughput:
+//! * hash heads and the prev ring are `u32` (half the memory traffic of
+//!   the old `usize` arrays, and the whole prev ring fits in L1/L2);
+//! * candidate comparison runs 8 bytes at a time via `u64` loads and
+//!   `trailing_zeros` on the XOR;
+//! * lazy evaluation keeps the probe result for the next position
+//!   instead of re-searching it after a deferral;
+//! * tokens stream into a [`TokenSink`] (the DEFLATE encoder feeds them
+//!   straight into Huffman coding) instead of materializing a
+//!   `Vec<Token>` for the whole input.
 
 use crate::Level;
 
@@ -15,6 +26,7 @@ pub const WINDOW: usize = 32 * 1024;
 
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
+const WMASK: usize = WINDOW - 1;
 
 /// One LZ77 token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +42,23 @@ pub enum Token {
     },
 }
 
+/// Receives the token stream as it is produced. Implemented by the
+/// DEFLATE segment encoder (fused tokenize→encode) and by the plain
+/// `Vec<Token>` collector behind [`tokenize`].
+pub trait TokenSink {
+    /// One literal byte.
+    fn literal(&mut self, byte: u8);
+    /// A back-reference of `len` (3..=258) at `dist` (1..=32768).
+    fn backref(&mut self, len: u32, dist: u32);
+    /// A run of literal bytes. Sinks with per-token bookkeeping can
+    /// override this to amortize it; the default forwards byte by byte.
+    fn literals(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.literal(b);
+        }
+    }
+}
+
 /// Matching effort parameters derived from the compression level.
 #[derive(Debug, Clone, Copy)]
 struct Effort {
@@ -37,135 +66,298 @@ struct Effort {
     lazy: bool,
     /// Stop searching early once a match of this length is found.
     good_enough: usize,
+    /// Skip the lazy probe entirely when the current match is at least
+    /// this long (zlib's `max_lazy`) — a long match is almost never
+    /// beaten by one starting a byte later, and the probe is the
+    /// second-most expensive step on compressible data.
+    max_lazy: usize,
+    /// When lazily probing against a current match at least this long,
+    /// walk only a quarter of the chain (zlib's `good_length`).
+    good_length: usize,
 }
 
 impl Effort {
     fn for_level(level: Level) -> Option<Effort> {
         match level {
             Level::Store => None,
-            Level::Fast => Some(Effort { max_chain: 16, lazy: false, good_enough: 32 }),
-            Level::Default => Some(Effort { max_chain: 128, lazy: true, good_enough: 128 }),
-            Level::Best => Some(Effort { max_chain: 1024, lazy: true, good_enough: MAX_MATCH }),
+            Level::Fast => Some(Effort {
+                max_chain: 16,
+                lazy: false,
+                good_enough: 32,
+                max_lazy: 0,
+                good_length: 8,
+            }),
+            Level::Default => Some(Effort {
+                max_chain: 32,
+                lazy: true,
+                good_enough: 64,
+                max_lazy: 16,
+                good_length: 8,
+            }),
+            Level::Best => Some(Effort {
+                max_chain: 1024,
+                lazy: true,
+                good_enough: MAX_MATCH,
+                max_lazy: MAX_MATCH,
+                good_length: 32,
+            }),
         }
     }
 }
 
-#[inline]
+/// Hashes the 3 bytes at `pos` (caller guarantees `pos + 3 <= len`).
+/// Loads 4 bytes and masks to 24 bits when possible — same 3-byte hash
+/// semantics (and thus the same ratio behavior) as byte assembly, one
+/// load instead of three.
+#[inline(always)]
 fn hash3(data: &[u8], pos: usize) -> usize {
-    let v = (data[pos] as u32) << 16 | (data[pos + 1] as u32) << 8 | data[pos + 2] as u32;
+    let v = match data.get(pos..pos + 4).and_then(|s| s.first_chunk::<4>()) {
+        Some(c) => u32::from_le_bytes(*c) & 0x00FF_FFFF,
+        None => {
+            (data[pos] as u32) | (data[pos + 1] as u32) << 8 | (data[pos + 2] as u32) << 16
+        }
+    };
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
-/// Hash-chain state over the input buffer.
+/// Length of the common prefix of `data[cand..]` and `data[pos..]`, up
+/// to `max` (caller guarantees `cand < pos` and `pos + max <= len`).
+/// Compares 8 bytes per step; the first differing byte is located with
+/// `trailing_zeros` on the XOR of the two words.
+#[inline]
+fn match_len(data: &[u8], cand: usize, pos: usize, max: usize) -> usize {
+    // Two subslices up front hoist all bounds checks out of the loop
+    // (cand < pos, so cand + max <= pos + max <= data.len()).
+    let a = &data[cand..cand + max];
+    let b = &data[pos..pos + max];
+    let mut l = 0usize;
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (x, y) in ac.by_ref().zip(bc.by_ref()) {
+        let xv = u64::from_le_bytes(x.try_into().unwrap());
+        let yv = u64::from_le_bytes(y.try_into().unwrap());
+        let d = xv ^ yv;
+        if d != 0 {
+            return l + (d.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
+    }
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        if x != y {
+            break;
+        }
+        l += 1;
+    }
+    l
+}
+
+/// Hash-chain state over the input buffer. Positions are stored +1 so
+/// that 0 means "empty"; `u32` halves the footprint of the old `usize`
+/// arrays.
 struct Chains {
-    /// head[h] = most recent position with hash h, or usize::MAX.
-    head: Vec<usize>,
-    /// prev[pos % WINDOW] = previous position with the same hash.
-    prev: Vec<usize>,
+    /// head[h] = (most recent position with hash h) + 1, or 0. Boxed
+    /// fixed-size arrays: indexing with a masked value needs no bounds
+    /// check.
+    head: Box<[u32; HASH_SIZE]>,
+    /// prev[pos & WMASK] = previous position with the same hash, +1.
+    prev: Box<[u32; WINDOW]>,
 }
 
 impl Chains {
     fn new() -> Self {
-        Chains { head: vec![usize::MAX; HASH_SIZE], prev: vec![usize::MAX; WINDOW] }
-    }
-
-    #[inline]
-    fn insert(&mut self, data: &[u8], pos: usize) {
-        if pos + MIN_MATCH <= data.len() {
-            let h = hash3(data, pos);
-            self.prev[pos % WINDOW] = self.head[h];
-            self.head[h] = pos;
+        Chains {
+            head: vec![0u32; HASH_SIZE].into_boxed_slice().try_into().expect("sized"),
+            prev: vec![0u32; WINDOW].into_boxed_slice().try_into().expect("sized"),
         }
     }
 
-    /// Longest match for `pos`, or None if shorter than MIN_MATCH.
-    fn longest_match(&self, data: &[u8], pos: usize, effort: &Effort) -> Option<(usize, usize)> {
-        if pos + MIN_MATCH > data.len() {
+    /// Inserts `pos` into its hash chain and returns the previous chain
+    /// head (+1 encoded) — the candidate list for a search at `pos`.
+    #[inline(always)]
+    fn insert(&mut self, h: usize, pos: usize) -> u32 {
+        let head = self.head[h & (HASH_SIZE - 1)];
+        self.prev[pos & WMASK] = head;
+        self.head[h & (HASH_SIZE - 1)] = pos as u32 + 1;
+        head
+    }
+
+    /// Longest match for `pos` walking the chain starting at `first`
+    /// (+1 encoded head captured before `pos` was inserted), or None if
+    /// not longer than `min_len` (pass `MIN_MATCH - 1` for an
+    /// unconstrained search; the lazy probe passes the pending match
+    /// length so candidates that cannot beat it are rejected on a
+    /// single byte compare).
+    #[inline]
+    fn longest_from(
+        &self,
+        data: &[u8],
+        pos: usize,
+        first: u32,
+        effort: &Effort,
+        max_chain: usize,
+        min_len: usize,
+    ) -> Option<(u32, u32)> {
+        let max = MAX_MATCH.min(data.len() - pos);
+        if max < MIN_MATCH || min_len >= max {
             return None;
         }
-        let max_len = MAX_MATCH.min(data.len() - pos);
-        let mut best_len = MIN_MATCH - 1;
+        let floor = pos.saturating_sub(WINDOW);
+        let mut best_len = min_len;
         let mut best_dist = 0usize;
-        let mut cand = self.head[hash3(data, pos)];
-        // `pos` itself may already be inserted; start from its
-        // predecessor in that case.
-        if cand == pos {
-            cand = self.prev[pos % WINDOW];
-        }
-        let mut chain = effort.max_chain;
-        while cand != usize::MAX && cand < pos && pos - cand <= WINDOW && chain > 0 {
-            // Quick reject: check the byte past the current best first.
-            if data[cand + best_len] == data[pos + best_len.min(max_len - 1)] || best_len < MIN_MATCH
-            {
-                let mut l = 0usize;
-                while l < max_len && data[cand + l] == data[pos + l] {
-                    l += 1;
-                }
+        // Byte just past the current best, cached so the quick-reject
+        // probe is one load instead of two bounds-checked reads.
+        let mut want = data[pos + best_len];
+        let mut cand_code = first;
+        let mut chain = max_chain;
+        while cand_code != 0 && chain > 0 {
+            let cand = cand_code as usize - 1;
+            if cand < floor || cand >= pos {
+                break;
+            }
+            // Quick reject: the byte just past the current best must
+            // match before a full comparison is worth it (best_len < max
+            // here — a full-length match breaks out below).
+            if data[cand + best_len] == want {
+                let l = match_len(data, cand, pos, max);
                 if l > best_len {
                     best_len = l;
                     best_dist = pos - cand;
-                    if l >= effort.good_enough {
+                    if l >= effort.good_enough || l == max {
                         break;
                     }
+                    want = data[pos + best_len];
                 }
             }
-            cand = self.prev[cand % WINDOW];
+            cand_code = self.prev[cand & WMASK];
             chain -= 1;
         }
-        if best_len >= MIN_MATCH {
-            Some((best_len, best_dist))
+        if best_len > min_len && best_len >= MIN_MATCH {
+            Some((best_len as u32, best_dist as u32))
         } else {
             None
         }
     }
 }
 
-/// Tokenizes `data` at the given level. [`Level::Store`] yields all
-/// literals (the caller normally special-cases it into stored blocks).
-pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
+/// Streams the token stream for `data` at the given level into `sink`.
+/// [`Level::Store`] yields all literals (the caller normally
+/// special-cases it into stored blocks).
+pub fn tokenize_into<S: TokenSink>(data: &[u8], level: Level, sink: &mut S) {
     let Some(effort) = Effort::for_level(level) else {
-        return data.iter().map(|&b| Token::Literal(b)).collect();
+        sink.literals(data);
+        return;
     };
-    let mut tokens = Vec::with_capacity(data.len() / 2);
+    // Positions are stored +1 in u32 chains.
+    assert!(data.len() < u32::MAX as usize, "input too large for u32 hash chains");
+    let n = data.len();
+    // Positions below this bound have a full 3-byte hash.
+    let hash_end = n.saturating_sub(MIN_MATCH - 1);
     let mut chains = Chains::new();
     let mut i = 0usize;
-    while i < data.len() {
-        chains.insert(data, i);
-        let found = chains.longest_match(data, i, &effort);
-        match found {
-            Some((len, dist)) => {
-                // Lazy evaluation: if the next position matches longer,
-                // emit a literal and defer.
-                if effort.lazy && len < MAX_MATCH && i + 1 < data.len() {
-                    if let Some((len2, _)) = chains.longest_match(data, i + 1, &effort) {
-                        if len2 > len {
-                            tokens.push(Token::Literal(data[i]));
-                            i += 1;
-                            continue;
-                        }
-                    }
-                }
-                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
-                // Index the skipped positions so later matches can refer
-                // into this region.
-                for p in i + 1..i + len {
-                    chains.insert(data, p);
-                }
-                i += len;
+    // Start of the literal run not yet handed to the sink — literals
+    // batch into one `literals` call per run instead of one call per
+    // byte.
+    let mut lit_start = 0usize;
+    // Match found at position i by last iteration's lazy probe (i is
+    // already inserted in the chains).
+    let mut pending: Option<(u32, u32)> = None;
+    while i < n {
+        let found = match pending.take() {
+            Some(m) => Some(m),
+            None if i < hash_end => {
+                let first = chains.insert(hash3(data, i), i);
+                chains.longest_from(data, i, first, &effort, effort.max_chain, MIN_MATCH - 1)
             }
-            None => {
-                tokens.push(Token::Literal(data[i]));
+            None => None,
+        };
+        let Some((len, dist)) = found else {
+            i += 1;
+            continue;
+        };
+        // Lazy evaluation: if the next position matches longer, defer
+        // (position i joins the literal run). The probe inserts i+1 (it
+        // gets inserted exactly once either way) and its result is
+        // reused as the next iteration's match — the old implementation
+        // searched every deferred position twice.
+        let mut probed = false;
+        if effort.lazy && (len as usize) < effort.max_lazy && i + 1 < hash_end {
+            let first = chains.insert(hash3(data, i + 1), i + 1);
+            probed = true;
+            // A match that is already good only merits a quarter of the
+            // chain budget on the probe.
+            let budget = if (len as usize) >= effort.good_length {
+                effort.max_chain >> 2
+            } else {
+                effort.max_chain
+            };
+            // Seeding with the pending length means the probe can only
+            // return a strictly longer match.
+            if let Some((len2, dist2)) =
+                chains.longest_from(data, i + 1, first, &effort, budget, len as usize)
+            {
                 i += 1;
+                pending = Some((len2, dist2));
+                continue;
             }
         }
+        if lit_start < i {
+            sink.literals(&data[lit_start..i]);
+        }
+        sink.backref(len, dist);
+        lit_start = i + len as usize;
+        // Index the skipped positions so later matches can refer into
+        // this region; the hash is one masked u32 load per position.
+        let start = if probed { i + 2 } else { i + 1 };
+        let end = (i + len as usize).min(hash_end);
+        for p in start..end {
+            chains.insert(hash3(data, p), p);
+        }
+        i += len as usize;
     }
-    tokens
+    if lit_start < n {
+        sink.literals(&data[lit_start..n]);
+    }
+}
+
+/// Collects tokens into a `Vec` (tests and offline analysis).
+struct Collector {
+    tokens: Vec<Token>,
+}
+
+impl TokenSink for Collector {
+    #[inline]
+    fn literal(&mut self, byte: u8) {
+        self.tokens.push(Token::Literal(byte));
+    }
+    #[inline]
+    fn backref(&mut self, len: u32, dist: u32) {
+        self.tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+    }
+}
+
+/// Tokenizes `data` at the given level into a materialized token
+/// vector. The compressor proper uses [`tokenize_into`]; this exists
+/// for tests and tools that inspect the token stream.
+pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
+    let mut sink = Collector { tokens: Vec::with_capacity(data.len() / 2) };
+    tokenize_into(data, level, &mut sink);
+    sink.tokens
 }
 
 /// Expands a token stream back into bytes (test helper and the core of
-/// inflate's copy loop semantics).
+/// inflate's copy loop semantics). Pre-sizes the output from the token
+/// stream and copies matches in chunks, mirroring the inflate fast
+/// path: non-overlapping matches are one `extend_from_within`
+/// (memcpy), overlapping ones double the copied region per step.
 pub fn resolve(tokens: &[Token]) -> Vec<u8> {
-    let mut out = Vec::new();
+    let total: usize = tokens
+        .iter()
+        .map(|t| match t {
+            Token::Literal(_) => 1,
+            Token::Match { len, .. } => *len as usize,
+        })
+        .sum();
+    let mut out = Vec::with_capacity(total);
     for &t in tokens {
         match t {
             Token::Literal(b) => out.push(b),
@@ -174,14 +366,17 @@ pub fn resolve(tokens: &[Token]) -> Vec<u8> {
                 let len = len as usize;
                 assert!(dist >= 1 && dist <= out.len(), "bad distance {dist} at {}", out.len());
                 let start = out.len() - dist;
-                // Byte-by-byte: overlapping copies (dist < len) replicate.
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                let mut remaining = len;
+                while remaining > 0 {
+                    let avail = out.len() - start;
+                    let take = remaining.min(avail);
+                    out.extend_from_within(start..start + take);
+                    remaining -= take;
                 }
             }
         }
     }
+    debug_assert_eq!(out.len(), total);
     out
 }
 
@@ -299,5 +494,40 @@ mod tests {
         assert!(best <= fast + fast / 10, "best {best} much worse than fast {fast}");
         assert_eq!(resolve(&tokenize(&data, Level::Fast)), data);
         assert_eq!(resolve(&tokenize(&data, Level::Best)), data);
+    }
+
+    #[test]
+    fn wide_match_len_agrees_with_bytewise() {
+        // match_len against a byte-by-byte reference at every alignment
+        // and length around the 8-byte stride.
+        let mut data = vec![0u8; 600];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 7) as u8;
+        }
+        // A second copy with deliberate diffs at varied offsets.
+        let base = data.clone();
+        data.extend_from_slice(&base);
+        for diff_at in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 255, 256, 257] {
+            let mut d = data.clone();
+            d[600 + diff_at] ^= 0xFF;
+            let max = MAX_MATCH.min(d.len() - 600);
+            let want = (0..max).take_while(|&k| d[k] == d[600 + k]).count();
+            assert_eq!(match_len(&d, 0, 600, max), want, "diff at {diff_at}");
+        }
+    }
+
+    #[test]
+    fn resolve_presizes_and_copies_overlaps() {
+        // dist < len exercises the chunked overlap path; the result must
+        // replicate the period exactly.
+        let tokens = vec![
+            Token::Literal(1),
+            Token::Literal(2),
+            Token::Literal(3),
+            Token::Match { len: 10, dist: 3 },
+            Token::Match { len: 4, dist: 13 },
+        ];
+        let out = resolve(&tokens);
+        assert_eq!(out, vec![1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 1, 2, 3, 1]);
     }
 }
