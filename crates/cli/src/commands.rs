@@ -108,6 +108,33 @@ fn config_from(args: &Args) -> Result<CompressorConfig, String> {
     Ok(cfg)
 }
 
+/// A [`StreamSink`](ckpt_deflate::chunked::StreamSink) over a plain
+/// file, so `ckpt compress --threads N` writes finished gzip members
+/// to disk while later chunks are still compressing.
+struct FileSink {
+    file: std::fs::File,
+    len: u64,
+}
+
+impl ckpt_deflate::chunked::StreamSink for FileSink {
+    type Error = std::io::Error;
+
+    fn write(&mut self, bytes: &[u8]) -> Result<(), std::io::Error> {
+        use std::io::Write;
+        self.file.write_all(bytes)?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn patch(&mut self, offset: u64, bytes: &[u8]) -> Result<(), std::io::Error> {
+        use std::io::{Seek, SeekFrom, Write};
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(bytes)?;
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+}
+
 pub fn compress(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let input = args.one_positional("input file")?;
@@ -116,23 +143,36 @@ pub fn compress(argv: &[String]) -> Result<(), String> {
     let cfg = config_from(&args)?;
     let out_path = args.get("out").map(str::to_string).unwrap_or(format!("{input}.wck"));
 
-    let (bytes, rate, err) = if let Some(bound_raw) = args.get("bound") {
+    let (out_len, rate, err) = if let Some(bound_raw) = args.get("bound") {
         let bound: f64 =
             bound_raw.parse().map_err(|_| format!("invalid --bound {bound_raw:?}"))?;
         let r = compress_bounded(&tensor, cfg, bound).map_err(|e| e.to_string())?;
         eprintln!("bound {bound} met with n = {} ({} probes)", r.n, r.probes);
-        (r.compressed.bytes, r.compressed.stats.compression_rate(), Some(r.error))
+        std::fs::write(&out_path, &r.compressed.bytes)
+            .map_err(|e| format!("writing {out_path}: {e}"))?;
+        (r.compressed.bytes.len(), r.compressed.stats.compression_rate(), Some(r.error))
+    } else if cfg.threads > 1 {
+        // Pipelined path: stream members to the file as they finish
+        // compressing. Bytes are identical to the buffered path.
+        let compressor = Compressor::new(cfg).map_err(|e| e.to_string())?;
+        let file = std::fs::File::create(&out_path)
+            .map_err(|e| format!("creating {out_path}: {e}"))?;
+        let mut sink = FileSink { file, len: 0 };
+        let streamed = compressor
+            .compress_stream(&tensor, &mut sink)
+            .map_err(|e| format!("streaming to {out_path}: {e}"))?;
+        (sink.len as usize, streamed.stats.compression_rate(), None)
     } else {
         let compressor = Compressor::new(cfg).map_err(|e| e.to_string())?;
         let packed = compressor.compress(&tensor).map_err(|e| e.to_string())?;
-        (packed.bytes, packed.stats.compression_rate(), None)
+        std::fs::write(&out_path, &packed.bytes)
+            .map_err(|e| format!("writing {out_path}: {e}"))?;
+        (packed.bytes.len(), packed.stats.compression_rate(), None)
     };
 
-    std::fs::write(&out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
     eprintln!(
-        "{input} ({} bytes) -> {out_path} ({} bytes), compression rate {rate:.2}%",
+        "{input} ({} bytes) -> {out_path} ({out_len} bytes), compression rate {rate:.2}%",
         tensor.len() * 8,
-        bytes.len()
     );
     if let Some(e) = err {
         eprintln!("measured avg relative error {:.6}%", e.average_percent());
@@ -345,6 +385,33 @@ mod tests {
         for p in [raw, wck_s, wck_p, back] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn streamed_cli_output_is_byte_identical_to_buffered_compress() {
+        let raw = tempfile("s.f64");
+        let wck = tempfile("s.wck");
+        gen(&["--dims".into(), "64x16x2".into(), "-o".into(), raw.clone()]).unwrap();
+        compress(&[
+            raw.clone(),
+            "--dims".into(),
+            "64x16x2".into(),
+            "--threads".into(),
+            "4".into(),
+            "--chunk-bytes".into(),
+            "4096".into(),
+            "-o".into(),
+            wck.clone(),
+        ])
+        .unwrap();
+
+        let tensor = read_raw_tensor(&raw, &[64, 16, 2]).unwrap();
+        let cfg = CompressorConfig::paper_proposed().with_threads(4).with_chunk_bytes(4096);
+        let buffered = Compressor::new(cfg).unwrap().compress(&tensor).unwrap();
+        assert_eq!(std::fs::read(&wck).unwrap(), buffered.bytes);
+
+        let _ = std::fs::remove_file(raw);
+        let _ = std::fs::remove_file(wck);
     }
 
     #[test]

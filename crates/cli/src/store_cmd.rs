@@ -78,10 +78,6 @@ fn save(argv: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err("save needs at least one payload file (one per rank)".into());
     }
-    let payloads: Vec<Vec<u8>> = files
-        .iter()
-        .map(|f| std::fs::read(f).map_err(|e| format!("reading {f}: {e}")))
-        .collect::<Result<_, _>>()?;
     let step = args.get_or("step", 0u64)?;
     let threads = args.get_or("threads", 1usize)?;
     let level = crate::commands::parse_level(args.get("level").unwrap_or("default"))?;
@@ -94,6 +90,15 @@ fn save(argv: &[String]) -> Result<(), String> {
     };
 
     let mut store = open(dir)?;
+    if base.is_none() && threads <= 1 {
+        // Serial full save: stream each payload file straight into its
+        // segment instead of buffering every rank in memory first.
+        return save_streamed(&mut store, args.get("format"), files, step);
+    }
+    let payloads: Vec<Vec<u8>> = files
+        .iter()
+        .map(|f| std::fs::read(f).map_err(|e| format!("reading {f}: {e}")))
+        .collect::<Result<_, _>>()?;
     let payloads = match base {
         Some(base) => payloads
             .into_iter()
@@ -118,6 +123,64 @@ fn save(argv: &[String]) -> Result<(), String> {
     };
     let total: usize = payloads.iter().map(Vec::len).sum();
     eprintln!("committed generation {gen} (step {step}, {} ranks, {total} bytes)", files.len());
+    Ok(())
+}
+
+/// Full save that streams each rank's payload file into its segment
+/// through the store's [`ckpt_store::SegmentWriter`] in bounded
+/// chunks, never holding a whole payload in memory. Payload files are
+/// opened (and the format sniffed) before the save starts, so argv
+/// mistakes fail cleanly instead of poisoning the store mid-save.
+fn save_streamed(
+    store: &mut Store,
+    format_flag: Option<&str>,
+    files: &[String],
+    step: u64,
+) -> Result<(), String> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut handles = Vec::with_capacity(files.len());
+    for f in files {
+        handles.push(std::fs::File::open(f).map_err(|e| format!("reading {f}: {e}"))?);
+    }
+    let format = match format_flag.unwrap_or("auto") {
+        "checkpoint" => SegmentFormat::Checkpoint,
+        "array" => SegmentFormat::Array,
+        "auto" => {
+            let mut magic = [0u8; 4];
+            let n = handles[0]
+                .read(&mut magic)
+                .map_err(|e| format!("reading {}: {e}", files[0]))?;
+            handles[0].seek(SeekFrom::Start(0)).map_err(|e| e.to_string())?;
+            if &magic[..n] == b"CKPT" {
+                SegmentFormat::Checkpoint
+            } else {
+                SegmentFormat::Array // WCK1/WPK1/raw all save as arrays
+            }
+        }
+        other => return Err(format!("unknown --format {other:?}")),
+    };
+    let ranks = u32::try_from(files.len())
+        .map_err(|_| format!("{} ranks exceed the u32 manifest field", files.len()))?;
+    let mut total = 0u64;
+    let gen = store
+        .save_full_streamed(step, format, ranks, |rank, writer| {
+            let file = &mut handles[rank as usize];
+            let mut buf = vec![0u8; 1 << 20];
+            loop {
+                let n = file.read(&mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                writer.append(&buf[..n])?;
+                total += n as u64;
+            }
+            Ok(())
+        })
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "committed generation {gen} (step {step}, {} ranks, {total} bytes, streamed)",
+        files.len()
+    );
     Ok(())
 }
 

@@ -7,7 +7,7 @@
 //! what the Figure 9 harness uses to measure per-rank compression time
 //! under realistic contention.
 
-use ckpt_core::{Compressed, Compressor, Result};
+use ckpt_core::{Compressed, Compressor, Result, StreamError};
 use ckpt_tensor::Tensor;
 
 /// Compresses one array per rank, fanning the ranks out over `threads`
@@ -71,6 +71,38 @@ pub fn compress_ranks_with(
         .into_iter()
         .map(|s| s.expect("every slot is filled by its worker"))
         .collect()
+}
+
+/// Compresses the ranks on a work-stealing worker set and hands each
+/// finished [`Compressed`] to `consume` **in rank order, as soon as it
+/// and its predecessors are done** — the caller (typically a store
+/// writer) overlaps its I/O for rank *k* with compression of ranks
+/// *k+1…n*. A bounded window keeps at most a few finished ranks
+/// buffered when the consumer is the slow side.
+///
+/// The compressed bytes are identical to [`compress_ranks`]; only
+/// wall-clock changes. Consumer errors surface as
+/// [`StreamError::Sink`] and abandon the remaining ranks.
+pub fn compress_ranks_pipelined<E, C>(
+    ranks: &[Tensor<f64>],
+    compressor: &Compressor,
+    threads: usize,
+    mut consume: C,
+) -> std::result::Result<(), StreamError<E>>
+where
+    C: FnMut(usize, Compressed) -> std::result::Result<(), E>,
+{
+    let workers = ckpt_pool::clamp_workers(threads, ranks.len());
+    ckpt_pool::ordered_pipeline(
+        ranks.len(),
+        workers,
+        0,
+        |i| compressor.compress(&ranks[i]),
+        |i, result: Result<Compressed>| match result {
+            Ok(c) => consume(i, c).map_err(StreamError::Sink),
+            Err(e) => Err(StreamError::Ckpt(e)),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -142,6 +174,44 @@ mod tests {
             let nv = Compressor::decompress_parallel(&n.bytes, 4).unwrap();
             assert_eq!(sv.as_slice(), nv.as_slice());
         }
+    }
+
+    #[test]
+    fn pipelined_delivers_identical_bytes_in_rank_order() {
+        let ranks = rank_fields(6);
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let serial = compress_ranks(&ranks, &comp, 1).unwrap();
+        for threads in [1usize, 2, 4] {
+            let mut seen = Vec::new();
+            compress_ranks_pipelined(&ranks, &comp, threads, |i, c| {
+                assert_eq!(i, seen.len(), "ranks must arrive in order");
+                seen.push(c.bytes);
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+            assert_eq!(seen.len(), serial.len());
+            for (s, p) in serial.iter().zip(&seen) {
+                assert_eq!(&s.bytes, p, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_consumer_error_aborts() {
+        let ranks = rank_fields(4);
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let mut delivered = 0usize;
+        let err = compress_ranks_pipelined(&ranks, &comp, 2, |_, _| {
+            delivered += 1;
+            if delivered == 2 {
+                Err("sink full")
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, StreamError::Sink("sink full")));
+        assert_eq!(delivered, 2);
     }
 
     #[test]

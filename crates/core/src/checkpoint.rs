@@ -137,6 +137,26 @@ impl CheckpointBuilder {
         sink.write_all(&bytes)?;
         Ok(bytes.len())
     }
+
+    /// Streams the checkpoint image into a [`StreamSink`] in
+    /// `chunk_bytes`-sized appends, so file-backed sinks (the store's
+    /// streaming segment writer) start their I/O before the last slice
+    /// is handed over and byte-budget kill points land mid-image. The
+    /// bytes are identical to [`CheckpointBuilder::into_bytes`];
+    /// returns the total written.
+    ///
+    /// [`StreamSink`]: ckpt_deflate::chunked::StreamSink
+    pub fn write_stream<S: ckpt_deflate::chunked::StreamSink>(
+        self,
+        chunk_bytes: usize,
+        sink: &mut S,
+    ) -> std::result::Result<usize, S::Error> {
+        let bytes = self.into_bytes();
+        for slice in bytes.chunks(chunk_bytes.max(1)) {
+            sink.write(slice)?;
+        }
+        Ok(bytes.len())
+    }
 }
 
 /// A parsed checkpoint image.
@@ -263,6 +283,23 @@ mod tests {
             let e = relative_error(t, &restored).unwrap();
             assert!(e.average < 0.01, "{name}: {}", e.average);
             assert_eq!(ck.mode(name), Some(VarMode::Lossy));
+        }
+    }
+
+    #[test]
+    fn write_stream_matches_into_bytes_for_any_chunking() {
+        let (_, t) = fields().remove(0);
+        let build = || {
+            let mut b = CheckpointBuilder::new(9);
+            b.add_raw("v", &t).unwrap();
+            b
+        };
+        let reference = build().into_bytes();
+        for chunk_bytes in [0usize, 1, 7, 4096, usize::MAX] {
+            let mut sink: Vec<u8> = Vec::new();
+            let n = build().write_stream(chunk_bytes, &mut sink).unwrap();
+            assert_eq!(n, reference.len(), "chunk_bytes={chunk_bytes}");
+            assert_eq!(sink, reference, "chunk_bytes={chunk_bytes}");
         }
     }
 

@@ -56,6 +56,52 @@ pub struct Compressed {
     pub stats: CompressStats,
 }
 
+/// Result of a streamed compression: the bytes went to the sink, so
+/// only the measurement side-channels come back.
+#[derive(Debug, Clone)]
+pub struct StreamedCompressed {
+    /// Wall-clock breakdown of the compression stages (the gzip slot
+    /// covers the overlapped compress+write window, not CPU time).
+    pub timings: StageTimings,
+    /// Size accounting; `compressed_bytes` is what reached the sink.
+    pub stats: CompressStats,
+}
+
+/// Failure of a streamed compression: the pipeline itself, or the sink
+/// the containered bytes were being written into.
+#[derive(Debug)]
+pub enum StreamError<E> {
+    /// The compressor failed before or between sink writes.
+    Ckpt(CkptError),
+    /// The sink rejected a write or patch; the stream is mid-container
+    /// and must be discarded by the caller.
+    Sink(E),
+}
+
+impl<E> From<CkptError> for StreamError<E> {
+    fn from(e: CkptError) -> Self {
+        StreamError::Ckpt(e)
+    }
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for StreamError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Ckpt(e) => write!(f, "compress: {e}"),
+            StreamError::Sink(e) => write!(f, "sink: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for StreamError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Ckpt(e) => Some(e),
+            StreamError::Sink(e) => Some(e),
+        }
+    }
+}
+
 /// The lossy compressor (Section III).
 #[derive(Debug, Clone, Copy)]
 pub struct Compressor {
@@ -76,6 +122,79 @@ impl Compressor {
 
     /// Compresses one f64 mesh array.
     pub fn compress(&self, tensor: &Tensor<f64>) -> Result<Compressed> {
+        let (formatted, mut timings, coverage_milli) = self.formatted_stages(tensor)?;
+        let formatted_len = formatted.len();
+
+        // 5. Final container.
+        let bytes = apply_container(&self.cfg, formatted, &mut timings)?;
+
+        Ok(Compressed {
+            stats: CompressStats {
+                original_bytes: tensor.len() * 8,
+                formatted_bytes: formatted_len,
+                compressed_bytes: bytes.len(),
+                coverage_milli,
+            },
+            bytes,
+            timings,
+        })
+    }
+
+    /// Compresses one array directly into `sink`, overlapping the
+    /// container stage with the sink's I/O: with `Container::Gzip` and
+    /// `threads > 1`, finished WPK1 members are written as they
+    /// complete while later chunks still compress. The bytes that
+    /// reach the sink are **identical** to [`Compressor::compress`]
+    /// with the same configuration — streaming changes wall-clock, not
+    /// content. Other configurations compress fully, then write once.
+    ///
+    /// On [`StreamError::Sink`] the sink holds a truncated container
+    /// and must be discarded (the store's tmp/rename protocol does this
+    /// naturally).
+    pub fn compress_stream<S: chunked::StreamSink>(
+        &self,
+        tensor: &Tensor<f64>,
+        sink: &mut S,
+    ) -> std::result::Result<StreamedCompressed, StreamError<S::Error>> {
+        let (formatted, mut timings, coverage_milli) = self.formatted_stages(tensor)?;
+        let formatted_len = formatted.len();
+        let cfg = self.cfg;
+
+        let compressed_bytes = if matches!(cfg.container, Container::Gzip) && cfg.threads > 1 {
+            let stats = timed(&mut timings.gzip, || {
+                chunked::compress_chunked_stream(
+                    &formatted,
+                    cfg.level,
+                    cfg.chunk_bytes,
+                    cfg.threads,
+                    sink,
+                )
+            })
+            .map_err(StreamError::Sink)?;
+            stats.container_len
+        } else {
+            // Reference path: buffer, then a single ordered write.
+            let bytes = apply_container(&cfg, formatted, &mut timings)?;
+            sink.write(&bytes).map_err(StreamError::Sink)?;
+            bytes.len()
+        };
+
+        Ok(StreamedCompressed {
+            stats: CompressStats {
+                original_bytes: tensor.len() * 8,
+                formatted_bytes: formatted_len,
+                compressed_bytes,
+                coverage_milli,
+            },
+            timings,
+        })
+    }
+
+    /// Stages 1–4 (transform, quantize, encode, format): everything up
+    /// to — but not including — the container, shared by the buffered
+    /// and streamed paths. Returns the formatted stream, the timings so
+    /// far, and the quantizer coverage in milli-units.
+    fn formatted_stages(&self, tensor: &Tensor<f64>) -> Result<(Vec<u8>, StageTimings, u32)> {
         let mut timings = StageTimings::new();
         let cfg = self.cfg;
         let plan = WaveletPlan::clamped(cfg.plan.levels, tensor.dims());
@@ -117,22 +236,9 @@ impl Compressor {
         let formatted = timed(&mut timings.format, || {
             format_stream(&self.cfg, tensor.dims(), plan, &low_values, &quantized)
         });
-        let formatted_len = formatted.len();
-
-        // 5. Final container.
-        let bytes = apply_container(&cfg, formatted, &mut timings)?;
 
         let coverage_milli = (quantized.coverage() * 1000.0).round() as u32;
-        Ok(Compressed {
-            stats: CompressStats {
-                original_bytes: tensor.len() * 8,
-                formatted_bytes: formatted_len,
-                compressed_bytes: bytes.len(),
-                coverage_milli,
-            },
-            bytes,
-            timings,
-        })
+        Ok((formatted, timings, coverage_milli))
     }
 
     /// Decompresses bytes produced by [`Compressor::compress`]. The
@@ -637,6 +743,41 @@ mod parallel_tests {
         let two = bytes_for(2);
         for threads in [3usize, 4, 8] {
             assert_eq!(bytes_for(threads), two, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn streamed_compress_is_byte_identical_to_buffered() {
+        let t = field();
+        for threads in [1usize, 2, 4] {
+            let cfg = CompressorConfig::paper_proposed()
+                .with_threads(threads)
+                .with_chunk_bytes(16 << 10);
+            let c = Compressor::new(cfg).unwrap();
+            let buffered = c.compress(&t).unwrap();
+            let mut sink = Vec::new();
+            let streamed = c.compress_stream(&t, &mut sink).unwrap();
+            assert_eq!(sink, buffered.bytes, "threads={threads}");
+            assert_eq!(
+                streamed.stats.compressed_bytes, buffered.stats.compressed_bytes,
+                "threads={threads}"
+            );
+            assert_eq!(streamed.stats.formatted_bytes, buffered.stats.formatted_bytes);
+            let back = Compressor::decompress(&sink).unwrap();
+            assert_eq!(back.dims(), t.dims());
+        }
+    }
+
+    #[test]
+    fn streamed_compress_covers_non_gzip_containers() {
+        let t = field();
+        for container in [Container::Zlib, Container::None] {
+            let cfg = CompressorConfig::paper_proposed().with_container(container);
+            let c = Compressor::new(cfg).unwrap();
+            let buffered = c.compress(&t).unwrap();
+            let mut sink = Vec::new();
+            c.compress_stream(&t, &mut sink).unwrap();
+            assert_eq!(sink, buffered.bytes, "{container:?}");
         }
     }
 

@@ -88,17 +88,13 @@ pub fn compress_chunked(
     } else {
         data.chunks(chunk_bytes).collect()
     };
-    let workers = ckpt_pool::effective_workers(threads, chunks.len());
-    let ranges = ckpt_pool::partition_ranges(chunks.len(), workers);
-    // Each worker compresses a contiguous run of chunks; results come
-    // back in worker order, so flattening preserves chunk order.
-    let per_worker: Vec<Vec<Vec<u8>>> = ckpt_pool::run_workers(ranges.len(), |w| {
-        chunks[ranges[w].clone()]
-            .iter()
-            .map(|chunk| gzip::compress(chunk, level))
-            .collect()
-    });
-    let members: Vec<Vec<u8>> = per_worker.into_iter().flatten().collect();
+    // Work-stealing over individual chunks: mixed-entropy regions make
+    // member costs uneven, and stealing keeps every worker busy until
+    // the queue drains. Spawn count is clamped to the host's cores;
+    // the output bytes depend only on input/level/chunk_bytes.
+    let workers = ckpt_pool::clamp_workers(threads, chunks.len());
+    let members: Vec<Vec<u8>> =
+        ckpt_pool::run_stealing_map(workers, chunks.len(), |i| gzip::compress(chunks[i], level));
     debug_assert_eq!(members.len(), chunks.len());
 
     // Whole-payload CRC from the per-member CRCs already sitting in
@@ -129,6 +125,149 @@ pub fn compress_chunked(
         out.extend_from_slice(member);
     }
     out
+}
+
+/// Destination for a streamed container write: sequential appends plus
+/// in-place patches of bytes that were already appended.
+///
+/// [`compress_chunked_stream`] appends the header (with zeroed CRC and
+/// index placeholders) and then each gzip member in chunk order, and
+/// finally patches the index and CRC once every member's size is
+/// known. The patched region is always within the first
+/// [`patchable_prefix`] bytes of the stream, so file-backed sinks only
+/// need to keep that prefix reachable (a seek) — everything after it
+/// is written exactly once, strictly in order.
+pub trait StreamSink {
+    /// Sink-side failure (I/O, injected kill, …). Infallible for
+    /// in-memory sinks.
+    type Error;
+    /// Appends `bytes` at the current end of the stream.
+    fn write(&mut self, bytes: &[u8]) -> Result<(), Self::Error>;
+    /// Overwrites previously-written bytes starting at `offset`.
+    fn patch(&mut self, offset: u64, bytes: &[u8]) -> Result<(), Self::Error>;
+}
+
+impl StreamSink for Vec<u8> {
+    type Error = std::convert::Infallible;
+
+    fn write(&mut self, bytes: &[u8]) -> Result<(), Self::Error> {
+        self.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn patch(&mut self, offset: u64, bytes: &[u8]) -> Result<(), Self::Error> {
+        let at = usize::try_from(offset).expect("patch offset fits in memory");
+        self[at..at + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+/// Upper bound on the stream offset any [`StreamSink::patch`] can
+/// touch for a payload of `len` bytes: the fixed header plus the chunk
+/// index. Sinks that mirror the patchable region (to keep a running
+/// CRC over patched bytes) can size the mirror from this.
+pub fn patchable_prefix(len: usize, chunk_bytes: usize) -> usize {
+    let chunk_bytes = chunk_bytes.max(1);
+    let chunks = if len == 0 { 0 } else { len.div_ceil(chunk_bytes) };
+    HEADER_BYTES + 8 * chunks
+}
+
+/// Summary of a completed [`compress_chunked_stream`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Gzip members emitted.
+    pub chunk_count: usize,
+    /// Uncompressed payload length.
+    pub payload_len: usize,
+    /// Total container bytes written to the sink (appends only;
+    /// patches rewrite bytes already counted).
+    pub container_len: usize,
+    /// Combined CRC-32 of the uncompressed payload (the header field).
+    pub crc: u32,
+}
+
+/// Streams a WPK1 container into `sink` while chunks are still being
+/// compressed: finished gzip members flow through a bounded in-order
+/// channel from `threads` work-stealing workers to the calling thread,
+/// which writes each one as soon as it (and all its predecessors) is
+/// ready. The header goes out first with zeroed CRC/index
+/// placeholders; both are patched once the last member lands, so the
+/// final sink contents are **byte-identical** to
+/// [`compress_chunked`] with the same arguments.
+///
+/// Unlike the buffered path, `threads == 1` still spawns one producer
+/// thread: the caller thread is busy driving the sink, and overlapping
+/// compression with sink I/O is the point of streaming.
+///
+/// On a sink error the remaining production is abandoned and the error
+/// is returned; the sink is left mid-stream (callers with durability
+/// needs discard the partial artifact, as the store's tmp/rename
+/// protocol does).
+pub fn compress_chunked_stream<S: StreamSink>(
+    data: &[u8],
+    level: Level,
+    chunk_bytes: usize,
+    threads: usize,
+    sink: &mut S,
+) -> Result<StreamStats, S::Error> {
+    let chunk_bytes = chunk_bytes.max(1);
+    let chunks: Vec<&[u8]> = if data.is_empty() {
+        Vec::new()
+    } else {
+        data.chunks(chunk_bytes).collect()
+    };
+    assert!(
+        u32::try_from(chunks.len()).is_ok(),
+        "chunk count exceeds the u32 header field"
+    );
+
+    // Header with zeroed CRC, then a zeroed index — emitted as a
+    // single append so sinks that mirror their first append (the
+    // store's streaming segment writer) hold exactly the patchable
+    // prefix. Both placeholder regions are patched after the last
+    // member, when their values are known.
+    let mut header = Vec::with_capacity(HEADER_BYTES + 8 * chunks.len());
+    header.extend_from_slice(&MAGIC);
+    header.push(VERSION);
+    header.push(0);
+    header.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    header.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(chunk_bytes as u64).to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_BYTES);
+    header.resize(HEADER_BYTES + 8 * chunks.len(), 0);
+    sink.write(&header)?;
+
+    let mut index = Vec::with_capacity(8 * chunks.len());
+    let mut combined = 0u32;
+    let mut body_len = 0usize;
+    let workers = ckpt_pool::clamp_workers(threads, chunks.len());
+    ckpt_pool::ordered_pipeline(
+        chunks.len(),
+        workers,
+        0,
+        |i| gzip::compress(chunks[i], level),
+        |i, member: Vec<u8>| {
+            let crc = member_stored_crc(&member).expect("compressor emits complete gzip members");
+            combined = crc32_combine(combined, crc, crate::u64_from_usize(chunks[i].len()));
+            index.extend_from_slice(&(member.len() as u64).to_le_bytes());
+            body_len += member.len();
+            sink.write(&member)
+        },
+    )?;
+
+    // Back-patch the chunk index and the combined CRC; every patched
+    // byte is inside `patchable_prefix(data.len(), chunk_bytes)`.
+    if !index.is_empty() {
+        sink.patch(HEADER_BYTES as u64, &index)?;
+    }
+    sink.patch(OFF_CRC as u64, &combined.to_le_bytes())?;
+    Ok(StreamStats {
+        chunk_count: chunks.len(),
+        payload_len: data.len(),
+        container_len: HEADER_BYTES + index.len() + body_len,
+        crc: combined,
+    })
 }
 
 /// Decompresses a WPK1 container using `threads` workers.
@@ -227,6 +366,29 @@ pub fn decompress_chunked_with_limit(
     let Parsed { chunk_count, total, chunk_bytes, stored_crc, members } =
         parse_container(data, max_output)?;
 
+    /// Inflates one run of members into their (disjoint) output slots
+    /// and returns the verified per-member CRCs.
+    fn inflate_run(slots: &mut [&mut [u8]], members: &[&[u8]]) -> Result<Vec<u32>, DeflateError> {
+        let mut crcs = Vec::with_capacity(slots.len());
+        for (slot, member) in slots.iter_mut().zip(members) {
+            let (payload, consumed) = gzip::decompress_member(member, slot.len())?;
+            if consumed != member.len() {
+                return Err(DeflateError::BadContainer("trailing bytes inside a member slot"));
+            }
+            if payload.len() != slot.len() {
+                return Err(DeflateError::SizeMismatch {
+                    stored: u32::try_from(slot.len()).unwrap_or(u32::MAX),
+                    computed: u32::try_from(payload.len()).unwrap_or(u32::MAX),
+                });
+            }
+            slot.copy_from_slice(&payload);
+            // Per-member CRC was just verified by decompress_member;
+            // reuse the stored value.
+            crcs.push(member_stored_crc(member)?);
+        }
+        Ok(crcs)
+    }
+
     let mut out = vec![0u8; total];
     let crcs = {
         // Hand each worker a contiguous run of chunks; output regions
@@ -237,50 +399,36 @@ pub fn decompress_chunked_with_limit(
             out.chunks_mut(chunk_bytes).collect()
         };
         debug_assert_eq!(slots.len(), chunk_count);
-        let workers = ckpt_pool::effective_workers(threads, chunk_count);
+        // Clamp to the host: spawning past the core count only adds
+        // scheduling overhead, and one effective worker runs inline
+        // with no thread at all.
+        let workers = ckpt_pool::clamp_workers(threads, chunk_count);
         let ranges = ckpt_pool::partition_ranges(chunk_count, workers);
         let mut results: Vec<Result<Vec<u32>, DeflateError>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(ranges.len());
-            let mut rest = slots.as_mut_slice();
-            let mut members_rest = members.as_slice();
-            for r in &ranges {
-                let (mine, tail) = rest.split_at_mut(r.len());
-                rest = tail;
-                let (my_members, members_tail) = members_rest.split_at(r.len());
-                members_rest = members_tail;
-                handles.push(scope.spawn(move || {
-                    let mut crcs = Vec::with_capacity(mine.len());
-                    for (slot, member) in mine.iter_mut().zip(my_members) {
-                        let (payload, consumed) = gzip::decompress_member(member, slot.len())?;
-                        if consumed != member.len() {
-                            return Err(DeflateError::BadContainer(
-                                "trailing bytes inside a member slot",
-                            ));
-                        }
-                        if payload.len() != slot.len() {
-                            return Err(DeflateError::SizeMismatch {
-                                stored: u32::try_from(slot.len()).unwrap_or(u32::MAX),
-                                computed: u32::try_from(payload.len()).unwrap_or(u32::MAX),
-                            });
-                        }
-                        slot.copy_from_slice(&payload);
-                        // Per-member CRC was just verified by
-                        // decompress_member; reuse the stored value.
-                        crcs.push(member_stored_crc(member)?);
-                    }
-                    Ok(crcs)
-                }));
-            }
-            for h in handles {
-                match h.join() {
-                    Ok(res) => results.push(res),
-                    // A worker panic is a programming error, not an
-                    // input error: propagate it unchanged.
-                    Err(panic) => std::panic::resume_unwind(panic),
+        if ranges.len() == 1 {
+            results.push(inflate_run(&mut slots, &members));
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(ranges.len());
+                let mut rest = slots.as_mut_slice();
+                let mut members_rest = members.as_slice();
+                for r in &ranges {
+                    let (mine, tail) = rest.split_at_mut(r.len());
+                    rest = tail;
+                    let (my_members, members_tail) = members_rest.split_at(r.len());
+                    members_rest = members_tail;
+                    handles.push(scope.spawn(move || inflate_run(mine, my_members)));
                 }
-            }
-        });
+                for h in handles {
+                    match h.join() {
+                        Ok(res) => results.push(res),
+                        // A worker panic is a programming error, not an
+                        // input error: propagate it unchanged.
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+            });
+        }
         let mut crcs = Vec::with_capacity(chunk_count);
         for r in results {
             crcs.extend(r?);
@@ -428,6 +576,87 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn streamed_output_is_byte_identical_to_buffered() {
+        for len in [0usize, 1, 4096, 4097, 50_000] {
+            let data = lcg_bytes(len, len as u64 + 3);
+            for chunk_bytes in [1000usize, 4096, 1 << 20] {
+                let buffered = compress_chunked(&data, Level::Default, chunk_bytes, 1);
+                for threads in [1usize, 2, 4, 8] {
+                    let mut streamed = Vec::new();
+                    let stats = compress_chunked_stream(
+                        &data,
+                        Level::Default,
+                        chunk_bytes,
+                        threads,
+                        &mut streamed,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        streamed, buffered,
+                        "len={len} chunk_bytes={chunk_bytes} threads={threads}"
+                    );
+                    assert_eq!(stats.container_len, streamed.len());
+                    assert_eq!(stats.payload_len, len);
+                    assert_eq!(decompress_chunked(&streamed, 2).unwrap(), data);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_patches_stay_inside_the_declared_prefix() {
+        // A sink that records the highest patched offset.
+        struct Tracking {
+            buf: Vec<u8>,
+            max_patch_end: u64,
+        }
+        impl StreamSink for Tracking {
+            type Error = std::convert::Infallible;
+            fn write(&mut self, bytes: &[u8]) -> Result<(), Self::Error> {
+                self.buf.extend_from_slice(bytes);
+                Ok(())
+            }
+            fn patch(&mut self, offset: u64, bytes: &[u8]) -> Result<(), Self::Error> {
+                self.max_patch_end = self.max_patch_end.max(offset + bytes.len() as u64);
+                self.buf.patch(offset, bytes)
+            }
+        }
+        let data = lcg_bytes(30_000, 21);
+        let mut sink = Tracking { buf: Vec::new(), max_patch_end: 0 };
+        compress_chunked_stream(&data, Level::Default, 4096, 4, &mut sink).unwrap();
+        assert!(sink.max_patch_end > 0);
+        assert!(sink.max_patch_end <= patchable_prefix(data.len(), 4096) as u64);
+        assert_eq!(decompress_chunked(&sink.buf, 1).unwrap(), data);
+    }
+
+    #[test]
+    fn stream_sink_error_aborts_mid_container() {
+        struct Failing {
+            writes_left: usize,
+        }
+        impl StreamSink for Failing {
+            type Error = &'static str;
+            fn write(&mut self, _bytes: &[u8]) -> Result<(), Self::Error> {
+                if self.writes_left == 0 {
+                    return Err("sink died");
+                }
+                self.writes_left -= 1;
+                Ok(())
+            }
+            fn patch(&mut self, _offset: u64, _bytes: &[u8]) -> Result<(), Self::Error> {
+                Err("sink died")
+            }
+        }
+        let data = lcg_bytes(20_000, 22);
+        // Dies after the header+index append and one member.
+        let mut sink = Failing { writes_left: 2 };
+        assert_eq!(
+            compress_chunked_stream(&data, Level::Default, 2048, 4, &mut sink),
+            Err("sink died")
+        );
     }
 
     #[test]

@@ -10,12 +10,38 @@
 //! thread, which keeps the serial path allocation- and syscall-free.
 
 use std::ops::Range;
+use std::sync::OnceLock;
+
+pub mod pipeline;
+pub mod steal;
+
+pub use pipeline::ordered_pipeline;
+pub use steal::{run_stealing, run_stealing_map, Seed, StealQueue};
 
 /// Clamps a requested thread count to something sane: zero is treated
 /// as "unspecified" and becomes 1, and the count is capped by `work`
 /// so no worker starts with an empty shard.
 pub fn effective_workers(requested: usize, work: usize) -> usize {
     requested.max(1).min(work.max(1))
+}
+
+/// The host's available hardware parallelism, queried once and cached.
+/// Falls back to 1 when the platform cannot answer.
+pub fn host_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// [`effective_workers`] with an additional cap at the host's core
+/// count: requesting 8 threads on a 2-core box spawns 2 workers, not 8
+/// threads fighting over 2 cores. Use this to size *spawn counts* only
+/// — anything that shapes output bytes (container format, chunk
+/// layout) must key on the requested count so results stay
+/// host-independent.
+pub fn clamp_workers(requested: usize, work: usize) -> usize {
+    effective_workers(requested.max(1).min(host_parallelism()), work)
 }
 
 /// Splits `0..n` into `workers` contiguous near-even ranges, in order.
@@ -111,12 +137,20 @@ where
 /// that the pointed-to allocation outlives the scope. The recorded
 /// length lets debug builds catch out-of-bounds indices before they
 /// become undefined behavior.
-#[derive(Clone, Copy)]
 pub struct SendPtr<T> {
     ptr: *mut T,
     /// Element count of the wrapped allocation (debug bounds checks).
     len: usize,
 }
+
+// Manual impls: the derive would add an unwanted `T: Copy` bound, but
+// copying the wrapper never copies the pointee.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 
 // SAFETY: moving the raw pointer to another thread is sound because
 // the wrapper exposes access only through `unsafe` methods whose
@@ -189,6 +223,17 @@ mod tests {
         assert_eq!(effective_workers(4, 10), 4);
         assert_eq!(effective_workers(16, 3), 3);
         assert_eq!(effective_workers(8, 0), 1);
+    }
+
+    #[test]
+    fn clamp_workers_respects_host_cores() {
+        let cores = host_parallelism();
+        assert!(cores >= 1);
+        assert!(clamp_workers(1024, 1024) <= cores);
+        assert_eq!(clamp_workers(0, 10), 1);
+        assert_eq!(clamp_workers(1, 10), 1);
+        // Work cap still applies after the host cap.
+        assert_eq!(clamp_workers(1024, 1), 1);
     }
 
     #[test]

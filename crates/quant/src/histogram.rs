@@ -39,7 +39,7 @@ impl Histogram {
         if values.is_empty() || k == 0 {
             return None;
         }
-        let workers = ckpt_pool::effective_workers(threads, values.len());
+        let workers = ckpt_pool::clamp_workers(threads, values.len());
         if workers == 1 {
             let mut lo = values[0];
             let mut hi = values[0];

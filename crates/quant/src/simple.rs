@@ -61,7 +61,7 @@ pub fn quantize_threaded(
         debug_assert_ne!(remap[bin], EMPTY, "value must land in a non-empty bin");
         remap[bin] as u8
     };
-    let workers = ckpt_pool::effective_workers(threads, values.len());
+    let workers = ckpt_pool::clamp_workers(threads, values.len());
     let indexes: Vec<u8> = if workers == 1 {
         values.iter().map(|&v| encode(v)).collect()
     } else {

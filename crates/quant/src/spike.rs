@@ -93,7 +93,7 @@ pub fn quantize_with_threshold_threaded(
     let mut bitmap = Bitmap::zeros(values.len());
     let mut detected = Vec::new();
     let mut raw = Vec::new();
-    let workers = ckpt_pool::effective_workers(threads, values.len());
+    let workers = ckpt_pool::clamp_workers(threads, values.len());
     if workers == 1 {
         for (i, &v) in values.iter().enumerate() {
             if spiked[hist.bin_of(v)] {

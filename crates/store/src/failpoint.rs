@@ -14,7 +14,7 @@
 //! rank segments concurrently, so kills also land mid-parallel-save.
 
 use crate::{Result, StoreError};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -77,6 +77,24 @@ impl FailPoint {
             let _ = sink.flush();
             return Err(StoreError::Killed);
         }
+        Ok(())
+    }
+
+    /// Overwrites `buf` at `offset` in a seekable sink, drawing the
+    /// same kill budget as [`FailPoint::write_all`]: a kill mid-patch
+    /// leaves the prefix overwritten and the rest as it was — exactly
+    /// the torn state a real crash during a pwrite leaves behind. On
+    /// success the cursor returns to the end of the sink, so appends
+    /// can continue.
+    pub fn write_all_at<F: Write + Seek>(
+        &self,
+        sink: &mut F,
+        offset: u64,
+        buf: &[u8],
+    ) -> Result<()> {
+        sink.seek(SeekFrom::Start(offset))?;
+        self.write_all(sink, buf)?;
+        sink.seek(SeekFrom::End(0))?;
         Ok(())
     }
 }

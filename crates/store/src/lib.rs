@@ -55,6 +55,7 @@ pub mod segment;
 pub mod store;
 
 pub use failpoint::FailPoint;
+pub use segment::SegmentWriter;
 pub use gc::GcReport;
 pub use manifest::{RetireReason, SegmentFormat};
 pub use store::{GenInfo, OpenReport, Store, VerifyReport};

@@ -14,7 +14,7 @@ use ckpt_core::checkpoint::Checkpoint;
 use ckpt_core::incremental::PAGE_ELEMS;
 use ckpt_core::wire::{self, ByteReader};
 use ckpt_core::Compressor;
-use ckpt_deflate::crc32::crc32;
+use ckpt_deflate::crc32::{crc32, crc32_combine};
 use ckpt_deflate::gzip;
 use std::fs;
 
@@ -28,15 +28,152 @@ pub fn write_segment(
     payload: &[u8],
     fp: &FailPoint,
 ) -> Result<()> {
-    let tmp = layout.tmp_path(gen, rank);
-    let mut file = fs::File::create(&tmp)?;
-    fp.write_all(&mut file, payload)?;
-    fp.check()?;
-    file.sync_all()?;
-    drop(file);
-    fp.check()?;
-    fs::rename(&tmp, layout.segment_path(gen, rank))?;
+    let mut w = SegmentWriter::create(layout, gen, rank, fp, false)?;
+    w.append(payload)?;
+    w.finish()?;
     Ok(())
+}
+
+/// Incrementally writes one rank's segment under the same crash
+/// contract as [`write_segment`]: bytes stream into `tmp/` through the
+/// fail point as they arrive, and [`SegmentWriter::finish`] performs
+/// the fsync + rename that makes the file eligible for commit. Store
+/// I/O for early bytes thus overlaps whatever computation produces the
+/// later ones.
+///
+/// The writer also supports **patching** previously appended bytes —
+/// the WPK1 streaming protocol back-fills its header CRC and chunk
+/// index after the last member. To keep an exact running CRC without
+/// buffering the whole payload, a patchable writer mirrors its *first*
+/// append in memory (by protocol that append is exactly the patchable
+/// prefix: a small header plus 8 bytes per chunk) and requires every
+/// patch to land inside it; all later appends fold into a running tail
+/// CRC via `crc32_combine`.
+///
+/// Dropping the writer without calling `finish` leaves only tmp/
+/// litter, exactly like a killed [`write_segment`]; open-time recovery
+/// removes it.
+pub struct SegmentWriter<'a> {
+    layout: &'a Layout,
+    fp: &'a FailPoint,
+    gen: u64,
+    rank: u32,
+    file: fs::File,
+    /// In-memory copy of the first append (empty when `patchable` is
+    /// false): the only region patches may touch.
+    mirror: Vec<u8>,
+    patchable: bool,
+    /// Running CRC over everything after the mirrored prefix.
+    tail_crc: u32,
+    tail_len: u64,
+    /// Total bytes appended.
+    len: u64,
+}
+
+impl<'a> SegmentWriter<'a> {
+    /// Opens the staging file for `(gen, rank)`. With `patchable` the
+    /// first append is mirrored in memory and may later be rewritten
+    /// with [`SegmentWriter::patch`]; without it, patches error and no
+    /// mirror is kept.
+    pub fn create(
+        layout: &'a Layout,
+        gen: u64,
+        rank: u32,
+        fp: &'a FailPoint,
+        patchable: bool,
+    ) -> Result<Self> {
+        let file = fs::File::create(layout.tmp_path(gen, rank))?;
+        Ok(SegmentWriter {
+            layout,
+            fp,
+            gen,
+            rank,
+            file,
+            mirror: Vec::new(),
+            patchable,
+            tail_crc: 0,
+            tail_len: 0,
+            len: 0,
+        })
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True before the first append.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `bytes` at the end of the segment, through the fail
+    /// point (a kill mid-append tears the file exactly where the
+    /// budget ran out).
+    pub fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.fp.write_all(&mut self.file, bytes)?;
+        if self.patchable && self.len == 0 {
+            self.mirror = bytes.to_vec();
+        } else {
+            self.tail_crc = crc32_combine(self.tail_crc, crc32(bytes), bytes.len() as u64);
+            self.tail_len += bytes.len() as u64;
+        }
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrites bytes inside the mirrored first append. The patch must
+    /// stay within that region — patching beyond it is a protocol
+    /// violation by the producer, reported as corruption rather than
+    /// silently computing a wrong CRC.
+    pub fn patch(&mut self, offset: u64, bytes: &[u8]) -> Result<()> {
+        let end = offset
+            .checked_add(bytes.len() as u64)
+            .ok_or_else(|| StoreError::Corrupt("segment patch range overflows".into()))?;
+        if !self.patchable || end > self.mirror.len() as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "segment patch [{offset}, {end}) outside the patchable prefix of {} bytes",
+                self.mirror.len()
+            )));
+        }
+        self.fp.write_all_at(&mut self.file, offset, bytes)?;
+        let at = offset as usize;
+        self.mirror[at..at + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Completes the segment: fsync the staging file, rename it into
+    /// `segments/`, and return `(payload_len, crc)` for the manifest's
+    /// `Seg` record. The kill-point sequence (write → barrier → fsync
+    /// → barrier → rename) is byte-for-byte the one [`write_segment`]
+    /// has always exercised.
+    pub fn finish(self) -> Result<(u64, u32)> {
+        self.fp.check()?;
+        self.file.sync_all()?;
+        drop(self.file);
+        self.fp.check()?;
+        fs::rename(
+            self.layout.tmp_path(self.gen, self.rank),
+            self.layout.segment_path(self.gen, self.rank),
+        )?;
+        let crc = crc32_combine(crc32(&self.mirror), self.tail_crc, self.tail_len);
+        Ok((self.len, crc))
+    }
+}
+
+/// A [`SegmentWriter`] is a WPK1 stream sink: `ckpt-core`'s
+/// `compress_stream` writes finished gzip members straight into the
+/// staging file while later chunks still compress.
+impl ckpt_deflate::chunked::StreamSink for SegmentWriter<'_> {
+    type Error = StoreError;
+
+    fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        self.append(bytes)
+    }
+
+    fn patch(&mut self, offset: u64, bytes: &[u8]) -> Result<()> {
+        SegmentWriter::patch(self, offset, bytes)
+    }
 }
 
 /// Reads a segment and checks it against the manifest's length and
@@ -179,6 +316,79 @@ mod tests {
         ));
         assert!(!l.segment_path(1, 0).exists(), "no rename after a kill");
         assert_eq!(fs::read(l.tmp_path(1, 0)).unwrap().len(), 100, "torn tmp write");
+        let _ = fs::remove_dir_all(&l.root);
+    }
+
+    #[test]
+    fn streaming_writer_matches_buffered_write_and_crc() {
+        let l = scratch("stream");
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let fp = FailPoint::unlimited();
+        let mut w = SegmentWriter::create(&l, 4, 0, &fp, false).unwrap();
+        for slice in payload.chunks(777) {
+            w.append(slice).unwrap();
+        }
+        let (len, crc) = w.finish().unwrap();
+        assert_eq!(len, payload.len() as u64);
+        assert_eq!(crc, crc32(&payload));
+        assert_eq!(fs::read(l.segment_path(4, 0)).unwrap(), payload);
+        assert!(!l.tmp_path(4, 0).exists());
+        let _ = fs::remove_dir_all(&l.root);
+    }
+
+    #[test]
+    fn streaming_writer_patches_inside_the_first_append() {
+        let l = scratch("patch");
+        let fp = FailPoint::unlimited();
+        let mut w = SegmentWriter::create(&l, 5, 2, &fp, true).unwrap();
+        w.append(&[0u8; 32]).unwrap(); // placeholder prefix
+        w.append(b"body bytes that never change").unwrap();
+        w.patch(4, b"\xAA\xBB\xCC\xDD").unwrap();
+        // Patching past the first append is a protocol violation.
+        assert!(w.patch(30, b"xxxx").is_err());
+        let (len, crc) = w.finish().unwrap();
+        let on_disk = fs::read(l.segment_path(5, 2)).unwrap();
+        assert_eq!(on_disk.len() as u64, len);
+        assert_eq!(&on_disk[4..8], b"\xAA\xBB\xCC\xDD");
+        assert_eq!(crc, crc32(&on_disk), "CRC must cover the patched bytes");
+        let _ = fs::remove_dir_all(&l.root);
+    }
+
+    #[test]
+    fn unpatchable_writer_rejects_patches() {
+        let l = scratch("nopatch");
+        let fp = FailPoint::unlimited();
+        let mut w = SegmentWriter::create(&l, 6, 0, &fp, false).unwrap();
+        w.append(b"0123456789").unwrap();
+        assert!(w.patch(0, b"x").is_err());
+        let _ = fs::remove_dir_all(&l.root);
+    }
+
+    #[test]
+    fn killed_stream_leaves_only_tmp_litter() {
+        let l = scratch("stream-kill");
+        let fp = FailPoint::after_bytes(40);
+        let mut w = SegmentWriter::create(&l, 7, 1, &fp, true).unwrap();
+        w.append(&[1u8; 32]).unwrap();
+        assert!(matches!(w.append(&[2u8; 32]), Err(StoreError::Killed)));
+        // The writer is dead; dropping it without finish leaves the
+        // torn staging file for recovery to sweep.
+        drop(w);
+        assert!(!l.segment_path(7, 1).exists());
+        assert_eq!(fs::read(l.tmp_path(7, 1)).unwrap().len(), 40);
+        let _ = fs::remove_dir_all(&l.root);
+    }
+
+    #[test]
+    fn kill_mid_patch_tears_the_patch() {
+        let l = scratch("patch-kill");
+        let fp = FailPoint::after_bytes(34);
+        let mut w = SegmentWriter::create(&l, 8, 0, &fp, true).unwrap();
+        w.append(&[0u8; 32]).unwrap();
+        // Budget leaves 2 bytes: the 4-byte patch tears after 2.
+        assert!(matches!(w.patch(8, b"\xDE\xAD\xBE\xEF"), Err(StoreError::Killed)));
+        let tmp = fs::read(l.tmp_path(8, 0)).unwrap();
+        assert_eq!(&tmp[8..12], b"\xDE\xAD\x00\x00", "torn patch");
         let _ = fs::remove_dir_all(&l.root);
     }
 

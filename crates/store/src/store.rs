@@ -324,6 +324,99 @@ impl Store {
         self.save(step, SegmentFormat::Increment, base_gen, payloads, threads)
     }
 
+    /// Saves a full generation whose per-rank payloads are **produced
+    /// while they are written**: for each rank, `producer` receives a
+    /// [`SegmentWriter`](segment::SegmentWriter) and streams the
+    /// payload into it (e.g. via `Compressor::compress_stream`), so
+    /// store I/O for early chunks overlaps compression of later ones.
+    /// The two-phase commit contract is unchanged — every segment
+    /// still goes tmp → fsync → rename before the single manifest
+    /// append commits the generation — and the committed bytes are
+    /// exactly what the producer streamed.
+    ///
+    /// Any producer or I/O error (including an injected kill) poisons
+    /// the store, like a failed [`Store::save_full`].
+    pub fn save_full_streamed<F>(
+        &mut self,
+        step: u64,
+        format: SegmentFormat,
+        ranks: u32,
+        mut producer: F,
+    ) -> Result<u64>
+    where
+        F: FnMut(u32, &mut segment::SegmentWriter<'_>) -> Result<()>,
+    {
+        self.guard()?;
+        if format == SegmentFormat::Increment {
+            return Err(StoreError::Chain(
+                "save_full_streamed cannot write increments; use save_increment".into(),
+            ));
+        }
+        if ranks == 0 {
+            return Err(StoreError::NotFound("a save needs at least one rank payload".into()));
+        }
+        let gen = self.next_gen;
+
+        let mut write_all = || -> Result<Vec<SegMeta>> {
+            // Phase 1: stream each rank's segment; the producer drives
+            // its own intra-rank parallelism.
+            let mut metas = Vec::with_capacity(ranks as usize);
+            for rank in 0..ranks {
+                let mut w =
+                    segment::SegmentWriter::create(&self.layout, gen, rank, &self.failpoint, true)?;
+                producer(rank, &mut w)?;
+                if w.is_empty() {
+                    return Err(StoreError::NotFound(format!(
+                        "streamed save produced an empty payload for rank {rank}"
+                    )));
+                }
+                let (payload_len, crc) = w.finish()?;
+                metas.push(SegMeta { payload_len, crc });
+            }
+            self.failpoint.check()?;
+            layout::fsync_dir(&self.layout.segments)?;
+
+            // Phase 2: one buffered manifest append, then fsync.
+            let mut records = Vec::with_capacity(metas.len() + 2);
+            records.push(Record::Begin { gen, step, format, base_gen: gen, ranks });
+            for (rank, meta) in metas.iter().enumerate() {
+                records.push(Record::Seg {
+                    gen,
+                    rank: rank as u32,
+                    payload_len: meta.payload_len,
+                    crc: meta.crc,
+                });
+            }
+            records.push(Record::Commit { gen });
+            self.append_records(&records)?;
+            Ok(metas)
+        };
+
+        let metas = match write_all() {
+            Ok(metas) => metas,
+            Err(e) => {
+                // A failed save is a simulated crash: run no cleanup,
+                // require a reopen (which performs real recovery).
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+
+        self.gens.insert(
+            gen,
+            GenState {
+                step,
+                format,
+                base_gen: gen,
+                segs: metas.into_iter().map(Some).collect(),
+                committed: true,
+                retired: None,
+            },
+        );
+        self.next_gen = gen + 1;
+        Ok(gen)
+    }
+
     fn save(
         &mut self,
         step: u64,
@@ -381,10 +474,11 @@ impl Store {
         payloads: &[&[u8]],
         threads: usize,
     ) -> Result<()> {
-        // Phase 1: segments, fanned over pool workers.
+        // Phase 1: segments, fanned over pool workers (clamped to the
+        // host so oversubscription never pays for idle threads).
         let ranges = ckpt_pool::partition_ranges(
             payloads.len(),
-            ckpt_pool::effective_workers(threads, payloads.len()),
+            ckpt_pool::clamp_workers(threads, payloads.len()),
         );
         let layout = &self.layout;
         let fp = &self.failpoint;

@@ -70,7 +70,7 @@ fn transform_axis_threaded(
 ) -> Result<()> {
     let lanes: Vec<_> = t.lanes(axis)?.collect();
     let len = t.shape().dim(axis)?;
-    let workers = ckpt_pool::effective_workers(threads, lanes.len());
+    let workers = ckpt_pool::clamp_workers(threads, lanes.len());
     if workers == 1 {
         let mut gather = vec![0.0f64; len];
         let mut result = vec![0.0f64; len];

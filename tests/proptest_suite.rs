@@ -309,6 +309,41 @@ proptest! {
     }
 
     #[test]
+    fn streamed_chunked_container_matches_buffered_bytes(
+        data in pvec(any::<u8>(), 0..40_000),
+        chunk_bytes in 1usize..10_000,
+    ) {
+        use lossy_ckpt::deflate::chunked;
+        let level = lossy_ckpt::deflate::Level::Fast;
+        let reference = chunked::compress_chunked(&data, level, chunk_bytes, 1);
+        for threads in [1usize, 2, 4, 8] {
+            let mut out = Vec::new();
+            let stats = chunked::compress_chunked_stream(&data, level, chunk_bytes, threads, &mut out)
+                .unwrap();
+            prop_assert_eq!(&out, &reference, "streamed bytes must not depend on threads ({})", threads);
+            prop_assert_eq!(stats.container_len, out.len());
+        }
+    }
+
+    #[test]
+    fn streamed_compress_matches_buffered_for_any_threads_and_chunks(
+        seed in any::<u64>(),
+        threads in 2usize..=8,
+        chunk_kib in 1usize..32,
+    ) {
+        let t = generate(&FieldSpec { dims: vec![20, 12, 2], kind: FieldKind::Temperature,
+                                      seed, harmonics: 4, noise_amp: 1e-4 });
+        let cfg = CompressorConfig::paper_proposed()
+            .with_threads(threads)
+            .with_chunk_bytes(chunk_kib * 1024);
+        let comp = Compressor::new(cfg).unwrap();
+        let buffered = comp.compress(&t).unwrap();
+        let mut sink: Vec<u8> = Vec::new();
+        comp.compress_stream(&t, &mut sink).unwrap();
+        prop_assert_eq!(&sink, &buffered.bytes, "threads={} chunk_kib={}", threads, chunk_kib);
+    }
+
+    #[test]
     fn chunked_container_roundtrips_and_is_thread_count_invariant(
         data in pvec(any::<u8>(), 0..40_000),
         chunk_bytes in 1usize..10_000,

@@ -100,6 +100,99 @@ fn kill_at_every_byte_preserves_previous_generation() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The same exhaustive sweep over the *streamed* save path: each
+/// rank's WPK1 container is produced by the pipelined compressor
+/// directly into the store's [`SegmentWriter`], so the write stream
+/// contains header, members, and the end-of-stream index/CRC patches
+/// (kills land mid-append *and* mid-patch). The crash contract must
+/// hold byte-for-byte, and a committed streamed segment must be
+/// identical to the buffered container.
+#[test]
+fn kill_at_every_byte_of_streamed_save_preserves_previous_generation() {
+    use lossy_ckpt::core::StreamError;
+
+    // Chunked (threads > 1) config with small chunks so each rank's
+    // segment is a WCK1 stream whose WPK1 container has several
+    // members — the write stream then holds header, members, and the
+    // end-of-stream index/CRC patches.
+    let cfg = CompressorConfig::paper_proposed().with_threads(2).with_chunk_bytes(128);
+    let comp = Compressor::new(cfg).unwrap();
+    let tensors: Vec<Tensor<f64>> = (0..2u64)
+        .map(|r| {
+            Tensor::from_fn(&[16, 8], |ix| {
+                ((ix[0] * 8 + ix[1]) as f64 * 0.21 + r as f64).sin() * 40.0 + 250.0
+            })
+            .unwrap()
+        })
+        .collect();
+    let expected: Vec<Vec<u8>> =
+        tensors.iter().map(|t| comp.compress(t).unwrap().bytes).collect();
+    let expected_refs: Vec<&[u8]> = expected.iter().map(Vec::as_slice).collect();
+
+    let streamed_save = |store: &mut Store, step: u64| {
+        store.save_full_streamed(step, SegmentFormat::Array, 2, |rank, writer| {
+            comp.compress_stream(&tensors[rank as usize], writer).map_err(|e| match e {
+                StreamError::Ckpt(e) => StoreError::Ckpt(e),
+                StreamError::Sink(e) => e,
+            })?;
+            Ok(())
+        })
+    };
+
+    // Measure one streamed save to enumerate its kill points.
+    let total = {
+        let dir = scratch("stream-measure");
+        let mut store = Store::open(&dir).unwrap();
+        store.save_full(1, SegmentFormat::Array, &expected_refs, 1).unwrap();
+        store.set_failpoint(None);
+        streamed_save(&mut store, 2).unwrap();
+        let total = store.bytes_written();
+        let _ = fs::remove_dir_all(&dir);
+        total
+    };
+    assert!(total > 0, "a streamed save must write bytes");
+
+    let dir = scratch("stream-sweep");
+    for k in 0..=total {
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir).unwrap();
+        let g1 = store.save_full(1, SegmentFormat::Array, &expected_refs, 1).unwrap();
+        store.set_failpoint(Some(k));
+        let outcome = streamed_save(&mut store, 2);
+        drop(store);
+
+        let store = Store::open(&dir).unwrap_or_else(|e| panic!("k={k}: reopen failed: {e}"));
+        for (rank, expect) in expected.iter().enumerate() {
+            let got = store
+                .read_segment(g1, rank as u32)
+                .unwrap_or_else(|e| panic!("k={k}: gen1 rank {rank}: {e}"));
+            assert_eq!(&got, expect, "k={k}: gen1 rank {rank} not bit-exact");
+        }
+        match store.latest_committed() {
+            Some(g) if g == g1 => {
+                assert!(
+                    outcome.is_err(),
+                    "k={k}: streamed save reported success but gen2 is not committed"
+                );
+                assert!(store.read_segment(g1 + 1, 0).is_err());
+            }
+            Some(g) => {
+                assert_eq!(g, g1 + 1, "k={k}");
+                for (rank, expect) in expected.iter().enumerate() {
+                    let got = store.read_segment(g, rank as u32).unwrap();
+                    assert_eq!(&got, expect, "k={k}: streamed gen2 rank {rank} not bit-exact");
+                }
+            }
+            None => panic!("k={k}: committed gen 1 vanished"),
+        }
+        let report = store.verify().unwrap();
+        assert!(report.clean(), "k={k}: verify problems: {:?}", report.problems);
+        let tmp_entries = fs::read_dir(store.root().join("tmp")).unwrap().count();
+        assert_eq!(tmp_entries, 0, "k={k}: tmp/ not empty after recovery");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// A durable sink whose saves can be killed mid-write by a schedule of
 /// byte budgets. A killed save poisons the store; `load_latest`
 /// reopens it (running real recovery) before answering, exactly like a
