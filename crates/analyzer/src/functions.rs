@@ -11,6 +11,10 @@ pub struct Function {
     pub name: String,
     /// Line of the `fn` keyword.
     pub sig_line: usize,
+    /// Token index of the `fn` keyword (signature tokens are
+    /// `sig_start .. body.0`; the dataflow layer parses parameter
+    /// names out of this range).
+    pub sig_start: usize,
     /// Token index of the body's opening `{` (exclusive start: the
     /// body tokens are `body.0 + 1 .. body.1`).
     pub body: (usize, usize),
@@ -150,6 +154,7 @@ pub fn extract(file: &ScannedFile) -> FileFunctions {
                     functions.push(Function {
                         name,
                         sig_line,
+                        sig_start: i,
                         body: (open, open), // end patched on close
                         end_line: sig_line,
                     });

@@ -237,9 +237,16 @@ fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
     // 'x' or '\n' or '\u{1F600}'.
     let next = *chars.get(i + 1)?;
     if next == '\\' {
-        let mut j = i + 2;
+        // Skip the escaped character first, then scan to the closing
+        // quote: starting the scan at `i + 2` would stop on the quote
+        // *inside* `'\''` and leak the real closing quote back into
+        // the stream as a bogus lifetime token.
+        let mut j = i + 3;
         while j < chars.len() && chars[j] != '\'' {
             j += 1;
+        }
+        if j >= chars.len() {
+            return None;
         }
         return Some(j + 1 - i);
     }
@@ -293,5 +300,74 @@ mod tests {
         assert!(f.comment_on(2).contains("SAFETY:"));
         let tok = f.tokens.iter().find(|t| t.text == "fn").unwrap();
         assert_eq!(tok.line, 3);
+    }
+
+    #[test]
+    fn escaped_quote_char_literals_do_not_desync() {
+        // `'\''` and `b'\''` must consume the whole literal; the old
+        // scanner stopped at the escaped quote and emitted the real
+        // closing quote as a bogus lifetime, desyncing what follows.
+        for src in ["let q = '\\''; q.unwrap();\nfn after() {}", "let b = b'\\''; b.unwrap();\nfn after() {}"] {
+            let f = scan("t.rs", src);
+            let texts: Vec<&str> = f.tokens.iter().map(|t| t.text.as_str()).collect();
+            assert!(texts.contains(&"'…'"), "{texts:?}");
+            assert!(!texts.contains(&"'lt"), "closing quote leaked as lifetime: {texts:?}");
+            let after = f.tokens.iter().find(|t| t.text == "after").unwrap();
+            assert_eq!(after.line, 2);
+        }
+        // Backslash and unicode escapes still measure correctly.
+        let f = scan("t.rs", r"let a = '\\'; let u = '\u{1F600}'; fn g() {}");
+        assert_eq!(f.tokens.iter().filter(|t| t.text == "'…'").count(), 2);
+        assert!(f.tokens.iter().any(|t| t.text == "g"));
+    }
+
+    #[test]
+    fn hashed_raw_strings_hide_contents_and_track_lines() {
+        // r##"…"## spanning lines, with an interior `"#` that must not
+        // terminate the literal, and lint-looking text that must not
+        // leak into the token stream.
+        let src = "let s = r##\"a \"# b\nc unwrap() as usize\"##;\nfn g() {}";
+        let f = scan("t.rs", src);
+        let texts: Vec<&str> = f.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts.iter().filter(|t| **t == "\"…\"").count(), 1);
+        assert!(!texts.contains(&"unwrap"), "raw-string contents leaked: {texts:?}");
+        assert!(!texts.contains(&"as"));
+        let g = f.tokens.iter().find(|t| t.text == "g").unwrap();
+        assert_eq!(g.line, 3, "newlines inside the raw string miscounted");
+        // Byte raw strings too.
+        let f2 = scan("t.rs", "let b = br#\"WPK1 panic!()\"#; fn h() {}");
+        assert!(!f2.tokens.iter().any(|t| t.text == "panic"));
+        assert!(f2.tokens.iter().any(|t| t.text == "h"));
+    }
+
+    #[test]
+    fn nested_block_comments_fully_skipped() {
+        let src = "/* outer /* inner unwrap() */ tail as usize */ fn h() {}\n/* a /* b /* c */ */ */ fn k() {}";
+        let f = scan("t.rs", src);
+        let texts: Vec<&str> = f.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["fn", "h", "(", ")", "{", "}", "fn", "k", "(", ")", "{", "}"]);
+        let k = f.tokens.iter().find(|t| t.text == "k").unwrap();
+        assert_eq!(k.line, 2);
+    }
+
+    #[test]
+    fn lifetime_annotated_unsafe_fn_signature_scans_clean() {
+        use crate::functions::extract;
+        let src = "// SAFETY: caller upholds aliasing for 'a.\n\
+                   pub unsafe fn raw_view<'a>(x: &'a mut [u8], n: usize) -> &'a [u8] { &x[..n] }\n\
+                   fn plain() {}";
+        let f = scan("t.rs", src);
+        let ff = extract(&f);
+        let names: Vec<&str> = ff.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["raw_view", "plain"], "lifetime tokens broke fn extraction");
+        // The signature's `[u8]` type tokens must not be owned by the
+        // function body (they are types, not indexing expressions).
+        let sig_bracket = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "[")
+            .unwrap();
+        assert_eq!(ff.owner[sig_bracket], None);
+        assert!(crate::rules::check_unsafe(&f).is_empty(), "SAFETY comment above must cover");
     }
 }

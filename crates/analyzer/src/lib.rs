@@ -1,7 +1,7 @@
 //! ckpt-lint: repo-specific static analysis for the checkpoint
 //! compression workspace.
 //!
-//! Four rules, all deny-by-default (see DESIGN.md §9):
+//! Six rule families, all deny-by-default (DESIGN.md §9 and §13):
 //!
 //! - `unchecked-cast` — no `as` numeric casts in functions reachable
 //!   from the untrusted-input decode entry points.
@@ -11,12 +11,23 @@
 //!   `// SAFETY:` comment (workspace-wide, tests included).
 //! - `spec-drift` — the WPK1 layout table in DESIGN.md §7 must match
 //!   the constants in `crates/deflate/src/chunked.rs`.
+//! - concurrency family (`sendptr-unpartitioned-index`,
+//!   `unsafe-send-sync-impl`, `relaxed-cross-thread-flag`) — the
+//!   static side of the `SendPtr` fan-out contract, over the
+//!   workspace call graph plus per-function dataflow facts.
+//! - crash-consistency family (`durability-order`,
+//!   `failpoint-bypass`) — the store's tmp-write → fsync → rename →
+//!   dir-fsync → manifest-append → manifest-fsync protocol, checked
+//!   on every path reachable from the save/GC roots.
 //!
 //! Suppression only via checked-in `lint-allow.toml` entries, each with
 //! a non-empty justification; unused entries are errors.
 
 pub mod allow;
 pub mod callgraph;
+pub mod concurrency;
+pub mod dataflow;
+pub mod durability;
 pub mod functions;
 pub mod lexer;
 pub mod rules;
@@ -71,9 +82,14 @@ pub const ENTRY_POINTS: &[&str] = &[
     "inflate_with_limit_consumed",
 ];
 
-/// Directories never scanned: build output and vendored shims (the
-/// shims mirror external crates; their code style is not ours to lint).
-const SKIP_DIRS: &[&str] = &["target", ".git", "crates/shims", "tests/corpus"];
+/// Directories never scanned: build output, vendored shims (the shims
+/// mirror external crates; their code style is not ours to lint), and
+/// the analyzer's own deliberately-broken rule fixtures.
+const SKIP_DIRS: &[&str] =
+    &["target", ".git", "crates/shims", "tests/corpus", "crates/analyzer/tests/fixtures"];
+
+/// Files the crash-consistency family audits.
+const STORE_SRC_PREFIX: &str = "crates/store/src/";
 
 /// Result of a full lint run.
 #[derive(Debug, Default)]
@@ -93,6 +109,15 @@ impl Report {
     pub fn clean(&self) -> bool {
         self.violations.is_empty() && self.errors.is_empty()
     }
+}
+
+/// True for rules whose findings are resolved by *justifying* rather
+/// than by rewriting code: `unsafe impl Send/Sync` is a finding by
+/// construction (the allowlist entry is the approval record), and a
+/// Relaxed atomic crossing a fan-out either gets a stronger ordering
+/// or an invariant explaining why Relaxed suffices.
+pub fn justification_needed(rule: &str) -> bool {
+    rule == concurrency::RULE_SEND_SYNC || rule == concurrency::RULE_RELAXED
 }
 
 /// Recursively collects workspace-relative `.rs` paths under `root`.
@@ -136,13 +161,20 @@ pub fn run(root: &Path) -> Report {
     }
     report.files_scanned = scanned.len();
 
-    // Decode-layer scope: extract functions, build the call graph,
-    // compute the reachable set.
-    let decode: Vec<(usize, FileFunctions)> = scanned
+    // Functions + workspace call graph for every scanned file: the
+    // concurrency family reasons about the whole workspace, the decode
+    // rules about their file subset.
+    let all_ff: Vec<FileFunctions> = scanned.iter().map(extract).collect();
+    let workspace: Vec<(&ScannedFile, &FileFunctions)> =
+        scanned.iter().zip(all_ff.iter()).collect();
+    let ws_graph = CallGraph::build(&workspace);
+
+    // Decode-layer scope: compute the reachable set over its subgraph.
+    let decode: Vec<usize> = scanned
         .iter()
         .enumerate()
         .filter(|(_, f)| DECODE_FILES.contains(&f.path.as_str()))
-        .map(|(i, f)| (i, extract(f)))
+        .map(|(i, _)| i)
         .collect();
     for want in DECODE_FILES {
         if !scanned.iter().any(|f| f.path == *want) {
@@ -153,24 +185,37 @@ pub fn run(root: &Path) -> Report {
         }
     }
     let graph_input: Vec<(&ScannedFile, &FileFunctions)> =
-        decode.iter().map(|(i, ff)| (&scanned[*i], ff)).collect();
+        decode.iter().map(|&i| (&scanned[i], &all_ff[i])).collect();
     let graph = CallGraph::build(&graph_input);
     let reachable = graph.reachable(ENTRY_POINTS);
 
     let mut violations: Vec<Violation> = Vec::new();
-    for (di, (si, ff)) in decode.iter().enumerate() {
+    for (di, &si) in decode.iter().enumerate() {
         let in_scope: BTreeSet<usize> = reachable
             .iter()
             .filter(|(fi, _)| *fi == di)
             .map(|&(_, gi)| gi)
             .collect();
         let scope_fn = |gi: usize| in_scope.contains(&gi);
-        violations.extend(rules::check_casts(&scanned[*si], ff, &scope_fn));
-        violations.extend(rules::check_panics(&scanned[*si], ff, &scope_fn));
+        violations.extend(rules::check_casts(&scanned[si], &all_ff[si], &scope_fn));
+        violations.extend(rules::check_panics(&scanned[si], &all_ff[si], &scope_fn));
     }
     for file in &scanned {
         violations.extend(rules::check_unsafe(file));
+        violations.extend(concurrency::check_send_sync(file));
     }
+
+    // Concurrency family over the workspace graph.
+    violations.extend(concurrency::check_sendptr(&workspace, &ws_graph));
+    violations.extend(concurrency::check_relaxed(&workspace, &ws_graph));
+
+    // Crash-consistency family over the store sources.
+    let store_input: Vec<(&ScannedFile, &FileFunctions)> = workspace
+        .iter()
+        .copied()
+        .filter(|(f, _)| f.path.starts_with(STORE_SRC_PREFIX))
+        .collect();
+    violations.extend(durability::check(&store_input));
 
     // spec-drift needs the raw text of both sides.
     let chunked_rel = "crates/deflate/src/chunked.rs";

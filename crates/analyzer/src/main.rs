@@ -91,31 +91,41 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+fn json_violation(v: &ckpt_analyzer::rules::Violation) -> String {
+    format!(
+        r#"{{"rule":"{}","path":"{}","line":{},"symbol":{},"justification_needed":{},"message":"{}"}}"#,
+        v.rule,
+        json_escape(&v.path),
+        v.line,
+        v.symbol
+            .as_deref()
+            .map(|s| format!(r#""{}""#, json_escape(s)))
+            .unwrap_or_else(|| "null".to_string()),
+        ckpt_analyzer::justification_needed(v.rule),
+        json_escape(&v.message)
+    )
+}
+
 fn print_json(report: &ckpt_analyzer::Report) {
-    let viol: Vec<String> = report
-        .violations
+    let viol: Vec<String> = report.violations.iter().map(json_violation).collect();
+    let supp: Vec<String> = report
+        .suppressed
         .iter()
-        .map(|v| {
+        .map(|(v, justification)| {
             format!(
-                r#"{{"rule":"{}","path":"{}","line":{},"symbol":{},"message":"{}"}}"#,
-                v.rule,
-                json_escape(&v.path),
-                v.line,
-                v.symbol
-                    .as_deref()
-                    .map(|s| format!(r#""{}""#, json_escape(s)))
-                    .unwrap_or_else(|| "null".to_string()),
-                json_escape(&v.message)
+                r#"{{"violation":{},"justification":"{}"}}"#,
+                json_violation(v),
+                json_escape(justification)
             )
         })
         .collect();
     let errs: Vec<String> =
         report.errors.iter().map(|e| format!(r#""{}""#, json_escape(e))).collect();
     println!(
-        r#"{{"files_scanned":{},"suppressed":{},"violations":[{}],"errors":[{}]}}"#,
+        r#"{{"files_scanned":{},"violations":[{}],"suppressed":[{}],"errors":[{}]}}"#,
         report.files_scanned,
-        report.suppressed.len(),
         viol.join(","),
+        supp.join(","),
         errs.join(",")
     );
 }
@@ -125,4 +135,9 @@ fn print_rules() {
     println!("panic-in-decoder          no unwrap/expect/panics/unchecked indexing in decoder-reachable functions");
     println!("unsafe-needs-safety-comment  every `unsafe` carries a // SAFETY: comment");
     println!("spec-drift                DESIGN.md §7 WPK1 table must match chunked.rs constants");
+    println!("sendptr-unpartitioned-index  SendPtr indexes must derive from a disjoint-partition source (call sites checked interprocedurally)");
+    println!("unsafe-send-sync-impl     every `unsafe impl Send/Sync` needs a justified lint-allow.toml entry");
+    println!("relaxed-cross-thread-flag Ordering::Relaxed reachable from a thread fan-out needs strengthening or a justification");
+    println!("durability-order          store save/GC paths must follow tmp-write -> fsync -> rename -> dir-fsync -> manifest append -> manifest fsync");
+    println!("failpoint-bypass          store writes/renames/removes must route through (or be barriered by) the FailPoint layer");
 }

@@ -1,0 +1,21 @@
+//! CLEAN fixture: the full commit protocol in the required order —
+//! tmp-write → fsync → rename → dir-fsync → manifest append →
+//! manifest fsync, with a FailPoint barrier ahead of every metadata
+//! step. Expected: no findings.
+//!
+//! Not compiled — scanned by `tests/fixtures.rs`.
+
+fn save_full(fp: &FailPoint) -> Result<()> {
+    let f = File::create(layout.tmp_path(1, 0))?;
+    fp.write_all(&mut f, payload)?;
+    fp.check()?;
+    f.sync_all()?;
+    fp.check()?;
+    fs::rename(layout.tmp_path(1, 0), layout.segment_path(1, 0))?;
+    fp.check()?;
+    fsync_dir(&layout.segments)?;
+    fp.write_all(&mut manifest, records)?;
+    fp.check()?;
+    manifest.sync_all()?;
+    Ok(())
+}

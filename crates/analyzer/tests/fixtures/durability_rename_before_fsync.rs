@@ -1,0 +1,18 @@
+//! BROKEN fixture: the commit rename lands while the staged bytes are
+//! still unsynced. Expected: exactly one `durability-order` finding
+//! ("rename before fsync") on the `save_full` path.
+//!
+//! Not compiled — scanned by `tests/fixtures.rs`.
+
+fn save_full(fp: &FailPoint) -> Result<()> {
+    let f = File::create(layout.tmp_path(1, 0))?;
+    fp.write_all(&mut f, payload)?;
+    fp.check()?;
+    fs::rename(layout.tmp_path(1, 0), layout.segment_path(1, 0))?;
+    fp.check()?;
+    fsync_dir(&layout.segments)?;
+    fp.write_all(&mut manifest, records)?;
+    fp.check()?;
+    manifest.sync_all()?;
+    Ok(())
+}

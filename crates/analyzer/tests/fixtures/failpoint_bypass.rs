@@ -1,0 +1,16 @@
+//! BROKEN fixture: the staged bytes are written with a bare
+//! `File::write_all`, never passing through the FailPoint layer — the
+//! kill-at-every-byte sweep can never tear this write. Expected:
+//! exactly one `failpoint-bypass` finding, in `save_full`.
+//!
+//! Not compiled — scanned by `tests/fixtures.rs`.
+
+fn save_full(fp: &FailPoint) -> Result<()> {
+    let f = File::create(layout.tmp_path(1, 0))?;
+    f.write_all(payload)?;
+    f.sync_all()?;
+    fp.check()?;
+    fs::rename(layout.tmp_path(1, 0), layout.segment_path(1, 0))?;
+    fsync_dir(&layout.segments)?;
+    Ok(())
+}

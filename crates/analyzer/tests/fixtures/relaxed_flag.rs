@@ -1,0 +1,17 @@
+//! BROKEN fixture: a Relaxed store on a flag in a function reachable
+//! from a thread fan-out. Expected: exactly one
+//! `relaxed-cross-thread-flag` finding, in `worker_tick`.
+//!
+//! Not compiled — scanned by `tests/fixtures.rs`.
+
+fn fan_out(n: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| worker_tick());
+        }
+    });
+}
+
+fn worker_tick() {
+    DONE.store(true, Ordering::Relaxed);
+}

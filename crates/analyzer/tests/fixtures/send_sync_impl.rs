@@ -1,0 +1,11 @@
+//! BROKEN fixture: an `unsafe impl Send` with a SAFETY comment but no
+//! allowlist entry. Expected: exactly one `unsafe-send-sync-impl`
+//! finding — the comment alone must not be enough.
+//!
+//! Not compiled — scanned by `tests/fixtures.rs`.
+
+struct RawHandle(*mut u8);
+
+// SAFETY: (deliberately unaudited — the rule must demand an allowlist
+// entry regardless of what this comment claims)
+unsafe impl Send for RawHandle {}

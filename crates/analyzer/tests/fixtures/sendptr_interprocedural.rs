@@ -1,0 +1,26 @@
+//! BROKEN fixture: the write helper's index obligation moves to its
+//! call sites; `good` proves disjointness, `bad` does not. Expected:
+//! exactly one `sendptr-unpartitioned-index` finding, at the call in
+//! `bad`.
+//!
+//! Not compiled — scanned by `tests/fixtures.rs`.
+
+fn write_slot(ptr: SendPtr<f64>, idx: usize) {
+    // SAFETY: the caller proves `idx` lies in its private partition —
+    // an obligation the lint discharges per call site.
+    unsafe { ptr.write(idx, 0.0) };
+}
+
+fn good(buf: &mut [f64], workers: usize) {
+    let ptr = SendPtr::new(buf.as_mut_ptr(), buf.len());
+    for range in partition_ranges(buf.len(), workers) {
+        for i in range {
+            write_slot(ptr, i);
+        }
+    }
+}
+
+fn bad(buf: &mut [f64]) {
+    let ptr = SendPtr::new(buf.as_mut_ptr(), buf.len());
+    write_slot(ptr, shared_cursor());
+}

@@ -1,0 +1,13 @@
+//! BROKEN fixture: the SendPtr index comes from a shared cursor, not a
+//! disjoint-partition source. Expected: exactly one
+//! `sendptr-unpartitioned-index` finding, in `fill`.
+//!
+//! Not compiled — scanned by `tests/fixtures.rs`.
+
+fn fill(buf: &mut [f64]) {
+    let ptr = SendPtr::new(buf.as_mut_ptr(), buf.len());
+    let slot = next_free_slot();
+    // SAFETY: (deliberately bogus — `slot` is not partition-derived,
+    // which is precisely what the rule must catch)
+    unsafe { ptr.write(slot, 0.0) };
+}

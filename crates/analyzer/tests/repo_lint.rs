@@ -24,3 +24,28 @@ fn repository_is_lint_clean() {
     );
     assert!(report.files_scanned > 50, "scan looks truncated: {} files", report.files_scanned);
 }
+
+#[test]
+fn send_sync_impls_ride_on_justified_suppressions() {
+    // `unsafe impl Send/Sync` is a violation by construction; the only
+    // sanctioned way to ship one is a lint-allow.toml entry naming the
+    // invariant. SendPtr's two impls must therefore show up as
+    // *suppressed* findings — if they vanish entirely, either the rule
+    // or the allowlist plumbing broke.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = ckpt_analyzer::run(&root);
+    let send_sync: Vec<_> = report
+        .suppressed
+        .iter()
+        .filter(|(v, _)| v.rule == "unsafe-send-sync-impl")
+        .collect();
+    assert_eq!(
+        send_sync.len(),
+        2,
+        "expected SendPtr's Send + Sync impls as suppressed findings, got {send_sync:?}"
+    );
+    assert!(send_sync.iter().all(|(v, _)| v.path == "crates/pool/src/lib.rs"));
+    for (_, justification) in &report.suppressed {
+        assert!(!justification.trim().is_empty(), "allow entries must carry a justification");
+    }
+}

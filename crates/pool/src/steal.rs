@@ -170,20 +170,29 @@ mod tests {
         }
     }
 
+    /// Miri executes these tests orders of magnitude slower, and the
+    /// interleavings it explores don't need large task counts.
+    const TASKS: usize = if cfg!(miri) { 48 } else { 1000 };
+    const MAP_TASKS: usize = if cfg!(miri) { 23 } else { 137 };
+
     #[test]
     fn run_stealing_covers_all_tasks_concurrently() {
         let hits = AtomicUsize::new(0);
-        run_stealing(4, 1000, |_| {
+        run_stealing(4, TASKS, |_| {
             hits.fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(hits.load(Ordering::Relaxed), TASKS);
     }
 
     #[test]
     fn map_returns_results_in_task_order() {
         for workers in [1usize, 2, 4, 9] {
-            let out = run_stealing_map(workers, 137, |t| t * 3);
-            assert_eq!(out, (0..137).map(|t| t * 3).collect::<Vec<_>>(), "workers={workers}");
+            let out = run_stealing_map(workers, MAP_TASKS, |t| t * 3);
+            assert_eq!(
+                out,
+                (0..MAP_TASKS).map(|t| t * 3).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
         }
     }
 

@@ -93,8 +93,8 @@ pub struct Store {
     layout: Layout,
     gens: BTreeMap<u64, GenState>,
     next_gen: u64,
-    poisoned: bool,
-    failpoint: FailPoint,
+    pub(crate) poisoned: bool,
+    pub(crate) failpoint: FailPoint,
     open_report: OpenReport,
 }
 
@@ -263,7 +263,7 @@ impl Store {
         self.poisoned
     }
 
-    fn guard(&self) -> Result<()> {
+    pub(crate) fn guard(&self) -> Result<()> {
         if self.poisoned {
             return Err(StoreError::Poisoned);
         }
