@@ -38,13 +38,17 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 pub const RULE_DURABILITY: &str = "durability-order";
 pub const RULE_FAILPOINT: &str = "failpoint-bypass";
 
-/// Entry points of the save/commit/GC protocol.
-pub const STORE_ROOTS: &[&str] = &["save_full", "save_full_streamed", "save_increment", "save", "gc"];
+/// Entry points of the save/commit/GC protocol, plus the serving
+/// layer's resume-token writer (same tmp → fsync → rename contract).
+pub const STORE_ROOTS: &[&str] =
+    &["save_full", "save_full_streamed", "save_increment", "save", "gc", "write_token"];
 
 /// Call names never inlined: `open` collides between `Store::open`
 /// (recovery, which legitimately rewrites the manifest) and
-/// `OpenOptions::open` on every save path.
-const NO_INLINE: &[&str] = &["open"];
+/// `OpenOptions::open` on every save path; the free function `drop`
+/// would resolve to every `impl Drop` in scope (e.g. the serve
+/// layer's socket cleanup), which no save path actually runs.
+const NO_INLINE: &[&str] = &["open", "drop"];
 
 /// Receiver names that mark a call as routed through the fail point.
 const FP_RECEIVERS: &[&str] = &["fp", "failpoint"];

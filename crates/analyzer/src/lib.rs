@@ -57,7 +57,10 @@ pub const DECODE_FILES: &[&str] = &[
     "crates/deflate/src/inflate.rs",
     "crates/deflate/src/bitio.rs",
     "crates/deflate/src/huffman.rs",
+    "crates/deflate/src/resume.rs",
     "crates/store/src/manifest.rs",
+    "crates/serve/src/proto.rs",
+    "crates/serve/src/restore.rs",
 ];
 
 /// Functions that receive bytes from disk/network: the BFS roots.
@@ -80,6 +83,11 @@ pub const ENTRY_POINTS: &[&str] = &[
     "inflate",
     "inflate_with_limit",
     "inflate_with_limit_consumed",
+    "restore_from_checkpoint",
+    "inflate_step",
+    "decode_request",
+    "decode_response",
+    "parse_token",
 ];
 
 /// Directories never scanned: build output, vendored shims (the shims
@@ -88,8 +96,9 @@ pub const ENTRY_POINTS: &[&str] = &[
 const SKIP_DIRS: &[&str] =
     &["target", ".git", "crates/shims", "tests/corpus", "crates/analyzer/tests/fixtures"];
 
-/// Files the crash-consistency family audits.
-const STORE_SRC_PREFIX: &str = "crates/store/src/";
+/// Files the crash-consistency family audits: the store itself plus
+/// the serving layer (snapshot pinning, resume-token writes).
+const STORE_SRC_PREFIXES: &[&str] = &["crates/store/src/", "crates/serve/src/"];
 
 /// Result of a full lint run.
 #[derive(Debug, Default)]
@@ -213,7 +222,7 @@ pub fn run(root: &Path) -> Report {
     let store_input: Vec<(&ScannedFile, &FileFunctions)> = workspace
         .iter()
         .copied()
-        .filter(|(f, _)| f.path.starts_with(STORE_SRC_PREFIX))
+        .filter(|(f, _)| STORE_SRC_PREFIXES.iter().any(|p| f.path.starts_with(p)))
         .collect();
     violations.extend(durability::check(&store_input));
 

@@ -1,0 +1,302 @@
+//! Restore latency: cold vs resumed, and concurrent-reader throughput.
+//!
+//! Three measurements over one committed generation (the paper-shaped
+//! 1156 × 82 × 2 array, gzip-packed and replicated to a multi-MiB
+//! segment):
+//!
+//! * **cold** — a full [`restore_streamed`] run from byte zero,
+//!   including its periodic durable `RST1` progress tokens.
+//! * **resumed** — the same restore killed at ~60 % of the output via
+//!   a byte-budget [`FailPoint`], then continued with
+//!   [`resume_restore`]; the interesting number is how much of the
+//!   cold wall-clock the resume pays (ideally the untouched tail plus
+//!   one prefix CRC pass, never the whole stream).
+//! * **concurrent readers** — 1/2/4/8 socket clients each fetching the
+//!   whole segment in 1 MiB CRC-verified ranges from a live
+//!   `ckpt-serve` server while the writer keeps committing new
+//!   generations; reported as aggregate MB/s. `effective_threads`
+//!   follows the workspace convention: requested readers clamped to
+//!   host parallelism.
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin restore_latency`.
+//! Writes `BENCH_restore.json` (or the path given as first argument).
+//!
+//! `--smoke` is the CI gate: a reduced payload, a kill sweep with one
+//! budget per resume interval (resume must reproduce the cold output
+//! bit-identically at every kill point), and two concurrent socket
+//! restores that must complete while a save commits. Exits nonzero on
+//! any mismatch.
+
+use ckpt_bench::{median_time, raw_bytes, temperature_nicam};
+use ckpt_deflate::gzip;
+use ckpt_deflate::Level;
+use ckpt_serve::restore::{restore_streamed, resume_restore};
+use ckpt_serve::RestoreOptions;
+use ckpt_store::{FailPoint, SegmentFormat, Store};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const RUNS: usize = 5;
+const CHUNK: u64 = 1 << 20;
+
+struct Fixture {
+    dir: PathBuf,
+    store: Arc<Mutex<Store>>,
+    /// Decompressed payload the restore must reproduce.
+    data: Vec<u8>,
+    /// Compressed segment length on disk.
+    segment_len: u64,
+}
+
+/// Builds a store holding generation 1: `copies` repetitions of the
+/// paper array's raw bytes, gzip-packed as one member.
+fn fixture(tag: &str, copies: usize) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("ckpt-bench-restore-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let base = raw_bytes(&temperature_nicam());
+    let mut data = Vec::with_capacity(base.len() * copies);
+    for _ in 0..copies {
+        data.extend_from_slice(&base);
+    }
+    let packed = gzip::compress(&data, Level::Fast);
+    let segment_len = packed.len() as u64;
+    let mut store = Store::open(&dir).expect("open bench store");
+    store.save_full(1, SegmentFormat::Array, &[&packed], 1).expect("save fixture gen");
+    Fixture { dir, store: Arc::new(Mutex::new(store)), data, segment_len }
+}
+
+fn out_paths(dir: &Path, tag: &str) -> (PathBuf, PathBuf) {
+    let out = dir.join(format!("restore-{tag}.out"));
+    let token = dir.join(format!("restore-{tag}.resume"));
+    (out, token)
+}
+
+/// Cold restore wall-clock (median of `runs`).
+fn measure_cold(fx: &Fixture, opts: &RestoreOptions, runs: usize) -> Duration {
+    let snap = fx.store.lock().unwrap().snapshot().expect("snapshot");
+    let (out, token) = out_paths(&fx.dir, "cold");
+    median_time(runs, || {
+        let o = restore_streamed(&snap, 1, 0, &out, &token, opts, &FailPoint::unlimited())
+            .expect("cold restore");
+        assert_eq!(o.out_len, fx.data.len() as u64);
+    })
+}
+
+/// Kills a restore after `budget` output-file bytes, then times only
+/// the resume leg (the kill leg is setup, not measurement). Returns
+/// (median resume wall-clock, bytes the resume re-wrote).
+fn measure_resumed(fx: &Fixture, opts: &RestoreOptions, budget: u64, runs: usize) -> (Duration, u64) {
+    let snap = fx.store.lock().unwrap().snapshot().expect("snapshot");
+    let (out, token) = out_paths(&fx.dir, "resume");
+    let mut tail = 0u64;
+    let mut times = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let fp = FailPoint::after_bytes(budget);
+        let killed = restore_streamed(&snap, 1, 0, &out, &token, opts, &fp);
+        assert!(killed.is_err(), "fail point must interrupt the cold leg");
+        assert!(token.exists(), "kill must land past the first progress token");
+        let durable = fs::metadata(&out).expect("killed output exists").len().min(budget);
+        let start = std::time::Instant::now();
+        let o = resume_restore(&snap, &token, &out, opts, &FailPoint::unlimited())
+            .expect("resume restore");
+        times.push(start.elapsed());
+        assert!(o.resumed);
+        assert_eq!(o.out_len, fx.data.len() as u64);
+        tail = o.out_len - durable.min(o.out_len);
+    }
+    times.sort();
+    (times[times.len() / 2], tail)
+}
+
+/// `readers` socket clients each fetch the whole segment in CRC-checked
+/// `CHUNK` ranges while a writer thread commits fresh generations.
+/// Returns aggregate decompressed-segment MB/s across the readers.
+fn measure_readers(fx: &Fixture, readers: usize, runs: usize) -> f64 {
+    let socket = fx.dir.join(format!("serve-{readers}.sock"));
+    let server = ckpt_serve::server::serve_unix(Arc::clone(&fx.store), &socket)
+        .expect("serve_unix");
+    let stop = Arc::new(AtomicBool::new(false));
+    let saves = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let store = Arc::clone(&fx.store);
+        let stop = Arc::clone(&stop);
+        let saves = Arc::clone(&saves);
+        let member = gzip::compress(&raw_bytes(&temperature_nicam()), Level::Fast);
+        std::thread::spawn(move || {
+            let mut step = 1_000 + readers as u64 * 100;
+            while !stop.load(Ordering::SeqCst) {
+                step += 1;
+                store
+                    .lock()
+                    .unwrap()
+                    .save_full(step, SegmentFormat::Array, &[&member], 1)
+                    .expect("concurrent save");
+                saves.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let elapsed = median_time(runs, || {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let socket = socket.clone();
+                let want = fx.segment_len;
+                std::thread::spawn(move || {
+                    let mut client = ckpt_serve::Client::connect(&socket).expect("connect");
+                    let mut got = 0u64;
+                    while got < want {
+                        let len = CHUNK.min(want - got);
+                        let bytes = client.fetch(1, 0, got, len).expect("fetch range");
+                        got += bytes.len() as u64;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("reader"), fx.segment_len);
+        }
+    });
+
+    stop.store(true, Ordering::SeqCst);
+    writer.join().expect("writer");
+    assert!(saves.load(Ordering::SeqCst) > 0, "no save committed during the reader run");
+    drop(server);
+    let total = fx.segment_len as f64 * readers as f64;
+    total / 1e6 / elapsed.as_secs_f64()
+}
+
+/// CI gate: resume-after-kill sweep plus concurrent restore-during-save.
+fn smoke() -> ! {
+    let fx = fixture("smoke", 2);
+    let opts = RestoreOptions { interval_bytes: 256 << 10 };
+    let snap = fx.store.lock().unwrap().snapshot().expect("snapshot");
+    let (out, token) = out_paths(&fx.dir, "smoke");
+
+    // Reference output from an uninterrupted run.
+    restore_streamed(&snap, 1, 0, &out, &token, &opts, &FailPoint::unlimited())
+        .expect("reference restore");
+    let reference = fs::read(&out).expect("reference bytes");
+    assert_eq!(reference, fx.data, "streamed restore diverged from the saved payload");
+
+    // Kill at one budget per resume interval (plus a mid-first-interval
+    // point that leaves no token and must fall back to a cold rerun).
+    let total = fx.data.len() as u64;
+    let step = opts.interval_bytes;
+    let mut budgets: Vec<u64> = (1..)
+        .map(|k| k as u64 * step + step / 2)
+        .take_while(|b| *b < total)
+        .collect();
+    budgets.insert(0, step / 2);
+    let mut resumed_runs = 0usize;
+    for &budget in &budgets {
+        let _ = fs::remove_file(&out);
+        let _ = fs::remove_file(&token);
+        let killed =
+            restore_streamed(&snap, 1, 0, &out, &token, &opts, &FailPoint::after_bytes(budget));
+        assert!(killed.is_err(), "budget {budget} must interrupt the restore");
+        let o = if token.exists() {
+            resumed_runs += 1;
+            resume_restore(&snap, &token, &out, &opts, &FailPoint::unlimited())
+                .expect("resume after kill")
+        } else {
+            restore_streamed(&snap, 1, 0, &out, &token, &opts, &FailPoint::unlimited())
+                .expect("cold rerun after pre-token kill")
+        };
+        assert_eq!(o.out_len, total);
+        assert!(!token.exists(), "completed restore must remove its token");
+        let bytes = fs::read(&out).expect("restored bytes");
+        assert_eq!(bytes, reference, "kill at {budget} bytes broke bit-identity");
+    }
+    assert!(resumed_runs >= 2, "sweep exercised only {resumed_runs} true resumes");
+
+    // Two concurrent socket restores must finish while a save commits.
+    let mbps = measure_readers(&fx, 2, 1);
+    println!(
+        "restore_latency --smoke: {} kill points ({resumed_runs} resumed), \
+         2 concurrent readers at {mbps:.1} MB/s during live saves",
+        budgets.len()
+    );
+    let _ = fs::remove_dir_all(&fx.dir);
+    println!("ok: resume is bit-identical at every kill point; reads overlap saves");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+    }
+    let out_path = args.first().cloned().unwrap_or_else(|| "BENCH_restore.json".into());
+    let cores = ckpt_pool::host_parallelism();
+
+    let fx = fixture("full", 8);
+    let opts = RestoreOptions { interval_bytes: 1 << 20 };
+    let total = fx.data.len() as u64;
+    println!(
+        "=== Resumable restore: {:.1} MiB output, {:.1} MiB segment, 1 MiB token interval, \
+         {cores} cores ===",
+        total as f64 / (1 << 20) as f64,
+        fx.segment_len as f64 / (1 << 20) as f64,
+    );
+    println!();
+
+    let cold = measure_cold(&fx, &opts, RUNS);
+    let cold_ms = cold.as_secs_f64() * 1e3;
+    let budget = total * 6 / 10;
+    let (resumed, tail) = measure_resumed(&fx, &opts, budget, RUNS);
+    let resumed_ms = resumed.as_secs_f64() * 1e3;
+    println!("cold restore            {cold_ms:>9.2} ms  ({total} bytes)");
+    println!(
+        "resume after kill @60%  {resumed_ms:>9.2} ms  (re-wrote {tail} of {total} bytes, \
+         {:.2}x of cold)",
+        resumed_ms / cold_ms
+    );
+    println!();
+
+    println!("{:>7} {:>9} {:>12} {:>14}", "readers", "effective", "aggregate", "per-reader");
+    let mut reader_rows = Vec::new();
+    for readers in READER_COUNTS {
+        let mbps = measure_readers(&fx, readers, 3);
+        println!(
+            "{readers:>7} {:>9} {mbps:>9.1} MB/s {:>11.1} MB/s",
+            readers.min(cores),
+            mbps / readers as f64
+        );
+        reader_rows.push((readers, readers.min(cores), mbps));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"restore_latency\",");
+    let _ = writeln!(json, "  \"runs\": {RUNS},");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"output_bytes\": {total},");
+    let _ = writeln!(json, "  \"segment_bytes\": {},", fx.segment_len);
+    let _ = writeln!(json, "  \"interval_bytes\": {},", opts.interval_bytes);
+    let _ = writeln!(json, "  \"cold_ms\": {cold_ms:.3},");
+    let _ = writeln!(json, "  \"resume_kill_at_bytes\": {budget},");
+    let _ = writeln!(json, "  \"resumed_ms\": {resumed_ms:.3},");
+    let _ = writeln!(json, "  \"resumed_rewrote_bytes\": {tail},");
+    json.push_str("  \"readers\": [\n");
+    for (i, (readers, effective, mbps)) in reader_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"readers\": {readers}, \"effective_threads\": {effective}, \
+             \"aggregate_mbps\": {mbps:.3}}}{}",
+            if i + 1 < reader_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    fs::write(&out_path, &json).expect("writing results file");
+    let _ = fs::remove_dir_all(&fx.dir);
+    println!();
+    println!("wrote {out_path}");
+}

@@ -25,6 +25,8 @@ USAGE:
   ckpt gen        --dims AxBxC [--kind temperature|pressure|wind_u|wind_v]
                   [--seed N] -o out.f64
   ckpt store      save|restore|list|verify|gc … (see `ckpt store help`)
+  ckpt serve      <dir> --socket <path> [--for-ms N]
+  ckpt fetch      <socket> [--list true | [--gen N] [--rank N] -o out]
 
 Raw array files are row-major little-endian f64.
 
@@ -32,14 +34,18 @@ Raw array files are row-major little-endian f64.
 breakdown (member count, compressed/uncompressed bytes, per-member CRC
 status). `ckpt store` manages a crash-consistent on-disk checkpoint
 repository with atomic commit, full+incremental generation chains, and
-GC.
+GC; `ckpt store restore --stream`/`--resume` runs a resumable
+streaming restore with durable progress tokens. `ckpt serve` exports a
+store's committed generations over a Unix socket against epoch-pinned
+snapshots (saves and GC keep running underneath); `ckpt fetch` pulls a
+generation from a running server with CRC-verified ranged reads.
 
 --threads 1 (the default) uses the exact serial pipeline; more threads
 parallelize the wavelet, quantize and gzip stages inside one array
 (gzip switches to a chunked multi-member stream so decompression
 parallelizes too; decompressed values are identical either way).";
 
-fn read_raw_tensor(path: &str, dims: &[usize]) -> Result<Tensor<f64>, String> {
+pub(crate) fn read_raw_tensor(path: &str, dims: &[usize]) -> Result<Tensor<f64>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     let volume: usize = dims.iter().product();
     if bytes.len() != volume * 8 {

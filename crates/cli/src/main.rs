@@ -14,6 +14,7 @@
 
 mod args;
 mod commands;
+mod serve_cmd;
 mod store_cmd;
 
 use std::process::ExitCode;
@@ -40,6 +41,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "info" => commands::info(rest),
         "gen" => commands::gen(rest),
         "store" => store_cmd::dispatch(rest),
+        "serve" => serve_cmd::serve(rest),
+        "fetch" => serve_cmd::fetch(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -9,7 +9,11 @@ USAGE:
   ckpt store save    <dir> <rank0-file> [rank1-file ...] [--step N]
                      [--format checkpoint|array|auto] [--base GEN]
                      [--level store|fast|default|best] [--threads N]
+                     [--error-bound EPS --dims AxBxC]
   ckpt store restore <dir> [--gen N] [--rank N] [--raw true] -o out
+  ckpt store restore <dir> --stream true [--gen N] [--rank N]
+                     [--resume-interval MiB] -o out
+  ckpt store restore <dir> --resume TOKEN [--resume-interval MiB] -o out
   ckpt store list    <dir>
   ckpt store verify  <dir>
   ckpt store gc      <dir> [--keep N]
@@ -20,13 +24,20 @@ increments chained onto generation GEN. A --base payload that is not
 already a packed INC1 increment is treated as the full current array:
 the store materializes the base generation, computes the increment
 itself, and compresses it at --level (previously the level was fixed
-by whatever built the increment offline). restore materializes the latest
-committed generation (or --gen): a checkpoint image is written verbatim,
-an array chain is decompressed, increments applied, and written as raw
-little-endian f64 (--raw true copies the segment bytes instead). gc
-keeps the newest --keep (default 2) full generations plus every
-increment whose whole chain survives; unreadable segments are moved to
-quarantine/, never deleted.";
+by whatever built the increment offline). With --error-bound the
+payload files are instead raw little-endian f64 arrays of --dims: each
+rank is compressed with the smallest division number meeting the bound
+(average relative error <= EPS), and the bound is recorded durably in
+the generation's manifest. restore materializes the latest committed
+generation (or --gen): a checkpoint image is written verbatim, an
+array chain is decompressed, increments applied, and written as raw
+little-endian f64 (--raw true copies the segment bytes instead).
+restore --stream inflates a gzip/WPK1 segment payload straight to -o,
+fsyncing a resume token next to it (out.resume) every --resume-interval
+MiB (default 8); a killed streamed restore continues bit-identically
+with --resume TOKEN. gc keeps the newest --keep (default 2) full
+generations plus every increment whose whole chain survives;
+unreadable segments are moved to quarantine/, never deleted.";
 
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some((sub, rest)) = argv.split_first() else {
@@ -47,7 +58,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     }
 }
 
-fn open(dir: &str) -> Result<Store, String> {
+pub(crate) fn open(dir: &str) -> Result<Store, String> {
     let store = Store::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
     let report = store.open_report();
     if report.truncated_bytes > 0 || !report.rolled_back_gens.is_empty() {
@@ -90,6 +101,13 @@ fn save(argv: &[String]) -> Result<(), String> {
     };
 
     let mut store = open(dir)?;
+    if let Some(raw) = args.get("error-bound") {
+        if base.is_some() {
+            return Err("--error-bound cannot be combined with --base".into());
+        }
+        let eps: f64 = raw.parse().map_err(|_| format!("invalid --error-bound {raw:?}"))?;
+        return save_bounded(&mut store, &args, files, step, threads, level, eps);
+    }
     if base.is_none() && threads <= 1 {
         // Serial full save: stream each payload file straight into its
         // segment instead of buffering every rank in memory first.
@@ -184,6 +202,50 @@ fn save_streamed(
     Ok(())
 }
 
+/// Error-bounded full save: each rank file is a raw f64 array of
+/// `--dims`, compressed with the smallest division number whose
+/// measured average relative error meets `eps`; the bound itself is
+/// recorded in the generation's manifest so a later reader knows what
+/// accuracy the stored data guarantees.
+fn save_bounded(
+    store: &mut Store,
+    args: &Args,
+    files: &[String],
+    step: u64,
+    threads: usize,
+    level: Level,
+    eps: f64,
+) -> Result<(), String> {
+    let dims = crate::args::parse_dims(
+        args.get("dims")
+            .ok_or("--dims is required with --error-bound (payload files are raw f64 arrays)")?,
+    )?;
+    let cfg = ckpt_core::CompressorConfig::paper_proposed().with_level(level);
+    let mut payloads = Vec::with_capacity(files.len());
+    for (rank, f) in files.iter().enumerate() {
+        let tensor = crate::commands::read_raw_tensor(f, &dims)?;
+        let r = ckpt_core::bound::compress_bounded(&tensor, cfg, eps)
+            .map_err(|e| format!("rank {rank}: {e}"))?;
+        eprintln!(
+            "rank {rank}: bound {eps} met with n = {} ({} probes, {:.6}% avg error)",
+            r.n,
+            r.probes,
+            r.error.average_percent()
+        );
+        payloads.push(r.compressed.bytes);
+    }
+    let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+    let gen = store
+        .save_full_bounded(step, SegmentFormat::Array, &refs, threads, eps)
+        .map_err(|e| e.to_string())?;
+    let total: usize = payloads.iter().map(Vec::len).sum();
+    eprintln!(
+        "committed generation {gen} (step {step}, {} ranks, {total} bytes, bound {eps})",
+        files.len()
+    );
+    Ok(())
+}
+
 /// True when the payload is already a packed `INC1` increment: a gzip
 /// member whose inner stream leads with the INC1 magic. (The gzip
 /// header alone does not discriminate — full WCK1 arrays are gzip
@@ -234,6 +296,9 @@ fn restore(argv: &[String]) -> Result<(), String> {
     let raw = args.get_or("raw", false)?;
 
     let store = open(dir)?;
+    if args.get_or("stream", false)? || args.get("resume").is_some() {
+        return stream_restore(&store, &args, out, rank);
+    }
     let gen = match args.get("gen") {
         Some(g) => g.parse().map_err(|_| format!("invalid --gen {g:?}"))?,
         None => store
@@ -263,6 +328,55 @@ fn restore(argv: &[String]) -> Result<(), String> {
             tensor.dims()
         );
     }
+    Ok(())
+}
+
+/// Resumable streaming restore: inflates the segment's gzip/WPK1
+/// payload to `out` through the [`ckpt_serve::restore`] driver, which
+/// fsyncs a progress token (`<out>.resume`, or the `--resume` path)
+/// at every interval so a kill re-runs only the tail.
+fn stream_restore(store: &Store, args: &Args, out: &str, rank: u32) -> Result<(), String> {
+    use std::path::Path;
+    let interval_mib = args.get_or("resume-interval", 8.0f64)?;
+    if !interval_mib.is_finite() || interval_mib <= 0.0 {
+        return Err(format!("--resume-interval {interval_mib} must be a positive MiB count"));
+    }
+    let opts = ckpt_serve::RestoreOptions {
+        interval_bytes: ((interval_mib * (1u64 << 20) as f64) as u64).max(1),
+    };
+    let snap = store.snapshot().map_err(|e| e.to_string())?;
+    let fp = ckpt_store::FailPoint::unlimited();
+    let outcome = if let Some(token) = args.get("resume") {
+        ckpt_serve::restore::resume_restore(&snap, Path::new(token), Path::new(out), &opts, &fp)
+            .map_err(|e| format!("resuming from {token}: {e}"))?
+    } else {
+        let gen = match args.get("gen") {
+            Some(g) => g.parse().map_err(|_| format!("invalid --gen {g:?}"))?,
+            None => store
+                .latest_committed()
+                .ok_or("store has no committed generation to restore")?,
+        };
+        let token = format!("{out}.resume");
+        ckpt_serve::restore::restore_streamed(
+            &snap,
+            gen,
+            rank,
+            Path::new(out),
+            Path::new(&token),
+            &opts,
+            &fp,
+        )
+        .map_err(|e| e.to_string())?
+    };
+    eprintln!(
+        "restored gen {} rank {} ({} bytes, crc {:08x}, {} progress tokens{}) -> {out}",
+        outcome.gen,
+        outcome.rank,
+        outcome.out_len,
+        outcome.out_crc,
+        outcome.checkpoints,
+        if outcome.resumed { ", resumed" } else { "" }
+    );
     Ok(())
 }
 
@@ -510,6 +624,127 @@ mod tests {
 
         let _ = std::fs::remove_file(raw);
         let _ = std::fs::remove_file(wck);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_save_records_the_bound_and_restores() {
+        let dir = tempdir("bounded");
+        let raw = tempfile("bounded.f64");
+        crate::commands::gen(&argv(&["--dims", "32x8", "-o", &raw])).unwrap();
+        dispatch(&argv(&[
+            "save",
+            &dir,
+            &raw,
+            "--step",
+            "4",
+            "--error-bound",
+            "0.01",
+            "--dims",
+            "32x8",
+        ]))
+        .unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        let info = &store.generations()[0];
+        assert_eq!(info.error_bound, Some(0.01));
+        assert_eq!(info.format, SegmentFormat::Array);
+        drop(store);
+
+        // The bounded payload is an ordinary array generation: the
+        // plain restore path decodes it to raw f64.
+        let out = tempfile("bounded.out.f64");
+        dispatch(&argv(&["restore", &dir, "-o", &out])).unwrap();
+        assert_eq!(std::fs::metadata(&out).unwrap().len(), 32 * 8 * 8);
+
+        // Misuse is refused before anything is saved.
+        assert!(
+            dispatch(&argv(&["save", &dir, &raw, "--error-bound", "0.01"])).is_err(),
+            "missing --dims"
+        );
+        assert!(dispatch(&argv(&[
+            "save", &dir, &raw, "--error-bound", "0.01", "--dims", "32x8", "--base", "1"
+        ]))
+        .is_err());
+        assert!(dispatch(&argv(&[
+            "save", &dir, &raw, "--error-bound", "nope", "--dims", "32x8"
+        ]))
+        .is_err());
+
+        for p in [raw, out] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_restore_resumes_after_a_kill() {
+        let dir = tempdir("stream");
+        let data: Vec<u8> = (0..150_000usize).map(|i| ((i % 251) ^ (i / 997)) as u8).collect();
+        let payload = ckpt_deflate::gzip::compress(&data, Level::Fast);
+        let pf = tempfile("stream.gz");
+        std::fs::write(&pf, &payload).unwrap();
+        dispatch(&argv(&["save", &dir, &pf, "--step", "1"])).unwrap();
+
+        // Uninterrupted streamed restore: bit-identical, token gone.
+        let out = tempfile("stream.out");
+        dispatch(&argv(&[
+            "restore", &dir, "--stream", "true", "--resume-interval", "0.03", "-o", &out,
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&out).unwrap(), data);
+        assert!(!std::path::Path::new(&format!("{out}.resume")).exists());
+
+        // Kill a streamed restore mid-flight (byte-budget fail point),
+        // then finish it through the CLI's --resume path.
+        let out2 = tempfile("stream.out2");
+        let token = format!("{out2}.resume");
+        let store = Store::open(&dir).unwrap();
+        let snap = store.snapshot().unwrap();
+        let opts = ckpt_serve::RestoreOptions { interval_bytes: 30_000 };
+        let killed = ckpt_serve::restore::restore_streamed(
+            &snap,
+            1,
+            0,
+            std::path::Path::new(&out2),
+            std::path::Path::new(&token),
+            &opts,
+            // Budget past the first token (whose ICK1 blob carries the
+            // ~30 KB window) so the kill leaves a resumable state.
+            &ckpt_store::FailPoint::after_bytes(100_000),
+        );
+        assert!(killed.is_err(), "budgeted restore must die");
+        assert!(std::path::Path::new(&token).exists(), "kill left a resume token");
+        drop(snap);
+        drop(store);
+
+        dispatch(&argv(&[
+            "restore", &dir, "--resume", &token, "--resume-interval", "0.03", "-o", &out2,
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&out2).unwrap(), data);
+        assert!(!std::path::Path::new(&token).exists(), "completion removes the token");
+
+        // A non-gzip payload is refused cleanly by the stream path.
+        let rawf = tempfile("stream.raw");
+        std::fs::write(&rawf, b"plain raw bytes, not gzip").unwrap();
+        dispatch(&argv(&["save", &dir, &rawf, "--step", "2"])).unwrap();
+        let err = dispatch(&argv(&[
+            "restore", &dir, "--stream", "true", "--gen", "2", "-o", &out,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+        assert!(
+            dispatch(&argv(&[
+                "restore", &dir, "--stream", "true", "--resume-interval", "-3", "-o", &out,
+            ]))
+            .is_err(),
+            "negative interval refused"
+        );
+
+        for p in [pf, out, out2, rawf] {
+            let _ = std::fs::remove_file(p);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

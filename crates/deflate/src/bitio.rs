@@ -185,6 +185,16 @@ impl<'a> BitReader<'a> {
         (self.pos * 8 - crate::usize_from_u32(self.nbits)).div_ceil(8)
     }
 
+    /// Exact number of bits consumed so far. Unlike
+    /// [`BitReader::bytes_consumed`] this does not round up: buffered
+    /// bits the caller has not read back out are not counted, so the
+    /// value is a precise stream position a fresh reader can seek to
+    /// (skip `bit_position / 8` bytes, then read `bit_position % 8`
+    /// bits). The resumable inflate engine checkpoints this.
+    pub fn bit_position(&self) -> u64 {
+        crate::u64_from_usize(self.pos) * 8 - u64::from(self.nbits)
+    }
+
     /// Discards buffered bits to the next byte boundary and returns the
     /// remaining byte-aligned tail view (used for stored blocks).
     pub fn align_byte(&mut self) {
@@ -275,6 +285,39 @@ mod tests {
         assert_eq!(r.read_bits(2).unwrap(), 0b11);
         r.align_byte();
         assert_eq!(r.read_bytes(2).unwrap(), vec![0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn bit_position_is_exact_and_seekable() {
+        let mut w = BitWriter::new();
+        for i in 0..500u64 {
+            w.write_bits(i % 8, 3);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..500u64 {
+            assert_eq!(r.bit_position(), i * 3);
+            // Seek a fresh reader to the recorded position; it must
+            // decode the same next field.
+            let at = r.bit_position();
+            let mut fresh = BitReader::new(&bytes[usize::try_from(at / 8).unwrap()..]);
+            let skip = u32::try_from(at % 8).unwrap();
+            if skip > 0 {
+                fresh.read_bits(skip).unwrap();
+            }
+            assert_eq!(fresh.read_bits(3).unwrap(), i % 8, "seek to bit {at}");
+            assert_eq!(r.read_bits(3).unwrap(), i % 8);
+        }
+    }
+
+    #[test]
+    fn bit_position_counts_aligned_byte_reads() {
+        let mut r = BitReader::new(&[0xAA, 0xBB, 0xCC, 0xDD]);
+        r.read_bits(3).unwrap();
+        r.align_byte();
+        assert_eq!(r.bit_position(), 8);
+        r.read_bytes(2).unwrap();
+        assert_eq!(r.bit_position(), 24);
     }
 
     #[test]

@@ -66,6 +66,33 @@ pub fn decompress_member(
     data: &[u8],
     max_output: usize,
 ) -> Result<(Vec<u8>, usize), DeflateError> {
+    let pos = member_body_offset(data)?;
+    let body_end = data.len().checked_sub(8).ok_or(DeflateError::UnexpectedEof)?;
+    let body = data.get(pos..body_end).ok_or(DeflateError::UnexpectedEof)?;
+    let (out, body_consumed) = inflate::inflate_with_limit_consumed(body, max_output)?;
+    let trailer = pos.checked_add(body_consumed).ok_or(DeflateError::UnexpectedEof)?;
+    let stored_crc = u32::from_le_bytes(crate::array_at(data, trailer)?);
+    let stored_size =
+        u32::from_le_bytes(crate::array_at(data, trailer.saturating_add(4))?);
+    let computed_crc = crc32(&out);
+    if stored_crc != computed_crc {
+        return Err(DeflateError::ChecksumMismatch { stored: stored_crc, computed: computed_crc });
+    }
+    // ISIZE is the payload length mod 2^32 (RFC 1952), so the
+    // truncating cast is the field's defined semantics.
+    let computed_size = out.len() as u32;
+    if stored_size != computed_size {
+        return Err(DeflateError::SizeMismatch { stored: stored_size, computed: computed_size });
+    }
+    Ok((out, trailer.saturating_add(8)))
+}
+
+/// Parses one member's gzip header and returns the offset at which its
+/// DEFLATE body begins. Validates the magic and compression method and
+/// walks the optional FEXTRA/FNAME/FCOMMENT/FHCRC fields, but does not
+/// touch the body — the resumable restore driver uses this to position
+/// the inflate engine without decompressing anything.
+pub fn member_body_offset(data: &[u8]) -> Result<usize, DeflateError> {
     if data.len() < 18 {
         return Err(DeflateError::BadContainer("too short for gzip"));
     }
@@ -100,24 +127,7 @@ pub fn decompress_member(
     if flg & 0x02 != 0 {
         pos = pos.checked_add(2).ok_or(DeflateError::UnexpectedEof)?;
     }
-    let body_end = data.len().checked_sub(8).ok_or(DeflateError::UnexpectedEof)?;
-    let body = data.get(pos..body_end).ok_or(DeflateError::UnexpectedEof)?;
-    let (out, body_consumed) = inflate::inflate_with_limit_consumed(body, max_output)?;
-    let trailer = pos.checked_add(body_consumed).ok_or(DeflateError::UnexpectedEof)?;
-    let stored_crc = u32::from_le_bytes(crate::array_at(data, trailer)?);
-    let stored_size =
-        u32::from_le_bytes(crate::array_at(data, trailer.saturating_add(4))?);
-    let computed_crc = crc32(&out);
-    if stored_crc != computed_crc {
-        return Err(DeflateError::ChecksumMismatch { stored: stored_crc, computed: computed_crc });
-    }
-    // ISIZE is the payload length mod 2^32 (RFC 1952), so the
-    // truncating cast is the field's defined semantics.
-    let computed_size = out.len() as u32;
-    if stored_size != computed_size {
-        return Err(DeflateError::SizeMismatch { stored: stored_size, computed: computed_size });
-    }
-    Ok((out, trailer.saturating_add(8)))
+    Ok(pos)
 }
 
 #[cfg(test)]

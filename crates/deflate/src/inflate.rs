@@ -91,6 +91,19 @@ fn stored_block(
 }
 
 fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), DeflateError> {
+    let (lit_lens, dist_lens) = read_dynamic_lengths(r)?;
+    let lit = Decoder::from_lengths(&lit_lens)?;
+    let dist = Decoder::from_lengths(&dist_lens)?;
+    Ok((lit, dist))
+}
+
+/// Reads a dynamic block's header and returns the raw (litlen, dist)
+/// code-length vectors. The resumable engine serializes these — a
+/// [`Decoder`] is rebuildable from lengths alone — so the split from
+/// [`read_dynamic_tables`] keeps one parser for both paths.
+pub(crate) fn read_dynamic_lengths(
+    r: &mut BitReader<'_>,
+) -> Result<(Vec<u8>, Vec<u8>), DeflateError> {
     let hlit = r.read_bits_usize(5)? + 257;
     let hdist = r.read_bits_usize(5)? + 1;
     let hclen = r.read_bits_usize(4)? + 4;
@@ -135,9 +148,7 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), Defl
     let (lit_lens, dist_lens) = lens
         .split_at_checked(hlit)
         .ok_or(DeflateError::BadHuffmanTable("code length underrun"))?;
-    let lit = Decoder::from_lengths(lit_lens)?;
-    let dist = Decoder::from_lengths(dist_lens)?;
-    Ok((lit, dist))
+    Ok((lit_lens.to_vec(), dist_lens.to_vec()))
 }
 
 fn coded_block(

@@ -40,6 +40,7 @@ pub mod gzip;
 pub mod huffman;
 pub mod inflate;
 pub mod lz77;
+pub mod resume;
 pub mod zlib;
 
 use std::fmt;

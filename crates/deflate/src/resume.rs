@@ -1,0 +1,672 @@
+//! Resumable streaming inflate.
+//!
+//! [`ResumableInflate`] decodes a raw DEFLATE stream incrementally and
+//! can serialize its complete decoder state into a versioned `ICK1`
+//! blob (see docs/FORMAT.md) at any step boundary: the exact bit position,
+//! the active block's Huffman code lengths (tables are rebuilt from
+//! lengths on restore), the 32 KiB LZ77 window, the running CRC-32 and
+//! the output offset. A restore killed mid-stream resumes from the
+//! last blob instead of re-inflating from byte zero — the design the
+//! store's `ckpt store restore --resume` path is built on.
+//!
+//! Safe checkpoint points are symbol boundaries: the engine only stops
+//! between literals/matches, between stored-block chunks, or at block
+//! boundaries, so a checkpoint never splits a Huffman code.
+
+use crate::bitio::BitReader;
+use crate::crc32::{crc32, crc32_combine};
+use crate::deflate::{fixed_dist_lengths, fixed_litlen_lengths, DIST_TABLE, LENGTH_TABLE};
+use crate::huffman::Decoder;
+use crate::inflate::read_dynamic_lengths;
+use crate::DeflateError;
+
+/// Magic prefix of a serialized inflate checkpoint.
+pub const MAGIC: [u8; 4] = *b"ICK1";
+/// Current blob version; restore rejects anything else.
+pub const VERSION: u8 = 1;
+/// DEFLATE's maximum back-reference distance: the window the engine
+/// must retain between steps.
+pub const WINDOW_BYTES: usize = 32 * 1024;
+
+/// Flag bits in the blob header.
+const FLAG_DONE: u8 = 1;
+const FLAG_FINAL_BLOCK: u8 = 2;
+
+/// Where the engine is inside the block structure. Everything needed
+/// to re-enter a block is here — decode tables are derived state,
+/// rebuilt from the code lengths on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Block {
+    /// Between blocks: the next bits are a BFINAL/BTYPE header.
+    Boundary,
+    /// Inside a stored block with `remaining` raw bytes left to copy.
+    Stored { remaining: u32 },
+    /// Inside a fixed-Huffman block (RFC 1951 static code lengths).
+    Fixed,
+    /// Inside a dynamic-Huffman block with these code lengths.
+    Dynamic { lit_lens: Vec<u8>, dist_lens: Vec<u8> },
+}
+
+/// Incremental DEFLATE decoder with serializable state.
+#[derive(Debug)]
+pub struct ResumableInflate {
+    /// Absolute bit offset into the DEFLATE stream of the next unread
+    /// bit. Always a symbol boundary between steps.
+    bit_pos: u64,
+    block: Block,
+    /// BFINAL was set on the block currently being (or just) decoded.
+    final_block: bool,
+    /// The final block finished: the stream is fully decoded.
+    done: bool,
+    /// Trailing `min(out_len, 32 KiB)` of the output — the LZ77 match
+    /// window. Grows during a step; trimmed back at step boundaries.
+    window: Vec<u8>,
+    /// Total bytes decoded so far.
+    out_len: u64,
+    /// CRC-32 of all output so far (finalized form, extended per step
+    /// via `crc32_combine`).
+    crc: u32,
+    /// Cached decode tables for the active coded block; never
+    /// serialized — rebuilt from `block`'s lengths when absent.
+    decoders: Option<(Decoder, Decoder)>,
+}
+
+impl Default for ResumableInflate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Dispatch tag: lets the step loop decide which arm to run before
+/// taking any borrow of the block state.
+enum Arm {
+    Boundary,
+    Stored,
+    Coded,
+}
+
+impl ResumableInflate {
+    /// Fresh engine positioned at the start of a DEFLATE stream.
+    pub fn new() -> Self {
+        ResumableInflate {
+            bit_pos: 0,
+            block: Block::Boundary,
+            final_block: false,
+            done: false,
+            window: Vec::new(),
+            out_len: 0,
+            crc: 0,
+            decoders: None,
+        }
+    }
+
+    /// True once the final block has fully decoded.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Total bytes produced so far.
+    pub fn output_len(&self) -> u64 {
+        self.out_len
+    }
+
+    /// CRC-32 over every byte produced so far.
+    pub fn output_crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// Absolute bit offset of the next unread bit in the stream.
+    pub fn bit_position(&self) -> u64 {
+        self.bit_pos
+    }
+
+    /// Decodes from `data` (the complete DEFLATE stream, or any slice
+    /// extending at least to where this step stops) until at least
+    /// `min_out` new bytes were produced or the stream ends, appending
+    /// them to `out`. Returns `true` once the stream is fully decoded.
+    ///
+    /// `data` must always be the same stream across steps — the engine
+    /// seeks to its saved bit position each call. Output per step is
+    /// bounded by `min_out` plus one maximal match (258 bytes) or one
+    /// stored-chunk granule, so callers control memory by choosing
+    /// `min_out`.
+    pub fn inflate_step(
+        &mut self,
+        data: &[u8],
+        out: &mut Vec<u8>,
+        min_out: usize,
+    ) -> Result<bool, DeflateError> {
+        if self.done {
+            return Ok(true);
+        }
+        let start_byte = usize::try_from(self.bit_pos / 8).map_err(|_| DeflateError::UnexpectedEof)?;
+        let skip = u32::try_from(self.bit_pos % 8).unwrap_or(0);
+        let tail = data.get(start_byte..).ok_or(DeflateError::UnexpectedEof)?;
+        let mut r = BitReader::new(tail);
+        if skip > 0 {
+            r.read_bits(skip)?;
+        }
+        let base_bits = crate::u64_from_usize(start_byte) * 8;
+
+        let win_start = self.window.len();
+        let target = win_start.saturating_add(min_out.max(1));
+        while !self.done && self.window.len() < target {
+            let arm = match &self.block {
+                Block::Boundary => Arm::Boundary,
+                Block::Stored { .. } => Arm::Stored,
+                Block::Fixed | Block::Dynamic { .. } => Arm::Coded,
+            };
+            match arm {
+                Arm::Boundary => {
+                    if self.final_block {
+                        self.done = true;
+                        break;
+                    }
+                    let bfinal = r.read_bits(1)? == 1;
+                    let btype = r.read_bits(2)?;
+                    self.final_block = bfinal;
+                    self.decoders = None;
+                    self.block = match btype {
+                        0 => {
+                            r.align_byte();
+                            let len = r.read_bits(16)?;
+                            let nlen = r.read_bits(16)?;
+                            if len != (!nlen & 0xFFFF) {
+                                return Err(DeflateError::BadStoredLength);
+                            }
+                            // In range by the 16-bit read.
+                            Block::Stored { remaining: u32::try_from(len).unwrap_or(0) }
+                        }
+                        1 => Block::Fixed,
+                        2 => {
+                            let (lit_lens, dist_lens) = read_dynamic_lengths(&mut r)?;
+                            Block::Dynamic { lit_lens, dist_lens }
+                        }
+                        _ => return Err(DeflateError::BadBlockType),
+                    };
+                }
+                Arm::Stored => {
+                    let Block::Stored { remaining } = &mut self.block else {
+                        return Err(DeflateError::BadBlockType);
+                    };
+                    if *remaining == 0 {
+                        self.block = Block::Boundary;
+                        continue;
+                    }
+                    let need = target - self.window.len();
+                    let take = need.min(crate::usize_from_u32(*remaining));
+                    let bytes = r.read_bytes(take)?;
+                    self.window.extend_from_slice(&bytes);
+                    // `take <= remaining` so the subtraction is exact.
+                    *remaining -= u32::try_from(take).unwrap_or(0);
+                    if *remaining == 0 {
+                        self.block = Block::Boundary;
+                    }
+                }
+                Arm::Coded => {
+                    if self.decoders.is_none() {
+                        self.decoders = Some(self.build_decoders()?);
+                    }
+                    let (lit, dist) =
+                        self.decoders.as_ref().ok_or(DeflateError::BadBlockType)?;
+                    let ended = decode_symbols(&mut r, lit, dist, &mut self.window, target)?;
+                    if ended {
+                        self.block = Block::Boundary;
+                        self.decoders = None;
+                    }
+                }
+            }
+        }
+
+        self.bit_pos = base_bits + r.bit_position();
+        let produced = self.window.get(win_start..).ok_or(DeflateError::UnexpectedEof)?;
+        self.crc = crc32_combine(self.crc, crc32(produced), crate::u64_from_usize(produced.len()));
+        self.out_len += crate::u64_from_usize(produced.len());
+        out.extend_from_slice(produced);
+        if self.window.len() > WINDOW_BYTES {
+            let cut = self.window.len() - WINDOW_BYTES;
+            self.window.drain(..cut);
+        }
+        Ok(self.done)
+    }
+
+    /// Rebuilds the decode tables for the active coded block.
+    fn build_decoders(&self) -> Result<(Decoder, Decoder), DeflateError> {
+        match &self.block {
+            Block::Fixed => Ok((
+                Decoder::from_lengths(&fixed_litlen_lengths())?,
+                Decoder::from_lengths(&fixed_dist_lengths())?,
+            )),
+            Block::Dynamic { lit_lens, dist_lens } => {
+                Ok((Decoder::from_lengths(lit_lens)?, Decoder::from_lengths(dist_lens)?))
+            }
+            Block::Boundary | Block::Stored { .. } => Err(DeflateError::BadBlockType),
+        }
+    }
+
+    /// Serializes the engine into an `ICK1` blob (layout in docs/FORMAT.md).
+    /// Call only between steps — the window invariant
+    /// (`len == min(out_len, 32 KiB)`) holds exactly there.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(40 + self.window.len() + 320);
+        b.extend_from_slice(&MAGIC);
+        b.push(VERSION);
+        let mut flags = 0u8;
+        if self.done {
+            flags |= FLAG_DONE;
+        }
+        if self.final_block {
+            flags |= FLAG_FINAL_BLOCK;
+        }
+        b.push(flags);
+        b.extend_from_slice(&self.bit_pos.to_le_bytes());
+        b.extend_from_slice(&self.out_len.to_le_bytes());
+        b.extend_from_slice(&self.crc.to_le_bytes());
+        match &self.block {
+            Block::Boundary => b.push(0),
+            Block::Stored { remaining } => {
+                b.push(1);
+                b.extend_from_slice(&remaining.to_le_bytes());
+            }
+            Block::Fixed => b.push(2),
+            Block::Dynamic { lit_lens, dist_lens } => {
+                b.push(3);
+                // Lengths are bounded (<= 286 / <= 30) by the header
+                // parser, so the u16 conversions cannot truncate; a
+                // zero fallback would be rejected on restore anyway.
+                b.extend_from_slice(&u16::try_from(lit_lens.len()).unwrap_or(0).to_le_bytes());
+                b.extend_from_slice(&u16::try_from(dist_lens.len()).unwrap_or(0).to_le_bytes());
+                b.extend_from_slice(lit_lens);
+                b.extend_from_slice(dist_lens);
+            }
+        }
+        b.extend_from_slice(&u32::try_from(self.window.len()).unwrap_or(0).to_le_bytes());
+        b.extend_from_slice(&self.window);
+        let frame_crc = crc32(&b);
+        b.extend_from_slice(&frame_crc.to_le_bytes());
+        b
+    }
+
+    /// Deserializes an `ICK1` blob back into a live engine, validating
+    /// every field: the frame CRC, version, flag bits, block-state
+    /// bounds, window-length invariant and the Huffman lengths (the
+    /// decode tables are rebuilt eagerly so a blob carrying an invalid
+    /// code fails here, not mid-stream). Corrupt or truncated blobs
+    /// error cleanly — never panic, never yield an engine that would
+    /// silently produce wrong bytes.
+    pub fn restore_from_checkpoint(blob: &[u8]) -> Result<ResumableInflate, DeflateError> {
+        let body_end =
+            blob.len().checked_sub(4).ok_or(DeflateError::BadContainer("resume blob too short"))?;
+        let stored = u32::from_le_bytes(crate::array_at(blob, body_end)?);
+        let body = blob.get(..body_end).ok_or(DeflateError::UnexpectedEof)?;
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(DeflateError::ChecksumMismatch { stored, computed });
+        }
+        let mut cur = Cursor { data: body, at: 0 };
+        if cur.take::<4>()? != MAGIC {
+            return Err(DeflateError::BadContainer("resume blob lacks ICK1 magic"));
+        }
+        if cur.u8()? != VERSION {
+            return Err(DeflateError::BadContainer("unsupported resume blob version"));
+        }
+        let flags = cur.u8()?;
+        if flags & !(FLAG_DONE | FLAG_FINAL_BLOCK) != 0 {
+            return Err(DeflateError::BadContainer("resume blob has unknown flags"));
+        }
+        let done = flags & FLAG_DONE != 0;
+        let final_block = flags & FLAG_FINAL_BLOCK != 0;
+        if done && !final_block {
+            return Err(DeflateError::BadContainer("resume blob done without final block"));
+        }
+        let bit_pos = cur.u64()?;
+        let out_len = cur.u64()?;
+        let crc = cur.u32()?;
+        let block = match cur.u8()? {
+            0 => Block::Boundary,
+            1 => {
+                let remaining = cur.u32()?;
+                if remaining > 0xFFFF {
+                    return Err(DeflateError::BadContainer("resume blob stored length too large"));
+                }
+                if bit_pos % 8 != 0 {
+                    return Err(DeflateError::BadContainer("resume blob stored state unaligned"));
+                }
+                Block::Stored { remaining }
+            }
+            2 => Block::Fixed,
+            3 => {
+                let nlit = usize::from(cur.u16()?);
+                let ndist = usize::from(cur.u16()?);
+                if !(257..=286).contains(&nlit) || !(1..=30).contains(&ndist) {
+                    return Err(DeflateError::BadContainer("resume blob table size out of range"));
+                }
+                let lit_lens = cur.bytes(nlit)?.to_vec();
+                let dist_lens = cur.bytes(ndist)?.to_vec();
+                Block::Dynamic { lit_lens, dist_lens }
+            }
+            _ => return Err(DeflateError::BadContainer("resume blob has bad block state")),
+        };
+        if done && block != Block::Boundary {
+            return Err(DeflateError::BadContainer("resume blob done inside a block"));
+        }
+        let window_len = crate::usize_from_u32(cur.u32()?);
+        let expect = u64::min(out_len, crate::u64_from_usize(WINDOW_BYTES));
+        if crate::u64_from_usize(window_len) != expect {
+            return Err(DeflateError::BadContainer("resume blob window length mismatch"));
+        }
+        let window = cur.bytes(window_len)?.to_vec();
+        if cur.at != body.len() {
+            return Err(DeflateError::BadContainer("resume blob has trailing bytes"));
+        }
+        let mut engine = ResumableInflate {
+            bit_pos,
+            block,
+            final_block,
+            done,
+            window,
+            out_len,
+            crc,
+            decoders: None,
+        };
+        // Validate the carried Huffman lengths now: a blob with an
+        // undecodable table must fail at restore, not later.
+        if matches!(engine.block, Block::Fixed | Block::Dynamic { .. }) {
+            engine.decoders = Some(engine.build_decoders()?);
+        }
+        Ok(engine)
+    }
+}
+
+/// Bounds-checked little-endian read cursor over a blob body.
+struct Cursor<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], DeflateError> {
+        let v = crate::array_at(self.data, self.at)?;
+        self.at = self.at.checked_add(N).ok_or(DeflateError::UnexpectedEof)?;
+        Ok(v)
+    }
+
+    fn u8(&mut self) -> Result<u8, DeflateError> {
+        let [b] = self.take::<1>()?;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DeflateError> {
+        Ok(u16::from_le_bytes(self.take()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, DeflateError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, DeflateError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DeflateError> {
+        let end = self.at.checked_add(n).ok_or(DeflateError::UnexpectedEof)?;
+        let v = self.data.get(self.at..end).ok_or(DeflateError::UnexpectedEof)?;
+        self.at = end;
+        Ok(v)
+    }
+}
+
+/// Decodes literal/match symbols into `window` until end-of-block
+/// (returns `true`) or `window` reaches `stop_len` (returns `false`).
+/// Back-references resolve against `window`, which holds the trailing
+/// output — at least 32 KiB of it whenever more than that exists, so
+/// every valid distance is in range.
+fn decode_symbols(
+    r: &mut BitReader<'_>,
+    lit: &Decoder,
+    dist: &Decoder,
+    window: &mut Vec<u8>,
+    stop_len: usize,
+) -> Result<bool, DeflateError> {
+    while window.len() < stop_len {
+        let sym = lit.read(r)?;
+        match sym {
+            0..=255 => {
+                // In range by the match arm.
+                window.push(u8::try_from(sym).unwrap_or(0));
+            }
+            256 => return Ok(true),
+            257..=285 => {
+                let (base, extra) = LENGTH_TABLE
+                    .get(usize::from(sym) - 257)
+                    .copied()
+                    .ok_or(DeflateError::BadSymbol(sym))?;
+                let len = usize::from(base) + r.read_bits_usize(u32::from(extra))?;
+                let dsym = dist.read(r)?;
+                let (dbase, dextra) = DIST_TABLE
+                    .get(usize::from(dsym))
+                    .copied()
+                    .ok_or(DeflateError::BadSymbol(dsym))?;
+                let d = usize::from(dbase) + r.read_bits_usize(u32::from(dextra))?;
+                if d == 0 || d > window.len() {
+                    return Err(DeflateError::BadDistance { dist: d, avail: window.len() });
+                }
+                // Chunked overlap copy, same scheme as the one-shot
+                // inflate kernel.
+                let start = window.len() - d;
+                let mut copied = 0usize;
+                while copied < len {
+                    let avail = window.len() - start;
+                    let take = (len - copied).min(avail);
+                    window.extend_from_within(start..start + take);
+                    copied += take;
+                }
+            }
+            s => return Err(DeflateError::BadSymbol(s)),
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress, inflate::inflate, Level};
+
+    fn lcg_bytes(n: usize, mut state: u64) -> Vec<u8> {
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                u8::try_from((state >> 33) & 0xFF).unwrap()
+            })
+            .collect()
+    }
+
+    fn shapes() -> Vec<Vec<u8>> {
+        vec![
+            Vec::new(),
+            b"x".to_vec(),
+            b"checkpoint restart ".repeat(400),
+            lcg_bytes(5000, 42),
+            // Larger than the 32 KiB window so trimming and long-range
+            // matches both happen.
+            [b"abcdef".repeat(20_000), lcg_bytes(90_000, 7)].concat(),
+        ]
+    }
+
+    #[test]
+    fn stepwise_matches_one_shot_inflate() {
+        for data in shapes() {
+            for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+                let stream = compress(&data, level);
+                let reference = inflate(&stream).unwrap();
+                assert_eq!(reference, data);
+
+                let mut engine = ResumableInflate::new();
+                let mut out = Vec::new();
+                let mut steps = 0usize;
+                while !engine.inflate_step(&stream, &mut out, 997).unwrap() {
+                    steps += 1;
+                    assert!(steps < 1_000_000, "engine made no progress");
+                }
+                assert_eq!(out, data, "{level:?} len {}", data.len());
+                assert_eq!(engine.output_len(), u64::try_from(data.len()).unwrap());
+                assert_eq!(engine.output_crc(), crc32(&data), "{level:?}");
+                // A finished engine keeps reporting done.
+                assert!(engine.inflate_step(&stream, &mut out, 1).unwrap());
+                assert_eq!(out, data);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_from_every_checkpoint_is_bit_identical() {
+        for data in shapes() {
+            for level in [Level::Store, Level::Default] {
+                let stream = compress(&data, level);
+                // First pass: checkpoint after every step.
+                let mut engine = ResumableInflate::new();
+                let mut out = Vec::new();
+                let mut cuts: Vec<(Vec<u8>, usize)> = vec![(engine.checkpoint(), 0)];
+                while !engine.inflate_step(&stream, &mut out, 1024).unwrap() {
+                    cuts.push((engine.checkpoint(), out.len()));
+                }
+                cuts.push((engine.checkpoint(), out.len()));
+                assert_eq!(out, data);
+
+                for (blob, at) in &cuts {
+                    let mut resumed = ResumableInflate::restore_from_checkpoint(blob).unwrap();
+                    assert_eq!(resumed.output_len(), u64::try_from(*at).unwrap());
+                    let mut tail = Vec::new();
+                    while !resumed.inflate_step(&stream, &mut tail, 4096).unwrap() {}
+                    assert_eq!(&tail, &data[*at..], "{level:?} resume at {at}");
+                    assert_eq!(resumed.output_crc(), crc32(&data), "{level:?} resume at {at}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_blob_roundtrips_exactly() {
+        let data = b"the quick brown fox ".repeat(600);
+        let stream = compress(&data, Level::Default);
+        let mut engine = ResumableInflate::new();
+        let mut out = Vec::new();
+        loop {
+            let blob = engine.checkpoint();
+            let restored = ResumableInflate::restore_from_checkpoint(&blob).unwrap();
+            assert_eq!(restored.checkpoint(), blob, "blob must reserialize identically");
+            if engine.inflate_step(&stream, &mut out, 512).unwrap() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_blobs_all_error() {
+        let data = lcg_bytes(3000, 9);
+        let stream = compress(&data, Level::Default);
+        let mut engine = ResumableInflate::new();
+        let mut out = Vec::new();
+        engine.inflate_step(&stream, &mut out, 1000).unwrap();
+        let blob = engine.checkpoint();
+        for n in 0..blob.len() {
+            assert!(
+                ResumableInflate::restore_from_checkpoint(&blob[..n]).is_err(),
+                "truncation to {n} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_bytes_all_error() {
+        let data = b"abcd".repeat(200);
+        let stream = compress(&data, Level::Default);
+        let mut engine = ResumableInflate::new();
+        let mut out = Vec::new();
+        engine.inflate_step(&stream, &mut out, 300).unwrap();
+        let blob = engine.checkpoint();
+        // Any single-byte corruption is caught by the frame CRC (and a
+        // flip inside the CRC field itself mismatches the body).
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x41;
+            assert!(
+                ResumableInflate::restore_from_checkpoint(&bad).is_err(),
+                "flip at byte {i} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_errors_even_with_valid_crc() {
+        let engine = ResumableInflate::new();
+        let blob = engine.checkpoint();
+        let mut body = blob[..blob.len() - 4].to_vec();
+        body[4] = 9; // version
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        match ResumableInflate::restore_from_checkpoint(&body) {
+            Err(DeflateError::BadContainer(msg)) => {
+                assert!(msg.contains("version"), "got {msg}");
+            }
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_state_byte_errors_even_with_valid_crc() {
+        let engine = ResumableInflate::new();
+        let blob = engine.checkpoint();
+        let mut body = blob[..blob.len() - 4].to_vec();
+        body[26] = 7; // block-state tag
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        assert!(ResumableInflate::restore_from_checkpoint(&body).is_err());
+    }
+
+    #[test]
+    fn stored_stream_resumes_mid_block() {
+        // Level::Store emits stored blocks; checkpoints land inside
+        // them and must stay byte-aligned.
+        let data = lcg_bytes(200_000, 3);
+        let stream = compress(&data, Level::Store);
+        let mut engine = ResumableInflate::new();
+        let mut out = Vec::new();
+        let mut blobs = Vec::new();
+        while !engine.inflate_step(&stream, &mut out, 4096).unwrap() {
+            blobs.push((engine.checkpoint(), out.len()));
+        }
+        assert_eq!(out, data);
+        assert!(blobs.len() > 10, "expected many mid-stream checkpoints");
+        for (blob, at) in blobs.iter().step_by(7) {
+            let mut resumed = ResumableInflate::restore_from_checkpoint(blob).unwrap();
+            assert_eq!(resumed.bit_position() % 8, 0, "stored checkpoints are byte-aligned");
+            let mut tail = Vec::new();
+            while !resumed.inflate_step(&stream, &mut tail, 65536).unwrap() {}
+            assert_eq!(&tail, &data[*at..]);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly_at_step_time() {
+        let data = b"streaming restore ".repeat(1000);
+        let stream = compress(&data, Level::Default);
+        let cut = &stream[..stream.len() / 2];
+        let mut engine = ResumableInflate::new();
+        let mut out = Vec::new();
+        let mut saw_err = false;
+        for _ in 0..10_000 {
+            match engine.inflate_step(cut, &mut out, 1024) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => {
+                    assert_eq!(e, DeflateError::UnexpectedEof);
+                    saw_err = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_err, "truncated stream must surface EOF");
+    }
+}

@@ -1,0 +1,84 @@
+//! Socket client for `ckpt fetch`: typed wrappers over the `SRV1`
+//! request/response pairs.
+
+use crate::proto::{self, Request, Response};
+use crate::{Result, ServeError};
+use ckpt_store::{GenIndex, GenInfo};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One connection to a [`serve_unix`](crate::server::serve_unix)
+/// server. All requests on a connection answer against the same
+/// pinned snapshot, so a sequence of fetches observes one consistent
+/// store state no matter what the writer does meanwhile.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the server's socket.
+    pub fn connect(socket_path: &Path) -> Result<Client> {
+        Ok(Client { stream: UnixStream::connect(socket_path)? })
+    }
+
+    /// Sends one request and reads its response frame.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        proto::write_frame(&mut self.stream, &proto::encode_request(req))?;
+        let body = proto::read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Proto("server closed mid-request".into()))?;
+        proto::decode_response(&body)
+    }
+
+    fn expect<T>(resp: Response, pick: impl FnOnce(Response) -> Option<T>) -> Result<T> {
+        match resp {
+            Response::Error { retryable, not_found, message } => {
+                Err(ServeError::Remote { retryable, not_found, message })
+            }
+            other => pick(other)
+                .ok_or_else(|| ServeError::Proto("response kind does not match request".into())),
+        }
+    }
+
+    /// Lists the snapshot's generations.
+    pub fn list(&mut self) -> Result<Vec<GenInfo>> {
+        let resp = self.request(&Request::List)?;
+        Self::expect(resp, |r| match r {
+            Response::Gens(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// The newest generation in the server's snapshot.
+    pub fn latest(&mut self) -> Result<Option<u64>> {
+        let resp = self.request(&Request::Latest)?;
+        Self::expect(resp, |r| match r {
+            Response::Latest(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// The range-read index of one generation.
+    pub fn index(&mut self, gen: u64) -> Result<GenIndex> {
+        let resp = self.request(&Request::Index { gen })?;
+        Self::expect(resp, |r| match r {
+            Response::Index(ix) => Some(ix),
+            _ => None,
+        })
+    }
+
+    /// Fetches a byte range of one committed segment.
+    pub fn fetch(&mut self, gen: u64, rank: u32, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let resp = self.request(&Request::Fetch { gen, rank, offset, len })?;
+        let data = Self::expect(resp, |r| match r {
+            Response::Data(d) => Some(d),
+            _ => None,
+        })?;
+        if data.len() as u64 != len {
+            return Err(ServeError::Proto(format!(
+                "fetch returned {} bytes, asked for {len}",
+                data.len()
+            )));
+        }
+        Ok(data)
+    }
+}

@@ -1,0 +1,572 @@
+//! `SRV1` wire protocol: length-prefixed, CRC-framed request/response
+//! pairs.
+//!
+//! Every frame is `u32 body_len (LE) | u32 crc32(body) (LE) | body`.
+//! The CRC makes a torn or corrupted socket stream a clean protocol
+//! error instead of a misparse, mirroring the manifest's record
+//! framing. All integers are little-endian; sizes are bounded by
+//! [`MAX_FRAME`] before any allocation, so a hostile length prefix
+//! cannot balloon memory.
+//!
+//! Body layouts (first byte is the kind tag):
+//!
+//! ```text
+//! Request  1 List
+//!          2 Latest
+//!          3 Index : gen u64
+//!          4 Fetch : gen u64, rank u32, offset u64, len u64
+//! Response 0 Error : retryable u8, not_found u8, msg_len u32, msg (UTF-8)
+//!          1 Gens  : count u32, then per gen:
+//!                    gen u64, step u64, format u8, base_gen u64,
+//!                    ranks u32, bytes u64, bound u8, bound_bits u64
+//!          2 Latest: present u8, gen u64
+//!          3 Index : gen u64, step u64, format u8, base_gen u64,
+//!                    bound u8, bound_bits u64, rank_count u32, then
+//!                    per rank: rank u32, payload_len u64, crc u32,
+//!                    member_count u32, then per member:
+//!                    offset u64, compressed_len u64, uncompressed_len u64
+//!          4 Data  : len u32, bytes
+//! ```
+
+use crate::{Result, ServeError};
+use ckpt_deflate::crc32::crc32;
+use ckpt_store::{GenIndex, GenInfo, MemberRange, RankIndex, SegmentFormat};
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's body, checked before allocating.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Largest `len` a `Fetch` request may ask for, so `Data` responses
+/// always fit a frame with room for the tag and length prefix.
+pub const MAX_FETCH: u64 = (MAX_FRAME as u64) - 64;
+
+/// One client request against a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// List the snapshot's generations.
+    List,
+    /// The newest generation in the snapshot.
+    Latest,
+    /// The range-read index of one generation.
+    Index { gen: u64 },
+    /// A byte range of one committed segment.
+    Fetch { gen: u64, rank: u32, offset: u64, len: u64 },
+}
+
+/// The server's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request failed; flags tell the client whether to retry.
+    Error { retryable: bool, not_found: bool, message: String },
+    /// Answer to [`Request::List`].
+    Gens(Vec<GenInfo>),
+    /// Answer to [`Request::Latest`].
+    Latest(Option<u64>),
+    /// Answer to [`Request::Index`].
+    Index(GenIndex),
+    /// Answer to [`Request::Fetch`].
+    Data(Vec<u8>),
+}
+
+// ---------------------------------------------------------------- frames
+
+/// Writes one frame (`len | crc | body`) to `w`.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(ServeError::Proto(format!("frame body {} exceeds MAX_FRAME", body.len())));
+    }
+    let len = u32::try_from(body.len())
+        .map_err(|_| ServeError::Proto("frame body exceeds u32".into()))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(body).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame body from `r`. Returns `Ok(None)` on clean EOF
+/// (no header byte arrived); a torn header or body, an oversized
+/// length, or a CRC mismatch are protocol errors.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    let mut got = 0usize;
+    while got < header.len() {
+        let slice = header.get_mut(got..).unwrap_or_default();
+        let n = r.read(slice)?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(ServeError::Proto("EOF inside a frame header".into()));
+        }
+        got += n;
+    }
+    let len_bytes = header.get(..4).ok_or_else(|| ServeError::Proto("short header".into()))?;
+    let crc_bytes = header.get(4..8).ok_or_else(|| ServeError::Proto("short header".into()))?;
+    let len = u32::from_le_bytes(
+        <[u8; 4]>::try_from(len_bytes).map_err(|_| ServeError::Proto("short header".into()))?,
+    );
+    let crc = u32::from_le_bytes(
+        <[u8; 4]>::try_from(crc_bytes).map_err(|_| ServeError::Proto("short header".into()))?,
+    );
+    let len = usize::try_from(len).map_err(|_| ServeError::Proto("frame length".into()))?;
+    if len > MAX_FRAME {
+        return Err(ServeError::Proto(format!("frame length {len} exceeds MAX_FRAME")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|_| ServeError::Proto("EOF inside a frame body".into()))?;
+    let computed = crc32(&body);
+    if computed != crc {
+        return Err(ServeError::Proto(format!(
+            "frame CRC {computed:08x} != declared {crc:08x}"
+        )));
+    }
+    Ok(Some(body))
+}
+
+// --------------------------------------------------------------- encoding
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bound(out: &mut Vec<u8>, bound: Option<f64>) {
+    match bound {
+        Some(eps) => {
+            out.push(1);
+            put_u64(out, eps.to_bits());
+        }
+        None => {
+            out.push(0);
+            put_u64(out, 0);
+        }
+    }
+}
+
+/// Serializes a request body.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::List => out.push(1),
+        Request::Latest => out.push(2),
+        Request::Index { gen } => {
+            out.push(3);
+            put_u64(&mut out, *gen);
+        }
+        Request::Fetch { gen, rank, offset, len } => {
+            out.push(4);
+            put_u64(&mut out, *gen);
+            put_u32(&mut out, *rank);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *len);
+        }
+    }
+    out
+}
+
+/// Serializes a response body.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Error { retryable, not_found, message } => {
+            out.push(0);
+            out.push(u8::from(*retryable));
+            out.push(u8::from(*not_found));
+            // Error text is advisory; clamp it so an Error frame can
+            // never approach the frame bound.
+            let msg = message.as_bytes();
+            let take = msg.len().min(4096);
+            put_u32(&mut out, u32::try_from(take).unwrap_or(4096));
+            out.extend_from_slice(msg.get(..take).unwrap_or(msg));
+        }
+        Response::Gens(gens) => {
+            out.push(1);
+            put_u32(&mut out, u32::try_from(gens.len()).unwrap_or(u32::MAX));
+            for g in gens {
+                put_u64(&mut out, g.gen);
+                put_u64(&mut out, g.step);
+                out.push(g.format.to_u8());
+                put_u64(&mut out, g.base_gen);
+                put_u32(&mut out, g.ranks);
+                put_u64(&mut out, g.bytes);
+                put_bound(&mut out, g.error_bound);
+            }
+        }
+        Response::Latest(gen) => {
+            out.push(2);
+            out.push(u8::from(gen.is_some()));
+            put_u64(&mut out, gen.unwrap_or(0));
+        }
+        Response::Index(ix) => {
+            out.push(3);
+            put_u64(&mut out, ix.gen);
+            put_u64(&mut out, ix.step);
+            out.push(ix.format.to_u8());
+            put_u64(&mut out, ix.base_gen);
+            put_bound(&mut out, ix.error_bound);
+            put_u32(&mut out, u32::try_from(ix.ranks.len()).unwrap_or(u32::MAX));
+            for r in &ix.ranks {
+                put_u32(&mut out, r.rank);
+                put_u64(&mut out, r.payload_len);
+                put_u32(&mut out, r.crc);
+                put_u32(&mut out, u32::try_from(r.members.len()).unwrap_or(u32::MAX));
+                for m in &r.members {
+                    put_u64(&mut out, m.offset);
+                    put_u64(&mut out, m.compressed_len);
+                    put_u64(&mut out, m.uncompressed_len);
+                }
+            }
+        }
+        Response::Data(bytes) => {
+            out.push(4);
+            put_u32(&mut out, u32::try_from(bytes.len()).unwrap_or(u32::MAX));
+            out.extend_from_slice(bytes);
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------- decoding
+
+/// Bounds-checked little-endian reader over a frame body. Every
+/// accessor returns a protocol error instead of panicking — these
+/// bytes come off a socket.
+pub(crate) struct Cursor<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Cursor { data, at: 0 }
+    }
+
+    pub(crate) fn take<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let end = self
+            .at
+            .checked_add(N)
+            .ok_or_else(|| ServeError::Proto("length overflow".into()))?;
+        let slice = self
+            .data
+            .get(self.at..end)
+            .ok_or_else(|| ServeError::Proto("truncated body".into()))?;
+        let arr =
+            <[u8; N]>::try_from(slice).map_err(|_| ServeError::Proto("truncated body".into()))?;
+        self.at = end;
+        Ok(arr)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .ok_or_else(|| ServeError::Proto("length overflow".into()))?;
+        let slice = self
+            .data
+            .get(self.at..end)
+            .ok_or_else(|| ServeError::Proto("truncated body".into()))?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn bound(&mut self) -> Result<Option<f64>> {
+        let tag = self.u8()?;
+        let bits = self.u64()?;
+        match tag {
+            0 => Ok(None),
+            1 => Ok(Some(f64::from_bits(bits))),
+            t => Err(ServeError::Proto(format!("bad bound tag {t}"))),
+        }
+    }
+
+    pub(crate) fn finish(&self) -> Result<()> {
+        if self.at != self.data.len() {
+            return Err(ServeError::Proto(format!(
+                "{} trailing bytes after the body",
+                self.data.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+
+    /// Sanity bound for a declared element count: each element needs
+    /// at least `min_elem_bytes` of body, so a count the remaining
+    /// bytes cannot possibly satisfy is rejected before allocating.
+    pub(crate) fn check_count(&self, count: u32, min_elem_bytes: usize) -> Result<usize> {
+        let count = usize::try_from(count).map_err(|_| ServeError::Proto("count".into()))?;
+        let need = count
+            .checked_mul(min_elem_bytes)
+            .ok_or_else(|| ServeError::Proto("count overflow".into()))?;
+        if need > self.data.len().saturating_sub(self.at) {
+            return Err(ServeError::Proto(format!(
+                "declared count {count} exceeds the body"
+            )));
+        }
+        Ok(count)
+    }
+}
+
+fn parse_format(tag: u8) -> Result<SegmentFormat> {
+    SegmentFormat::from_u8(tag)
+        .ok_or_else(|| ServeError::Proto(format!("bad segment format tag {tag}")))
+}
+
+/// Parses a request body.
+pub fn decode_request(body: &[u8]) -> Result<Request> {
+    let mut c = Cursor::new(body);
+    let req = match c.u8()? {
+        1 => Request::List,
+        2 => Request::Latest,
+        3 => Request::Index { gen: c.u64()? },
+        4 => Request::Fetch { gen: c.u64()?, rank: c.u32()?, offset: c.u64()?, len: c.u64()? },
+        t => return Err(ServeError::Proto(format!("bad request tag {t}"))),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Parses a response body.
+pub fn decode_response(body: &[u8]) -> Result<Response> {
+    let mut c = Cursor::new(body);
+    let resp = match c.u8()? {
+        0 => {
+            let retryable = c.u8()? != 0;
+            let not_found = c.u8()? != 0;
+            let len = c.u32()?;
+            let len = usize::try_from(len).map_err(|_| ServeError::Proto("msg len".into()))?;
+            let message = String::from_utf8(c.bytes(len)?.to_vec())
+                .map_err(|_| ServeError::Proto("error message is not UTF-8".into()))?;
+            Response::Error { retryable, not_found, message }
+        }
+        1 => {
+            let raw = c.u32()?;
+            let count = c.check_count(raw, 46)?;
+            let mut gens = Vec::with_capacity(count);
+            for _ in 0..count {
+                let gen = c.u64()?;
+                let step = c.u64()?;
+                let format = parse_format(c.u8()?)?;
+                let base_gen = c.u64()?;
+                let ranks = c.u32()?;
+                let bytes = c.u64()?;
+                let error_bound = c.bound()?;
+                gens.push(GenInfo {
+                    gen,
+                    step,
+                    format,
+                    base_gen,
+                    ranks,
+                    bytes,
+                    committed: true,
+                    retired: None,
+                    error_bound,
+                });
+            }
+            Response::Gens(gens)
+        }
+        2 => {
+            let present = c.u8()?;
+            let gen = c.u64()?;
+            match present {
+                0 => Response::Latest(None),
+                1 => Response::Latest(Some(gen)),
+                t => return Err(ServeError::Proto(format!("bad latest tag {t}"))),
+            }
+        }
+        3 => {
+            let gen = c.u64()?;
+            let step = c.u64()?;
+            let format = parse_format(c.u8()?)?;
+            let base_gen = c.u64()?;
+            let error_bound = c.bound()?;
+            let raw = c.u32()?;
+            let rank_count = c.check_count(raw, 20)?;
+            let mut ranks = Vec::with_capacity(rank_count);
+            for _ in 0..rank_count {
+                let rank = c.u32()?;
+                let payload_len = c.u64()?;
+                let crc = c.u32()?;
+                let raw = c.u32()?;
+                let member_count = c.check_count(raw, 24)?;
+                let mut members = Vec::with_capacity(member_count);
+                for _ in 0..member_count {
+                    members.push(MemberRange {
+                        offset: c.u64()?,
+                        compressed_len: c.u64()?,
+                        uncompressed_len: c.u64()?,
+                    });
+                }
+                ranks.push(RankIndex { rank, payload_len, crc, members });
+            }
+            Response::Index(GenIndex { gen, step, format, base_gen, error_bound, ranks })
+        }
+        4 => {
+            let len = c.u32()?;
+            let len = usize::try_from(len).map_err(|_| ServeError::Proto("data len".into()))?;
+            Response::Data(c.bytes(len)?.to_vec())
+        }
+        t => return Err(ServeError::Proto(format!("bad response tag {t}"))),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let body = encode_request(&req);
+        assert_eq!(decode_request(&body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let body = encode_response(&resp);
+        assert_eq!(decode_response(&body).unwrap(), resp);
+    }
+
+    fn sample_index() -> GenIndex {
+        GenIndex {
+            gen: 42,
+            step: 1000,
+            format: SegmentFormat::Array,
+            base_gen: 42,
+            error_bound: Some(1e-3),
+            ranks: vec![
+                RankIndex {
+                    rank: 0,
+                    payload_len: 999,
+                    crc: 0xDEAD_BEEF,
+                    members: vec![
+                        MemberRange { offset: 54, compressed_len: 500, uncompressed_len: 700 },
+                        MemberRange { offset: 554, compressed_len: 445, uncompressed_len: 300 },
+                    ],
+                },
+                RankIndex { rank: 1, payload_len: 10, crc: 7, members: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::List);
+        roundtrip_request(Request::Latest);
+        roundtrip_request(Request::Index { gen: u64::MAX });
+        roundtrip_request(Request::Fetch { gen: 3, rank: 2, offset: 100, len: 4096 });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Error {
+            retryable: true,
+            not_found: false,
+            message: "disk went away".into(),
+        });
+        roundtrip_response(Response::Gens(vec![GenInfo {
+            gen: 9,
+            step: 90,
+            format: SegmentFormat::Checkpoint,
+            base_gen: 9,
+            ranks: 4,
+            bytes: 1 << 30,
+            committed: true,
+            retired: None,
+            error_bound: None,
+        }]));
+        roundtrip_response(Response::Latest(None));
+        roundtrip_response(Response::Latest(Some(17)));
+        roundtrip_response(Response::Index(sample_index()));
+        roundtrip_response(Response::Data(vec![1, 2, 3, 255]));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let body = encode_request(&Request::Fetch { gen: 1, rank: 0, offset: 0, len: 10 });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        write_frame(&mut wire, &encode_request(&Request::List)).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), body);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), encode_request(&Request::List));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at frame boundary");
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_protocol_errors() {
+        let body = encode_request(&Request::Latest);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        // Every strict prefix is torn (EOF in header or body).
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            assert!(read_frame(&mut r).is_err(), "prefix of {cut} bytes must error");
+        }
+        // Any flipped byte is either a bad CRC or a bad length.
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x01;
+            let mut r = bad.as_slice();
+            assert!(read_frame(&mut r).is_err(), "flip at {i} must error");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = wire.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected_before_allocation() {
+        // A Gens response declaring u32::MAX entries in a tiny body.
+        let mut body = vec![1u8];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(&body).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = encode_request(&Request::List);
+        body.push(0);
+        assert!(decode_request(&body).is_err());
+    }
+
+    #[test]
+    fn truncated_bodies_never_panic() {
+        let bodies = [
+            encode_request(&Request::Fetch { gen: 1, rank: 2, offset: 3, len: 4 }),
+            encode_response(&Response::Index(sample_index())),
+            encode_response(&Response::Error {
+                retryable: false,
+                not_found: true,
+                message: "x".into(),
+            }),
+        ];
+        for body in &bodies {
+            for cut in 0..body.len() {
+                let _ = decode_request(&body[..cut]);
+                let _ = decode_response(&body[..cut]);
+            }
+        }
+    }
+}

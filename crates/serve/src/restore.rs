@@ -1,0 +1,530 @@
+//! Resumable streaming restore: decompress a committed segment to a
+//! file, leaving a durable `RST1` progress token every N output bytes
+//! so a killed restore re-runs only the tail.
+//!
+//! The driver walks the payload's gzip members (one member for a plain
+//! gzip payload, the chunk index's members for a `WPK1` container) and
+//! inflates each with the [`ResumableInflate`] engine, appending
+//! decompressed bytes to the output file. At every `interval_bytes` of
+//! output it makes the progress durable in strict order — output
+//! bytes, `fdatasync`, then the token via the same
+//! tmp → write → fsync → rename protocol segments use — so the token
+//! never references bytes the output file might not have. Killing the
+//! restore at *any* byte leaves either no token (restart from zero) or
+//! a token whose recorded prefix is intact on disk; resuming truncates
+//! any torn tail past the token, re-verifies the prefix CRC, and
+//! continues bit-identically.
+//!
+//! Token layout (`RST1`, all integers LE):
+//!
+//! ```text
+//! "RST1" | ver u8 | gen u64 | rank u32 | payload_len u64 |
+//! payload_crc u32 | member_at u32 | member_count u32 |
+//! prefix_len u64 | prefix_crc u32 | out_len u64 | out_crc u32 |
+//! ick_len u32 | ick bytes (ICK1 blob, empty at a member boundary) |
+//! frame crc32 over everything before it
+//! ```
+
+use crate::proto::Cursor;
+use crate::{Result, ServeError};
+use ckpt_deflate::crc32::{crc32, crc32_combine};
+use ckpt_deflate::gzip;
+use ckpt_deflate::resume::ResumableInflate;
+use ckpt_store::layout;
+use ckpt_store::{FailPoint, RankIndex, Snapshot, StoreError};
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Magic tag of a resume token file.
+pub const TOKEN_MAGIC: [u8; 4] = *b"RST1";
+/// Current token version.
+pub const TOKEN_VERSION: u8 = 1;
+/// Fixed token size before the variable ICK1 blob and the frame CRC.
+const TOKEN_FIXED: usize = 4 + 1 + 8 + 4 + 8 + 4 + 4 + 4 + 8 + 4 + 8 + 4 + 4;
+
+/// Tuning for one restore run.
+#[derive(Debug, Clone)]
+pub struct RestoreOptions {
+    /// Output bytes between durable progress tokens. Smaller means
+    /// less work re-done after a kill, at the cost of more fsyncs.
+    pub interval_bytes: u64,
+}
+
+impl Default for RestoreOptions {
+    fn default() -> Self {
+        RestoreOptions { interval_bytes: 8 << 20 }
+    }
+}
+
+/// What one (possibly resumed) restore run produced.
+#[derive(Debug, Clone)]
+pub struct RestoreOutcome {
+    pub gen: u64,
+    pub rank: u32,
+    /// Decompressed bytes in the output file.
+    pub out_len: u64,
+    /// CRC-32 of the whole output file.
+    pub out_crc: u32,
+    /// Progress tokens written during this run.
+    pub checkpoints: u64,
+    /// True when this run continued from a token.
+    pub resumed: bool,
+}
+
+/// Durable progress record of a partial restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub gen: u64,
+    pub rank: u32,
+    /// Committed payload length of the segment being restored; pins
+    /// the token to one exact payload.
+    pub payload_len: u64,
+    /// Committed payload CRC, same purpose.
+    pub payload_crc: u32,
+    /// Index of the member being inflated.
+    pub member_at: u32,
+    /// Total members in the payload.
+    pub member_count: u32,
+    /// Output bytes from members *before* `member_at`.
+    pub prefix_len: u64,
+    /// CRC-32 of those prefix bytes.
+    pub prefix_crc: u32,
+    /// Total durable output bytes (prefix + current member so far).
+    pub out_len: u64,
+    /// CRC-32 of all durable output bytes.
+    pub out_crc: u32,
+    /// `ICK1` engine state mid-member; empty exactly at a member
+    /// boundary (the next member starts with a fresh engine).
+    pub ick: Vec<u8>,
+}
+
+/// Serializes a token, framing CRC included.
+pub fn encode_token(tok: &Token) -> Vec<u8> {
+    let mut out = Vec::with_capacity(TOKEN_FIXED + tok.ick.len() + 4);
+    out.extend_from_slice(&TOKEN_MAGIC);
+    out.push(TOKEN_VERSION);
+    out.extend_from_slice(&tok.gen.to_le_bytes());
+    out.extend_from_slice(&tok.rank.to_le_bytes());
+    out.extend_from_slice(&tok.payload_len.to_le_bytes());
+    out.extend_from_slice(&tok.payload_crc.to_le_bytes());
+    out.extend_from_slice(&tok.member_at.to_le_bytes());
+    out.extend_from_slice(&tok.member_count.to_le_bytes());
+    out.extend_from_slice(&tok.prefix_len.to_le_bytes());
+    out.extend_from_slice(&tok.prefix_crc.to_le_bytes());
+    out.extend_from_slice(&tok.out_len.to_le_bytes());
+    out.extend_from_slice(&tok.out_crc.to_le_bytes());
+    out.extend_from_slice(&u32::try_from(tok.ick.len()).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(&tok.ick);
+    out.extend_from_slice(&crc32(&out).to_le_bytes());
+    out
+}
+
+/// Parses and structurally validates a token. The frame CRC is checked
+/// first, so every later diagnostic speaks about intact bytes; a token
+/// from a torn write (which the atomic rename should prevent anyway)
+/// dies here cleanly.
+pub fn parse_token(bytes: &[u8]) -> Result<Token> {
+    let body_len = bytes
+        .len()
+        .checked_sub(4)
+        .ok_or_else(|| ServeError::Proto("resume token too short".into()))?;
+    let body = bytes
+        .get(..body_len)
+        .ok_or_else(|| ServeError::Proto("resume token too short".into()))?;
+    let declared = bytes.get(body_len..).ok_or_else(|| ServeError::Proto("token crc".into()))?;
+    let declared = u32::from_le_bytes(
+        <[u8; 4]>::try_from(declared).map_err(|_| ServeError::Proto("token crc".into()))?,
+    );
+    let computed = crc32(body);
+    if computed != declared {
+        return Err(ServeError::Proto(format!(
+            "resume token CRC {computed:08x} != recorded {declared:08x}"
+        )));
+    }
+    let mut c = Cursor::new(body);
+    let magic = c.take::<4>()?;
+    if magic != TOKEN_MAGIC {
+        return Err(ServeError::Proto("resume token lacks RST1 magic".into()));
+    }
+    let version = c.u8()?;
+    if version != TOKEN_VERSION {
+        return Err(ServeError::Proto(format!(
+            "resume token version {version}, this build reads {TOKEN_VERSION}"
+        )));
+    }
+    let gen = c.u64()?;
+    let rank = c.u32()?;
+    let payload_len = c.u64()?;
+    let payload_crc = c.u32()?;
+    let member_at = c.u32()?;
+    let member_count = c.u32()?;
+    let prefix_len = c.u64()?;
+    let prefix_crc = c.u32()?;
+    let out_len = c.u64()?;
+    let out_crc = c.u32()?;
+    let ick_len = c.u32()?;
+    let ick_len = usize::try_from(ick_len).map_err(|_| ServeError::Proto("ick length".into()))?;
+    let ick = c.bytes(ick_len)?.to_vec();
+    c.finish()?;
+
+    if member_count == 0 || member_at >= member_count {
+        return Err(ServeError::Proto(format!(
+            "resume token points at member {member_at} of {member_count}"
+        )));
+    }
+    if out_len < prefix_len {
+        return Err(ServeError::Proto(
+            "resume token's total output is shorter than its member prefix".into(),
+        ));
+    }
+    if ick.is_empty() && (out_len != prefix_len || out_crc != prefix_crc) {
+        return Err(ServeError::Proto(
+            "boundary token with mid-member output accounting".into(),
+        ));
+    }
+    Ok(Token {
+        gen,
+        rank,
+        payload_len,
+        payload_crc,
+        member_at,
+        member_count,
+        prefix_len,
+        prefix_crc,
+        out_len,
+        out_crc,
+        ick,
+    })
+}
+
+/// One member's compressed byte range inside the payload.
+#[derive(Debug, Clone)]
+struct MemberPlan {
+    offset: u64,
+    len: u64,
+}
+
+/// Streams `gen`/`rank` from scratch into `out_path`, checkpointing
+/// into `token_path`. Overwrites any previous output. On success the
+/// token file is gone and the outcome carries the output length/CRC.
+pub fn restore_streamed(
+    snap: &Snapshot,
+    gen: u64,
+    rank: u32,
+    out_path: &Path,
+    token_path: &Path,
+    opts: &RestoreOptions,
+    fp: &FailPoint,
+) -> Result<RestoreOutcome> {
+    let ri = rank_of(snap, gen, rank)?;
+    let plan = plan_members(snap, gen, rank, &ri)?;
+    let mut out = fs::File::create(out_path)?;
+    let state = DriveState {
+        member_at: 0,
+        prefix_len: 0,
+        prefix_crc: 0,
+        engine: None,
+        checkpoints: 0,
+        resumed: false,
+    };
+    drive(snap, gen, rank, &ri, &plan, &mut out, state, token_path, opts, fp)
+}
+
+/// Continues a killed restore from its token. The token names the
+/// generation and rank; the output file's durable prefix is CRC-
+/// verified against the token (any torn tail past it is truncated)
+/// before the stream continues. The final bytes are identical to an
+/// uninterrupted [`restore_streamed`].
+pub fn resume_restore(
+    snap: &Snapshot,
+    token_path: &Path,
+    out_path: &Path,
+    opts: &RestoreOptions,
+    fp: &FailPoint,
+) -> Result<RestoreOutcome> {
+    let tok = parse_token(&fs::read(token_path)?)?;
+    let ri = rank_of(snap, tok.gen, tok.rank)?;
+    if ri.payload_len != tok.payload_len || ri.crc != tok.payload_crc {
+        return Err(ServeError::Proto(format!(
+            "stale resume token: segment gen {} rank {} changed since the token was written",
+            tok.gen, tok.rank
+        )));
+    }
+    let plan = plan_members(snap, tok.gen, tok.rank, &ri)?;
+    if u32::try_from(plan.len()).unwrap_or(u32::MAX) != tok.member_count {
+        return Err(ServeError::Proto("stale resume token: member count changed".into()));
+    }
+    let member_at =
+        usize::try_from(tok.member_at).map_err(|_| ServeError::Proto("member index".into()))?;
+
+    let mut out = fs::OpenOptions::new().read(true).write(true).open(out_path)?;
+    let disk_len = out.metadata()?.len();
+    if disk_len < tok.out_len {
+        return Err(ServeError::Proto(format!(
+            "output file holds {disk_len} bytes, the token promised {}",
+            tok.out_len
+        )));
+    }
+    let prefix_crc_on_disk = crc_of_prefix(&mut out, tok.out_len)?;
+    if prefix_crc_on_disk != tok.out_crc {
+        return Err(ServeError::Proto(format!(
+            "output prefix CRC {prefix_crc_on_disk:08x} != token's {:08x}",
+            tok.out_crc
+        )));
+    }
+    // Drop any torn tail the kill left past the last durable point.
+    out.set_len(tok.out_len)?;
+    out.seek(SeekFrom::End(0))?;
+
+    let engine = if tok.ick.is_empty() {
+        None
+    } else {
+        let engine = ResumableInflate::restore_from_checkpoint(&tok.ick)?;
+        let expect_len = tok.prefix_len.checked_add(engine.output_len());
+        let expect_crc = crc32_combine(tok.prefix_crc, engine.output_crc(), engine.output_len());
+        if expect_len != Some(tok.out_len) || expect_crc != tok.out_crc {
+            return Err(ServeError::Proto(
+                "resume token's engine state disagrees with its output accounting".into(),
+            ));
+        }
+        Some(engine)
+    };
+    let state = DriveState {
+        member_at,
+        prefix_len: tok.prefix_len,
+        prefix_crc: tok.prefix_crc,
+        engine,
+        checkpoints: 0,
+        resumed: true,
+    };
+    drive(snap, tok.gen, tok.rank, &ri, &plan, &mut out, state, token_path, opts, fp)
+}
+
+/// Mid-run progress threaded through [`drive`].
+struct DriveState {
+    member_at: usize,
+    prefix_len: u64,
+    prefix_crc: u32,
+    engine: Option<ResumableInflate>,
+    checkpoints: u64,
+    resumed: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    snap: &Snapshot,
+    gen: u64,
+    rank: u32,
+    ri: &RankIndex,
+    plan: &[MemberPlan],
+    out: &mut fs::File,
+    mut st: DriveState,
+    token_path: &Path,
+    opts: &RestoreOptions,
+    fp: &FailPoint,
+) -> Result<RestoreOutcome> {
+    let interval = usize::try_from(opts.interval_bytes.max(1)).unwrap_or(usize::MAX);
+    let member_count = u32::try_from(plan.len()).unwrap_or(u32::MAX);
+    while st.member_at < plan.len() {
+        let mp = plan
+            .get(st.member_at)
+            .ok_or_else(|| ServeError::Proto("member index out of plan".into()))?;
+        let member = snap.read_segment_range(gen, rank, mp.offset, mp.len)?;
+        let body_off = gzip::member_body_offset(&member)?;
+        let body_end = member
+            .len()
+            .checked_sub(8)
+            .filter(|&e| e >= body_off)
+            .ok_or_else(|| ServeError::Proto("gzip member too short for its trailer".into()))?;
+        let body = member
+            .get(body_off..body_end)
+            .ok_or_else(|| ServeError::Proto("gzip member body out of range".into()))?;
+        let mut engine = st.engine.take().unwrap_or_default();
+
+        loop {
+            let mut produced = Vec::new();
+            let done = engine.inflate_step(body, &mut produced, interval)?;
+            fp.write_all(out, &produced)?;
+            if done {
+                break;
+            }
+            // Durability order: output bytes first, then the token
+            // referencing them. A kill between the two leaves a token
+            // one interval behind — correct, just slower to resume.
+            fp.check()?;
+            out.sync_data()?;
+            let tok = Token {
+                gen,
+                rank,
+                payload_len: ri.payload_len,
+                payload_crc: ri.crc,
+                member_at: u32::try_from(st.member_at).unwrap_or(u32::MAX),
+                member_count,
+                prefix_len: st.prefix_len,
+                prefix_crc: st.prefix_crc,
+                out_len: st.prefix_len.saturating_add(engine.output_len()),
+                out_crc: crc32_combine(st.prefix_crc, engine.output_crc(), engine.output_len()),
+                ick: engine.checkpoint(),
+            };
+            write_token(token_path, &encode_token(&tok), fp)?;
+            st.checkpoints += 1;
+        }
+
+        // The member's trailer is the independent truth about what it
+        // should have decoded to; a range read is not CRC-checked by
+        // the store, so this is where corruption surfaces.
+        verify_member_trailer(&member, body_end, &engine)?;
+        st.prefix_crc =
+            crc32_combine(st.prefix_crc, engine.output_crc(), engine.output_len());
+        st.prefix_len = st.prefix_len.saturating_add(engine.output_len());
+        st.member_at += 1;
+
+        if st.member_at < plan.len() {
+            // Boundary token: a kill while fetching the next member
+            // resumes here instead of re-inflating this one.
+            fp.check()?;
+            out.sync_data()?;
+            let tok = Token {
+                gen,
+                rank,
+                payload_len: ri.payload_len,
+                payload_crc: ri.crc,
+                member_at: u32::try_from(st.member_at).unwrap_or(u32::MAX),
+                member_count,
+                prefix_len: st.prefix_len,
+                prefix_crc: st.prefix_crc,
+                out_len: st.prefix_len,
+                out_crc: st.prefix_crc,
+                ick: Vec::new(),
+            };
+            write_token(token_path, &encode_token(&tok), fp)?;
+            st.checkpoints += 1;
+        }
+    }
+
+    out.sync_all()?;
+    // Completion: the token is obsolete the moment the full output is
+    // durable. Removing it is not failure-ordered — a crash right here
+    // leaves a valid token and a complete file, and a resume just
+    // re-verifies the prefix and finds nothing left to do.
+    match fs::remove_file(token_path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(ServeError::Io(e)),
+    }
+    Ok(RestoreOutcome {
+        gen,
+        rank,
+        out_len: st.prefix_len,
+        out_crc: st.prefix_crc,
+        checkpoints: st.checkpoints,
+        resumed: st.resumed,
+    })
+}
+
+/// Checks a finished member's gzip trailer (CRC32 + ISIZE) against
+/// what the engine actually produced.
+fn verify_member_trailer(member: &[u8], body_end: usize, engine: &ResumableInflate) -> Result<()> {
+    let stored_crc = le_u32_at(member, body_end)?;
+    let stored_size = le_u32_at(member, body_end.saturating_add(4))?;
+    if stored_crc != engine.output_crc() {
+        return Err(ServeError::Proto(format!(
+            "member CRC {stored_crc:08x} != decoded {:08x}",
+            engine.output_crc()
+        )));
+    }
+    // ISIZE is the length mod 2^32 by definition (RFC 1952).
+    let produced = u32::try_from(engine.output_len() & 0xFFFF_FFFF).unwrap_or(0);
+    if stored_size != produced {
+        return Err(ServeError::Proto(format!(
+            "member ISIZE {stored_size} != decoded length {produced}"
+        )));
+    }
+    Ok(())
+}
+
+fn le_u32_at(bytes: &[u8], at: usize) -> Result<u32> {
+    let end = at.checked_add(4).ok_or_else(|| ServeError::Proto("offset overflow".into()))?;
+    let slice = bytes
+        .get(at..end)
+        .ok_or_else(|| ServeError::Proto("trailer out of range".into()))?;
+    Ok(u32::from_le_bytes(
+        <[u8; 4]>::try_from(slice).map_err(|_| ServeError::Proto("trailer out of range".into()))?,
+    ))
+}
+
+/// The rank's committed metadata and member index.
+fn rank_of(snap: &Snapshot, gen: u64, rank: u32) -> Result<RankIndex> {
+    let ix = snap.segment_index(gen)?;
+    ix.ranks
+        .into_iter()
+        .find(|r| r.rank == rank)
+        .ok_or_else(|| ServeError::Store(StoreError::NotFound(format!("gen {gen} rank {rank}"))))
+}
+
+/// Maps the payload into gzip members: the chunk index for `WPK1`, one
+/// whole-payload member for plain gzip, a clean refusal for anything
+/// else (raw payloads have no deflate stream to resume inside — use
+/// the store's plain restore).
+fn plan_members(snap: &Snapshot, gen: u64, rank: u32, ri: &RankIndex) -> Result<Vec<MemberPlan>> {
+    if !ri.members.is_empty() {
+        return Ok(ri
+            .members
+            .iter()
+            .map(|m| MemberPlan { offset: m.offset, len: m.compressed_len })
+            .collect());
+    }
+    let head_len = ri.payload_len.min(2);
+    let head = snap.read_segment_range(gen, rank, 0, head_len)?;
+    if head.as_slice() == [0x1f, 0x8b] {
+        return Ok(vec![MemberPlan { offset: 0, len: ri.payload_len }]);
+    }
+    Err(ServeError::Unsupported(format!(
+        "gen {gen} rank {rank}: payload is not gzip-framed; stream restore needs a gzip or WPK1 segment"
+    )))
+}
+
+/// CRC-32 of the first `len` bytes of `f`, streamed in small chunks.
+fn crc_of_prefix(f: &mut fs::File, len: u64) -> Result<u32> {
+    f.seek(SeekFrom::Start(0))?;
+    let mut buf = vec![0u8; 64 << 10];
+    let mut crc = 0u32;
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = usize::try_from(remaining.min(64 << 10)).unwrap_or(64 << 10);
+        let slice = buf
+            .get_mut(..take)
+            .ok_or_else(|| ServeError::Proto("prefix chunk".into()))?;
+        f.read_exact(slice)?;
+        crc = crc32_combine(crc, crc32(slice), u64::try_from(take).unwrap_or(0));
+        remaining -= u64::try_from(take).unwrap_or(0);
+    }
+    Ok(crc)
+}
+
+/// Staging path for the token's atomic write.
+fn token_tmp_path(token_path: &Path) -> PathBuf {
+    let mut name = token_path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Durably replaces the resume token: create the staging file, write
+/// through the fail point, fsync, rename over the old token, fsync the
+/// directory. A kill at any byte leaves either the previous token or
+/// the new one — never a torn mix — so resume always has a valid
+/// starting point.
+fn write_token(token_path: &Path, bytes: &[u8], fp: &FailPoint) -> Result<()> {
+    let dir = token_path.parent().map(Path::to_path_buf).unwrap_or_else(|| PathBuf::from("."));
+    let tmp_path = token_tmp_path(token_path);
+    let mut file = fs::File::create(&tmp_path)?;
+    fp.write_all(&mut file, bytes)?;
+    fp.check()?;
+    file.sync_all()?;
+    drop(file);
+    fp.check()?;
+    fs::rename(&tmp_path, token_path)?;
+    layout::fsync_dir(&dir)?;
+    Ok(())
+}

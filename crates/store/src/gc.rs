@@ -30,6 +30,11 @@ pub struct GcReport {
     pub quarantined: Vec<u64>,
     /// Segment files deleted by retention.
     pub files_deleted: usize,
+    /// Generations a live [`Snapshot`](crate::Snapshot) pinned: GC
+    /// left these untouched (neither quarantined nor pruned) no matter
+    /// what the policy said. They become collectable once the last
+    /// snapshot holding them drops.
+    pub pinned: Vec<u64>,
 }
 
 impl Store {
@@ -57,6 +62,12 @@ impl Store {
         let keep_fulls = keep_fulls.max(1);
         let mut report = GcReport::default();
 
+        // Live snapshots pin generations: GC must not retire (or even
+        // quarantine) a generation a reader may be mid-restore on. The
+        // pin set is sampled once — a snapshot taken after this point
+        // sees only what this pass leaves behind.
+        let pinned = self.pins().pinned();
+
         // Phase 1: quarantine generations with unreadable segments.
         let live: Vec<u64> = self
             .generations()
@@ -64,8 +75,15 @@ impl Store {
             .filter(|g| g.committed && g.retired.is_none())
             .map(|g| g.gen)
             .collect();
+        report.pinned = live.iter().copied().filter(|g| pinned.contains(g)).collect();
         let mut damaged = Vec::new();
         for &gen in &live {
+            if pinned.contains(&gen) {
+                // A pinned generation stays where it is even if damaged:
+                // moving its files would break an in-flight range read.
+                // The next unpinned pass quarantines it.
+                continue;
+            }
             let ranks = self.gen_state(gen)?.segs.len() as u32;
             if (0..ranks).any(|rank| self.read_segment(gen, rank).is_err()) {
                 damaged.push((gen, RetireReason::Quarantine));
@@ -107,6 +125,10 @@ impl Store {
             .collect();
         let mut retained: BTreeSet<u64> =
             fulls.iter().rev().take(keep_fulls).copied().collect();
+        // Pinned survivors are retained outright — a snapshot is
+        // reading them — and seeding them before the chain pass keeps
+        // any increment chaining onto a pinned base alive too.
+        retained.extend(survivors.iter().copied().filter(|g| pinned.contains(g)));
         // Ascending order: a base generation always precedes its
         // increments, so one pass settles every chain.
         for &gen in &survivors {
@@ -323,6 +345,87 @@ mod tests {
         assert!(store.read_segment(gens[0], 0).is_err(), "retired gen must not restore");
         assert_eq!(store.open_report().quarantined_files.len(), 2, "leftovers swept");
         assert!(store.read_segment(gens[2], 0).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_pins_survive_retention_until_dropped() {
+        let dir = scratch("pins");
+        let mut store = Store::open(&dir).unwrap();
+        let gens: Vec<u64> = (0..3).map(|i| full(&mut store, 10 + i, i as u8 + 1)).collect();
+        let snap = store.snapshot().unwrap();
+        let g_new = full(&mut store, 20, 9);
+
+        // keep_fulls=1 would prune gens[0..3], but the snapshot pins
+        // them all: nothing dies while it is alive.
+        let report = store.gc(1).unwrap();
+        assert_eq!(report.pinned, gens);
+        assert!(report.pruned.is_empty());
+        for &g in &gens {
+            assert!(report.retained.contains(&g), "pinned gen {g} must be retained");
+            assert!(store.layout().segment_path(g, 0).exists());
+        }
+        // The snapshot's view still restores after the pass.
+        assert!(snap.read_segment(gens[0], 0).is_ok());
+
+        // Dropping the snapshot releases the pins; the next pass
+        // applies the policy it deferred.
+        drop(snap);
+        let report = store.gc(1).unwrap();
+        assert!(report.pinned.is_empty());
+        assert_eq!(report.retained, vec![g_new]);
+        assert_eq!(report.pruned, gens);
+        for &g in &gens {
+            assert!(!store.layout().segment_path(g, 0).exists());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_increment_chain_keeps_its_base_alive() {
+        let dir = scratch("pin-chain");
+        let mut store = Store::open(&dir).unwrap();
+        let f1 = full(&mut store, 1, 1);
+        let i1 = store.save_increment(2, f1, &[&payload(2)], 1).unwrap();
+        let snap = store.snapshot().unwrap();
+        let f2 = full(&mut store, 3, 3);
+
+        let report = store.gc(1).unwrap();
+        assert_eq!(report.pinned, vec![f1, i1]);
+        assert_eq!(report.retained, vec![f1, i1, f2]);
+        assert!(report.pruned.is_empty());
+        // The pinned chain still resolves end to end.
+        assert_eq!(snap.resolve_chain(i1).unwrap(), vec![f1, i1]);
+        drop(snap);
+        let report = store.gc(1).unwrap();
+        assert_eq!(report.retained, vec![f2]);
+        assert_eq!(report.pruned, vec![f1, i1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_pinned_generation_is_not_quarantined_until_released() {
+        let dir = scratch("pin-damaged");
+        let mut store = Store::open(&dir).unwrap();
+        let g1 = full(&mut store, 1, 1);
+        let g2 = full(&mut store, 2, 2);
+        let snap = store.snapshot().unwrap();
+        // Corrupt g1 while a snapshot holds it: GC must not move the
+        // file out from under a potential in-flight read.
+        let p = store.layout().segment_path(g1, 0);
+        let mut bytes = fs::read(&p).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&p, &bytes).unwrap();
+
+        let report = store.gc(10).unwrap();
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.pinned, vec![g1, g2]);
+        assert!(store.layout().segment_path(g1, 0).exists());
+
+        drop(snap);
+        let report = store.gc(10).unwrap();
+        assert_eq!(report.quarantined, vec![g1]);
+        assert_eq!(report.retained, vec![g2]);
         let _ = fs::remove_dir_all(&dir);
     }
 

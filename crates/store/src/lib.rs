@@ -52,12 +52,14 @@ pub mod gc;
 pub mod layout;
 pub mod manifest;
 pub mod segment;
+pub mod snapshot;
 pub mod store;
 
 pub use failpoint::FailPoint;
 pub use segment::SegmentWriter;
 pub use gc::GcReport;
 pub use manifest::{RetireReason, SegmentFormat};
+pub use snapshot::{GenIndex, MemberRange, RankIndex, Snapshot};
 pub use store::{GenInfo, OpenReport, Store, VerifyReport};
 
 use std::fmt;
@@ -84,6 +86,43 @@ pub enum StoreError {
     Chain(String),
     /// Payload decode failure surfaced by verify/restore.
     Ckpt(ckpt_core::CkptError),
+    /// I/O failure touching one specific segment file. Unlike
+    /// [`StoreError::Corrupt`], the underlying [`std::io::Error`] is
+    /// preserved so a serving layer can distinguish retryable
+    /// conditions (`WouldBlock`, `Interrupted`, `TimedOut`) from
+    /// fatal ones.
+    SegmentIo {
+        /// The segment file involved.
+        path: String,
+        /// The original error, kind intact.
+        source: std::io::Error,
+    },
+}
+
+impl StoreError {
+    /// The underlying [`std::io::ErrorKind`], when one was preserved.
+    pub fn io_kind(&self) -> Option<std::io::ErrorKind> {
+        match self {
+            StoreError::Io(e) => Some(e.kind()),
+            StoreError::SegmentIo { source, .. } => Some(source.kind()),
+            _ => None,
+        }
+    }
+
+    /// True for transient conditions a serving layer may retry
+    /// (interrupted syscall, non-blocking would-block, timeout).
+    /// Everything else — corruption, missing generations, kills —
+    /// is fatal for the request.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.io_kind(),
+            Some(
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -98,6 +137,9 @@ impl fmt::Display for StoreError {
             StoreError::NotFound(what) => write!(f, "not found: {what}"),
             StoreError::Chain(why) => write!(f, "recovery chain error: {why}"),
             StoreError::Ckpt(e) => write!(f, "payload error: {e}"),
+            StoreError::SegmentIo { path, source } => {
+                write!(f, "segment {path}: {source}")
+            }
         }
     }
 }
@@ -107,6 +149,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Ckpt(e) => Some(e),
+            StoreError::SegmentIo { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -14,6 +14,7 @@
 //!   2 Seg    : gen u64, rank u32, payload_len u64, payload crc32 u32
 //!   3 Commit : gen u64
 //!   4 Retire : gen u64, reason u8 (0 gc, 1 quarantine)
+//!   5 Bound  : gen u64, eps_bits u64 (f64 error bound, to_bits image)
 //! ```
 //!
 //! The scanner ([`parse_manifest`]) accepts the longest valid prefix
@@ -116,6 +117,11 @@ pub enum Record {
     Commit { gen: u64 },
     /// Removes a generation from the live set (GC or quarantine).
     Retire { gen: u64, reason: RetireReason },
+    /// Records the lossy error bound the generation was compressed
+    /// under (`ckpt store save --error-bound`). Written between `Begin`
+    /// and `Commit`; `eps_bits` is the `f64::to_bits` image so the
+    /// record stays integer-exact on the wire.
+    Bound { gen: u64, eps_bits: u64 },
 }
 
 impl Record {
@@ -125,7 +131,8 @@ impl Record {
             Record::Begin { gen, .. }
             | Record::Seg { gen, .. }
             | Record::Commit { gen }
-            | Record::Retire { gen, .. } => gen,
+            | Record::Retire { gen, .. }
+            | Record::Bound { gen, .. } => gen,
         }
     }
 }
@@ -165,6 +172,11 @@ pub fn encode_record(rec: &Record) -> Vec<u8> {
             body.put_u8(4);
             body.put_u64(gen);
             body.put_u8(reason.to_u8());
+        }
+        Record::Bound { gen, eps_bits } => {
+            body.put_u8(5);
+            body.put_u64(gen);
+            body.put_u64(eps_bits);
         }
     }
     let body = body.into_bytes();
@@ -254,6 +266,7 @@ fn decode_body(body: &[u8]) -> Option<Record> {
             gen: r.get_u64().ok()?,
             reason: RetireReason::from_u8(r.get_u8().ok()?)?,
         },
+        5 => Record::Bound { gen: r.get_u64().ok()?, eps_bits: r.get_u64().ok()? },
         _ => return None,
     };
     r.expect_end().ok()?;
@@ -275,6 +288,7 @@ mod tests {
             },
             Record::Seg { gen: 1, rank: 0, payload_len: 1234, crc: 0xDEADBEEF },
             Record::Seg { gen: 1, rank: 1, payload_len: 99, crc: 7 },
+            Record::Bound { gen: 1, eps_bits: 1e-3f64.to_bits() },
             Record::Commit { gen: 1 },
             Record::Retire { gen: 1, reason: RetireReason::Quarantine },
         ]

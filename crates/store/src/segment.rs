@@ -187,8 +187,11 @@ pub fn read_segment(
     expect_crc: u32,
 ) -> Result<Vec<u8>> {
     let path = layout.segment_path(gen, rank);
-    let bytes = fs::read(&path).map_err(|e| {
-        StoreError::Corrupt(format!("segment {} unreadable: {e}", path.display()))
+    // Keep the io::Error (and its kind) intact: a serving layer needs
+    // to tell a retryable `Interrupted` from a fatal `NotFound`.
+    let bytes = fs::read(&path).map_err(|e| StoreError::SegmentIo {
+        path: path.display().to_string(),
+        source: e,
     })?;
     if bytes.len() as u64 != expect_len {
         return Err(StoreError::Corrupt(format!(

@@ -5,6 +5,7 @@ use crate::failpoint::FailPoint;
 use crate::layout::{self, Layout};
 use crate::manifest::{self, Record, RetireReason, SegmentFormat};
 use crate::segment;
+use crate::snapshot::{PinSet, Snapshot};
 use crate::{Result, StoreError};
 use ckpt_core::checkpoint::Checkpoint;
 use ckpt_core::incremental;
@@ -14,6 +15,7 @@ use ckpt_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write;
+use std::sync::Arc;
 
 /// Longest base chain restore will follow before declaring a cycle.
 const MAX_CHAIN: usize = 1024;
@@ -34,6 +36,9 @@ pub(crate) struct GenState {
     pub segs: Vec<Option<SegMeta>>,
     pub committed: bool,
     pub retired: Option<RetireReason>,
+    /// Lossy error bound the generation was compressed under, from a
+    /// `Bound` manifest record (`ckpt store save --error-bound`).
+    pub error_bound: Option<f64>,
 }
 
 impl GenState {
@@ -44,7 +49,7 @@ impl GenState {
 }
 
 /// Public listing entry for one generation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenInfo {
     pub gen: u64,
     pub step: u64,
@@ -56,6 +61,8 @@ pub struct GenInfo {
     pub bytes: u64,
     pub committed: bool,
     pub retired: Option<RetireReason>,
+    /// Lossy error bound recorded at save time, when one was set.
+    pub error_bound: Option<f64>,
 }
 
 /// What open-time recovery had to do.
@@ -96,6 +103,9 @@ pub struct Store {
     pub(crate) poisoned: bool,
     pub(crate) failpoint: FailPoint,
     open_report: OpenReport,
+    /// Generations pinned by live [`Snapshot`]s; GC refuses to retire
+    /// them (see `crate::snapshot`).
+    pins: Arc<PinSet>,
 }
 
 impl Store {
@@ -139,6 +149,7 @@ impl Store {
                         segs: vec![None; ranks as usize],
                         committed: false,
                         retired: None,
+                        error_bound: None,
                     });
                 }
                 Record::Seg { gen, rank, payload_len, crc } => {
@@ -158,6 +169,11 @@ impl Store {
                 Record::Retire { gen, reason } => {
                     if let Some(g) = gens.get_mut(&gen) {
                         g.retired = Some(reason);
+                    }
+                }
+                Record::Bound { gen, eps_bits } => {
+                    if let Some(g) = gens.get_mut(&gen) {
+                        g.error_bound = Some(f64::from_bits(eps_bits));
                     }
                 }
             }
@@ -228,6 +244,7 @@ impl Store {
             poisoned: false,
             failpoint: FailPoint::unlimited(),
             open_report: report,
+            pins: PinSet::new(),
         })
     }
 
@@ -285,7 +302,32 @@ impl Store {
                 "save_full cannot write increments; use save_increment".into(),
             ));
         }
-        self.save(step, format, 0, payloads, threads)
+        self.save(step, format, 0, payloads, threads, None)
+    }
+
+    /// Like [`Store::save_full`], but also records the lossy error
+    /// bound the payloads were compressed under (a `Bound` manifest
+    /// record inside the same atomic commit append), so a serving
+    /// layer can report each generation's error budget.
+    pub fn save_full_bounded(
+        &mut self,
+        step: u64,
+        format: SegmentFormat,
+        payloads: &[&[u8]],
+        threads: usize,
+        error_bound: f64,
+    ) -> Result<u64> {
+        if format == SegmentFormat::Increment {
+            return Err(StoreError::Chain(
+                "save_full_bounded cannot write increments; use save_increment".into(),
+            ));
+        }
+        if !error_bound.is_finite() || error_bound < 0.0 {
+            return Err(StoreError::Chain(format!(
+                "error bound must be finite and non-negative, got {error_bound}"
+            )));
+        }
+        self.save(step, format, 0, payloads, threads, Some(error_bound))
     }
 
     /// Saves an incremental generation whose per-rank `INC1` payloads
@@ -321,7 +363,7 @@ impl Store {
                 base.segs.len()
             )));
         }
-        self.save(step, SegmentFormat::Increment, base_gen, payloads, threads)
+        self.save(step, SegmentFormat::Increment, base_gen, payloads, threads, None)
     }
 
     /// Saves a full generation whose per-rank payloads are **produced
@@ -411,6 +453,7 @@ impl Store {
                 segs: metas.into_iter().map(Some).collect(),
                 committed: true,
                 retired: None,
+                error_bound: None,
             },
         );
         self.next_gen = gen + 1;
@@ -424,6 +467,7 @@ impl Store {
         base_gen: u64,
         payloads: &[&[u8]],
         threads: usize,
+        error_bound: Option<f64>,
     ) -> Result<u64> {
         self.guard()?;
         if payloads.is_empty() {
@@ -435,7 +479,7 @@ impl Store {
         let gen = self.next_gen;
         let base_gen = if format == SegmentFormat::Increment { base_gen } else { gen };
 
-        match self.write_generation(gen, step, format, base_gen, payloads, threads) {
+        match self.write_generation(gen, step, format, base_gen, payloads, threads, error_bound) {
             Ok(()) => {}
             Err(e) => {
                 // A failed save is a simulated crash: run no cleanup,
@@ -458,6 +502,7 @@ impl Store {
                     .collect(),
                 committed: true,
                 retired: None,
+                error_bound,
             },
         );
         self.next_gen = gen + 1;
@@ -465,6 +510,7 @@ impl Store {
     }
 
     /// Phase 1 + 2 of the commit protocol (see crate docs).
+    #[allow(clippy::too_many_arguments)]
     fn write_generation(
         &mut self,
         gen: u64,
@@ -473,6 +519,7 @@ impl Store {
         base_gen: u64,
         payloads: &[&[u8]],
         threads: usize,
+        error_bound: Option<f64>,
     ) -> Result<()> {
         // Phase 1: segments, fanned over pool workers (clamped to the
         // host so oversubscription never pays for idle threads).
@@ -511,6 +558,9 @@ impl Store {
                 crc: crc32(payload),
             });
         }
+        if let Some(eps) = error_bound {
+            records.push(Record::Bound { gen, eps_bits: eps.to_bits() });
+        }
         records.push(Record::Commit { gen });
         self.append_records(&records)
     }
@@ -531,24 +581,33 @@ impl Store {
 
     /// Lists every generation the manifest knows, ascending.
     pub fn generations(&self) -> Vec<GenInfo> {
-        self.gens
+        gen_infos(&self.gens)
+    }
+
+    /// Opens an immutable epoch-pinned snapshot of the committed state:
+    /// every currently-live generation is pinned against GC until the
+    /// snapshot is dropped, and reads through the snapshot need no
+    /// `&Store` — any number of concurrent restores can proceed while
+    /// this store keeps saving.
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        self.guard()?;
+        let live: BTreeMap<u64, GenState> = self
+            .gens
             .iter()
-            .map(|(&gen, g)| GenInfo {
-                gen,
-                step: g.step,
-                format: g.format,
-                base_gen: g.base_gen,
-                ranks: g.segs.len() as u32,
-                bytes: g
-                    .segs
-                    .iter()
-                    .flatten()
-                    .map(|s| s.payload_len)
-                    .sum(),
-                committed: g.committed,
-                retired: g.retired,
-            })
-            .collect()
+            .filter(|(_, g)| g.live())
+            .map(|(&gen, g)| (gen, g.clone()))
+            .collect();
+        Ok(Snapshot::pin(self.layout.clone(), live, Arc::clone(&self.pins)))
+    }
+
+    /// The pin registry shared with this store's snapshots.
+    pub(crate) fn pins(&self) -> &Arc<PinSet> {
+        &self.pins
+    }
+
+    /// Number of snapshots currently holding pins.
+    pub fn live_snapshots(&self) -> usize {
+        self.pins.live_snapshots()
     }
 
     /// The newest live generation, if any.
@@ -588,41 +647,14 @@ impl Store {
     /// Reads one committed segment, CRC-checked against the manifest.
     pub fn read_segment(&self, gen: u64, rank: u32) -> Result<Vec<u8>> {
         self.guard()?;
-        let g = self.gen_state(gen)?;
-        if !g.live() {
-            return Err(StoreError::NotFound(format!(
-                "generation {gen} is not committed and live"
-            )));
-        }
-        let meta = g
-            .segs
-            .get(rank as usize)
-            .and_then(|s| s.as_ref())
-            .ok_or_else(|| StoreError::NotFound(format!("gen {gen} rank {rank}")))?;
-        segment::read_segment(&self.layout, gen, rank, meta.payload_len, meta.crc)
+        read_segment_in(&self.layout, &self.gens, gen, rank)
     }
 
     /// Resolves the recovery chain of `(gen, rank)`: the generations
     /// to replay, base-first (a full generation resolves to itself).
     pub fn resolve_chain(&self, gen: u64) -> Result<Vec<u64>> {
         self.guard()?;
-        let mut chain = vec![];
-        let mut cur = gen;
-        for _ in 0..MAX_CHAIN {
-            let g = self.gen_state(cur)?;
-            if !g.live() {
-                return Err(StoreError::Chain(format!(
-                    "chain for generation {gen} needs generation {cur}, which is not live"
-                )));
-            }
-            chain.push(cur);
-            if g.format != SegmentFormat::Increment {
-                chain.reverse();
-                return Ok(chain);
-            }
-            cur = g.base_gen;
-        }
-        Err(StoreError::Chain(format!("chain for generation {gen} exceeds {MAX_CHAIN} links")))
+        resolve_chain_in(&self.gens, gen)
     }
 
     /// Reads every payload of the recovery chain, base-first.
@@ -635,31 +667,15 @@ impl Store {
 
     /// Restores a full checkpoint image (format `Checkpoint`).
     pub fn restore_checkpoint(&self, gen: u64, rank: u32) -> Result<Checkpoint> {
-        let g = self.gen_state(gen)?;
-        if g.format != SegmentFormat::Checkpoint {
-            return Err(StoreError::Chain(format!(
-                "generation {gen} holds {} payloads, not checkpoint images",
-                g.format.name()
-            )));
-        }
-        Ok(Checkpoint::from_bytes(&self.read_segment(gen, rank)?)?)
+        self.guard()?;
+        restore_checkpoint_in(&self.layout, &self.gens, gen, rank)
     }
 
     /// Materializes an array generation: decompresses the chain's base
     /// `WCK1` stream and applies each `INC1` increment in order.
     pub fn restore_array(&self, gen: u64, rank: u32) -> Result<Tensor<f64>> {
-        let chain = self.resolve_chain(gen)?;
-        let base_gen = *chain.first().ok_or_else(|| StoreError::Chain("empty chain".into()))?;
-        if self.gen_state(base_gen)?.format != SegmentFormat::Array {
-            return Err(StoreError::Chain(format!(
-                "chain base generation {base_gen} is not an array generation"
-            )));
-        }
-        let mut tensor = Compressor::decompress(&self.read_segment(base_gen, rank)?)?;
-        for &g in chain.get(1..).unwrap_or(&[]) {
-            tensor = incremental::apply(&tensor, &self.read_segment(g, rank)?)?;
-        }
-        Ok(tensor)
+        self.guard()?;
+        restore_array_in(&self.layout, &self.gens, gen, rank)
     }
 
     /// Checks every live generation's segments against the manifest
@@ -684,4 +700,112 @@ impl Store {
         }
         Ok(report)
     }
+}
+
+// Read-path logic shared between `Store` (which guards on poison) and
+// `Snapshot` (which owns an immutable clone of the live state and
+// needs no store reference at all): both views are just a layout plus
+// a generation map.
+
+/// Listing over any generation map.
+pub(crate) fn gen_infos(gens: &BTreeMap<u64, GenState>) -> Vec<GenInfo> {
+    gens.iter()
+        .map(|(&gen, g)| GenInfo {
+            gen,
+            step: g.step,
+            format: g.format,
+            base_gen: g.base_gen,
+            ranks: g.segs.len() as u32,
+            bytes: g.segs.iter().flatten().map(|s| s.payload_len).sum(),
+            committed: g.committed,
+            retired: g.retired,
+            error_bound: g.error_bound,
+        })
+        .collect()
+}
+
+fn state_of(gens: &BTreeMap<u64, GenState>, gen: u64) -> Result<&GenState> {
+    gens.get(&gen).ok_or_else(|| StoreError::NotFound(format!("generation {gen}")))
+}
+
+/// Reads one committed segment, CRC-checked against the manifest view.
+pub(crate) fn read_segment_in(
+    layout: &Layout,
+    gens: &BTreeMap<u64, GenState>,
+    gen: u64,
+    rank: u32,
+) -> Result<Vec<u8>> {
+    let g = state_of(gens, gen)?;
+    if !g.live() {
+        return Err(StoreError::NotFound(format!("generation {gen} is not committed and live")));
+    }
+    let meta = seg_meta(g, gen, rank)?;
+    segment::read_segment(layout, gen, rank, meta.payload_len, meta.crc)
+}
+
+/// The `Seg` metadata for one rank of a generation.
+pub(crate) fn seg_meta(g: &GenState, gen: u64, rank: u32) -> Result<SegMeta> {
+    g.segs
+        .get(rank as usize)
+        .and_then(|s| *s)
+        .ok_or_else(|| StoreError::NotFound(format!("gen {gen} rank {rank}")))
+}
+
+/// Chain resolution over any generation map, base-first.
+pub(crate) fn resolve_chain_in(gens: &BTreeMap<u64, GenState>, gen: u64) -> Result<Vec<u64>> {
+    let mut chain = vec![];
+    let mut cur = gen;
+    for _ in 0..MAX_CHAIN {
+        let g = state_of(gens, cur)?;
+        if !g.live() {
+            return Err(StoreError::Chain(format!(
+                "chain for generation {gen} needs generation {cur}, which is not live"
+            )));
+        }
+        chain.push(cur);
+        if g.format != SegmentFormat::Increment {
+            chain.reverse();
+            return Ok(chain);
+        }
+        cur = g.base_gen;
+    }
+    Err(StoreError::Chain(format!("chain for generation {gen} exceeds {MAX_CHAIN} links")))
+}
+
+/// Checkpoint-image restore over any generation map.
+pub(crate) fn restore_checkpoint_in(
+    layout: &Layout,
+    gens: &BTreeMap<u64, GenState>,
+    gen: u64,
+    rank: u32,
+) -> Result<Checkpoint> {
+    let g = state_of(gens, gen)?;
+    if g.format != SegmentFormat::Checkpoint {
+        return Err(StoreError::Chain(format!(
+            "generation {gen} holds {} payloads, not checkpoint images",
+            g.format.name()
+        )));
+    }
+    Ok(Checkpoint::from_bytes(&read_segment_in(layout, gens, gen, rank)?)?)
+}
+
+/// Array restore (chain replay) over any generation map.
+pub(crate) fn restore_array_in(
+    layout: &Layout,
+    gens: &BTreeMap<u64, GenState>,
+    gen: u64,
+    rank: u32,
+) -> Result<Tensor<f64>> {
+    let chain = resolve_chain_in(gens, gen)?;
+    let base_gen = *chain.first().ok_or_else(|| StoreError::Chain("empty chain".into()))?;
+    if state_of(gens, base_gen)?.format != SegmentFormat::Array {
+        return Err(StoreError::Chain(format!(
+            "chain base generation {base_gen} is not an array generation"
+        )));
+    }
+    let mut tensor = Compressor::decompress(&read_segment_in(layout, gens, base_gen, rank)?)?;
+    for &g in chain.get(1..).unwrap_or(&[]) {
+        tensor = incremental::apply(&tensor, &read_segment_in(layout, gens, g, rank)?)?;
+    }
+    Ok(tensor)
 }

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example gen_corpus`
 
-use lossy_ckpt::deflate::{chunked, gzip, Level};
+use lossy_ckpt::deflate::{chunked, gzip, resume, Level};
 use lossy_ckpt::prelude::*;
 use std::fs;
 use std::path::Path;
@@ -123,4 +123,44 @@ fn main() {
     let n = inc_crc.len();
     inc_crc[n - 8] ^= 0xFF;
     write("inc1_crc_flip.bin", &inc_crc);
+
+    // ICK1 resumable-inflate checkpoints: a real mid-stream engine
+    // state over the deterministic gzip stream from entry 5, then four
+    // distinct damage modes `restore_from_checkpoint` must refuse.
+    let body = &gz[gzip::member_body_offset(&gz).unwrap()..gz.len() - 8];
+    let mut engine = resume::ResumableInflate::new();
+    let mut sink = Vec::new();
+    let done = engine.inflate_step(body, &mut sink, 5_000).unwrap();
+    assert!(!done, "corpus engine must stop mid-stream");
+    let ick = engine.checkpoint();
+    let reframe = |mut b: Vec<u8>| -> Vec<u8> {
+        // Recompute the frame CRC so the damage under test — not the
+        // checksum — is what the decoder has to catch.
+        let body_end = b.len() - 4;
+        let crc = lossy_ckpt::deflate::crc32::crc32(&b[..body_end]).to_le_bytes();
+        b[body_end..].copy_from_slice(&crc);
+        b
+    };
+
+    // 14. ICK1 truncated mid-window.
+    write("ick1_truncated.bin", &ick[..ick.len() / 2]);
+
+    // 15. ICK1 with a flipped byte inside the window: the frame CRC
+    //     must catch it.
+    let mut ick_flip = ick.clone();
+    let mid = ick.len() / 2;
+    ick_flip[mid] ^= 0xFF;
+    write("ick1_crc_flip.bin", &ick_flip);
+
+    // 16. ICK1 claiming an unknown version (frame CRC recomputed, so
+    //     rejection comes from the version check itself).
+    let mut ick_ver = ick.clone();
+    ick_ver[4] = 9;
+    write("ick1_bad_version.bin", &reframe(ick_ver));
+
+    // 17. ICK1 with an out-of-range block-state tag (offset 26: after
+    //     magic, version, flags, bit_pos, out_len, crc).
+    let mut ick_state = ick.clone();
+    ick_state[26] = 7;
+    write("ick1_bad_state.bin", &reframe(ick_state));
 }

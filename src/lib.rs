@@ -15,7 +15,9 @@
 //! * [`sim`] — the NICAM-substitute climate proxy with
 //!   checkpoint/restart,
 //! * [`cluster`] — the weak-scaling checkpoint time model,
-//! * [`store`] — the crash-consistent on-disk checkpoint repository.
+//! * [`store`] — the crash-consistent on-disk checkpoint repository,
+//! * [`serve`] — concurrent checkpoint serving (snapshot sessions,
+//!   the `SRV1` socket protocol, resumable streaming restore).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the paper-to-module
 //! map.
@@ -24,6 +26,7 @@ pub use ckpt_cluster as cluster;
 pub use ckpt_core as core;
 pub use ckpt_deflate as deflate;
 pub use ckpt_quant as quant;
+pub use ckpt_serve as serve;
 pub use ckpt_sim as sim;
 pub use ckpt_store as store;
 pub use ckpt_tensor as tensor;

@@ -8,7 +8,8 @@
 
 use lossy_ckpt::core::checkpoint::Checkpoint;
 use lossy_ckpt::core::incremental;
-use lossy_ckpt::deflate::{chunked, gzip, zlib, Level};
+use lossy_ckpt::deflate::resume::ResumableInflate;
+use lossy_ckpt::deflate::{chunked, gzip, zlib, DeflateError, Level};
 use lossy_ckpt::prelude::*;
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
@@ -34,6 +35,7 @@ fn all_decoders_return(bytes: &[u8]) {
     let _ = Compressor::decompress(bytes);
     let _ = Checkpoint::from_bytes(bytes);
     let _ = incremental::apply(inc_base(), bytes);
+    let _ = ResumableInflate::restore_from_checkpoint(bytes);
 }
 
 #[test]
@@ -124,6 +126,64 @@ fn corpus_increment_files_all_error() {
     assert_eq!(incremental::apply(base, &inc).unwrap(), cur);
 }
 
+/// The deterministic mid-stream `ICK1` blob the corpus entries damage
+/// (must match `examples/gen_corpus.rs`: LCG payload 42, gzip Default,
+/// one 5000-byte inflate step), plus the stream it came from.
+fn ick_fixture() -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let mut state = 42u64;
+    let payload: Vec<u8> = (0..20_000)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect();
+    let gz = gzip::compress(&payload, Level::Default);
+    let body = gz[gzip::member_body_offset(&gz).unwrap()..gz.len() - 8].to_vec();
+    let mut engine = ResumableInflate::new();
+    let mut sink = Vec::new();
+    assert!(!engine.inflate_step(&body, &mut sink, 5_000).unwrap());
+    (engine.checkpoint(), body, payload)
+}
+
+#[test]
+fn corpus_ick1_files_all_error() {
+    for (name, bytes) in [
+        ("ick1_truncated", &include_bytes!("corpus/ick1_truncated.bin")[..]),
+        ("ick1_crc_flip", &include_bytes!("corpus/ick1_crc_flip.bin")[..]),
+        ("ick1_bad_version", &include_bytes!("corpus/ick1_bad_version.bin")[..]),
+        ("ick1_bad_state", &include_bytes!("corpus/ick1_bad_state.bin")[..]),
+    ] {
+        assert!(
+            ResumableInflate::restore_from_checkpoint(bytes).is_err(),
+            "{name} must fail to restore"
+        );
+        all_decoders_return(bytes);
+    }
+    // Each entry dies on its intended check: flipped window bytes on
+    // the frame CRC, the reframed entries on the field validations.
+    assert!(matches!(
+        ResumableInflate::restore_from_checkpoint(include_bytes!("corpus/ick1_crc_flip.bin")),
+        Err(DeflateError::ChecksumMismatch { .. })
+    ));
+    assert!(matches!(
+        ResumableInflate::restore_from_checkpoint(include_bytes!("corpus/ick1_bad_version.bin")),
+        Err(DeflateError::BadContainer(why)) if why.contains("version")
+    ));
+    assert!(matches!(
+        ResumableInflate::restore_from_checkpoint(include_bytes!("corpus/ick1_bad_state.bin")),
+        Err(DeflateError::BadContainer(why)) if why.contains("block state")
+    ));
+
+    // Sanity: the undamaged blob restores and finishes the stream with
+    // exactly the bytes an uninterrupted inflate produces.
+    let (ick, body, payload) = ick_fixture();
+    let mut engine = ResumableInflate::restore_from_checkpoint(&ick).unwrap();
+    let mut tail = Vec::new();
+    while !engine.inflate_step(&body, &mut tail, usize::MAX).unwrap() {}
+    assert_eq!(engine.output_len(), payload.len() as u64);
+    assert_eq!(tail, payload[payload.len() - tail.len()..]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
@@ -182,5 +242,25 @@ proptest! {
     #[test]
     fn noise_never_panics_any_decoder(data in pvec(any::<u8>(), 0..4_096)) {
         all_decoders_return(&data);
+    }
+
+    /// Any single-byte corruption of a valid ICK1 blob must be
+    /// refused: every field sits under the frame CRC, so no flip can
+    /// smuggle a divergent engine state past restore.
+    #[test]
+    fn ick1_single_byte_flip_always_errors(site in any::<(usize, u8)>()) {
+        let (ick, _, _) = ick_fixture();
+        let mut bad = ick.clone();
+        let pos = site.0 % bad.len();
+        bad[pos] ^= site.1 | 1;
+        prop_assert!(ResumableInflate::restore_from_checkpoint(&bad).is_err());
+    }
+
+    /// Truncating an ICK1 blob at any point must error, not panic.
+    #[test]
+    fn ick1_truncation_always_errors(cut in any::<usize>()) {
+        let (ick, _, _) = ick_fixture();
+        let keep = cut % ick.len();
+        prop_assert!(ResumableInflate::restore_from_checkpoint(&ick[..keep]).is_err());
     }
 }
