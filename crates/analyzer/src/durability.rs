@@ -19,15 +19,21 @@
 //!   directory fsync publishes a record for an entry that can vanish;
 //! - a **remove** before any durable manifest write deletes state the
 //!   manifest still promises;
+//! - a **truncate** (`set_len`) before any durable write discards
+//!   state before its replacement is safe — the manifest-log truncate
+//!   in `compact_manifest` is only sound once the snapshot that
+//!   subsumes the log is durable;
 //! - a path **ending dirty** leaves manifest bytes that a power cut
 //!   discards after the caller was told the save committed;
-//! - a **file create outside `tmp/`** skips the staging contract.
+//! - a **file create outside staging** (`tmp_path` / `meta_tmp_path`)
+//!   skips the staging contract.
 //!
 //! `failpoint-bypass` is the companion testability rule: every write
-//! must route through `FailPoint::write_all*`, and every rename/remove
-//! on a reachable path must have a `FailPoint::check` barrier earlier
-//! in the same function — a bypassed operation is one the
-//! kill-at-every-byte sweep silently never tests.
+//! must route through `FailPoint::write_all*`, and every
+//! rename/remove/truncate on a reachable path must have a
+//! `FailPoint::check` barrier earlier in the same function — a
+//! bypassed operation is one the kill-at-every-byte sweep silently
+//! never tests.
 
 use crate::dataflow;
 use crate::functions::{is_keyword, FileFunctions};
@@ -38,10 +44,23 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 pub const RULE_DURABILITY: &str = "durability-order";
 pub const RULE_FAILPOINT: &str = "failpoint-bypass";
 
-/// Entry points of the save/commit/GC protocol, plus the serving
-/// layer's resume-token writer (same tmp → fsync → rename contract).
-pub const STORE_ROOTS: &[&str] =
-    &["save_full", "save_full_streamed", "save_increment", "save", "gc", "write_token"];
+/// Entry points of the save/commit/GC protocol, the serving layer's
+/// resume-token writer, the maintenance passes (manifest snapshot,
+/// chain compaction), and the replication surface (cursor writes on
+/// push, verified imports on the receiving side) — all bound to the
+/// same tmp → fsync → rename contract.
+pub const STORE_ROOTS: &[&str] = &[
+    "save_full",
+    "save_full_streamed",
+    "save_increment",
+    "save",
+    "gc",
+    "write_token",
+    "compact_manifest",
+    "compact_chains",
+    "push_to",
+    "import_generation",
+];
 
 /// Call names never inlined: `open` collides between `Store::open`
 /// (recovery, which legitimately rewrites the manifest) and
@@ -56,7 +75,7 @@ const FP_RECEIVERS: &[&str] = &["fp", "failpoint"];
 /// One filesystem-relevant operation, in program order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum OpKind {
-    /// `File::create` of a `tmp_path` staging file.
+    /// `File::create` of a `tmp_path` / `meta_tmp_path` staging file.
     TmpCreate,
     /// `File::create` anywhere else.
     CreateOther,
@@ -74,6 +93,10 @@ enum OpKind {
     DirFsync,
     /// `fs::remove_file`.
     Remove,
+    /// `.set_len()` — truncation, the log-reclaim step of manifest
+    /// compaction. Destructive like `Remove`: only sound after a
+    /// durable write, and only testable behind a kill barrier.
+    Truncate,
     /// `FailPoint::check` kill barrier.
     Barrier,
     /// A call to a store-internal function (inlined when resolvable).
@@ -176,7 +199,9 @@ fn extract_ops(file: &ScannedFile, ff: &FileFunctions, fi: usize) -> Vec<Op> {
         let kind = match t {
             "create" if fs_qualified && path_head == "File" => {
                 let (lo, hi) = arg_range(file, i);
-                if args_mention(file, ff, fi, lo, hi, "tmp_path") {
+                if args_mention(file, ff, fi, lo, hi, "tmp_path")
+                    || args_mention(file, ff, fi, lo, hi, "meta_tmp_path")
+                {
                     Some(OpKind::TmpCreate)
                 } else {
                     Some(OpKind::CreateOther)
@@ -192,7 +217,7 @@ fn extract_ops(file: &ScannedFile, ff: &FileFunctions, fi: usize) -> Vec<Op> {
             }
             "remove_file" if fs_qualified => Some(OpKind::Remove),
             "write" if fs_qualified && path_head == "fs" => Some(OpKind::RawWrite),
-            "set_len" if text(i.wrapping_sub(1)) == "." => Some(OpKind::RawWrite),
+            "set_len" if text(i.wrapping_sub(1)) == "." => Some(OpKind::Truncate),
             "write_all" | "write_all_at" if text(i.wrapping_sub(1)) == "." => {
                 Some(if fp_recv { OpKind::FpWrite } else { OpKind::RawWrite })
             }
@@ -226,11 +251,22 @@ impl<'a> Scope<'a> {
     fn build(input: &[(&'a ScannedFile, &'a FileFunctions)]) -> Self {
         // The FailPoint implementation itself is the injection layer;
         // its internals (the real write inside `write_all`) are the
-        // mechanism, not a bypass of it.
+        // mechanism, not a bypass of it. The serve transport files
+        // (`proto.rs` framing, `client.rs` request plumbing) write to
+        // sockets, not to the durable medium: a torn socket write is a
+        // failed RPC, and the durable half of a remote put is the
+        // server's `import_generation`, audited as a store root. Left
+        // in scope they would be pulled in through the `ReplicaSink`
+        // trait's name-resolved `put` and flagged for stream writes no
+        // fsync could ever order.
         let files: Vec<_> = input
             .iter()
             .copied()
-            .filter(|(f, _)| !f.path.ends_with("failpoint.rs"))
+            .filter(|(f, _)| {
+                !f.path.ends_with("failpoint.rs")
+                    && !f.path.ends_with("serve/src/proto.rs")
+                    && !f.path.ends_with("serve/src/client.rs")
+            })
             .collect();
         let mut by_name: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
         let mut ops = Vec::new();
@@ -398,6 +434,21 @@ pub fn check(files: &[(&ScannedFile, &FileFunctions)]) -> Vec<Violation> {
                             ),
                         );
                     }
+                    OpKind::Truncate => {
+                        if !durable_write {
+                            push(
+                                RULE_DURABILITY,
+                                *fi,
+                                op.line,
+                                root_name,
+                                format!(
+                                    "file truncated before any durable write on the \
+                                     `{root_name}` path: a crash here discards state whose \
+                                     replacement is not yet safe"
+                                ),
+                            );
+                        }
+                    }
                     OpKind::TmpCreate | OpKind::CleanupRename | OpKind::Barrier => {}
                     OpKind::Call(_) => {}
                 }
@@ -436,6 +487,7 @@ pub fn check(files: &[(&ScannedFile, &FileFunctions)]) -> Vec<Violation> {
                     );
                 }
                 OpKind::CommitRename | OpKind::CleanupRename | OpKind::Remove
+                | OpKind::Truncate
                     if !barrier_seen =>
                 {
                     push(
@@ -640,6 +692,100 @@ fn save_full(fp: &FailPoint) -> Result<()> {
         let v = run(src);
         assert_eq!(v.iter().filter(|v| v.rule == RULE_FAILPOINT).count(), 1, "{v:?}");
         assert!(v.iter().any(|v| v.message.contains("prior FailPoint::check barrier")));
+    }
+
+    #[test]
+    fn snapshot_write_with_barriered_truncate_is_clean() {
+        // The compact_manifest shape: meta_tmp staging, durable
+        // snapshot install, then the log truncate behind a barrier.
+        let src = r#"
+fn compact_manifest(fp: &FailPoint) -> Result<()> {
+    let tmp = layout.meta_tmp_path(SNAPSHOT_FILE);
+    let f = File::create(&tmp)?;
+    fp.write_all(&mut f, bytes)?;
+    fp.check()?;
+    f.sync_all()?;
+    fs::rename(&tmp, &layout.snapshot)?;
+    fsync_dir(&layout.root)?;
+    fp.check()?;
+    let log = OpenOptions::new().write(true).open(&layout.manifest)?;
+    log.set_len(HEADER_LEN)?;
+    log.sync_all()?;
+    Ok(())
+}
+"#;
+        let v = run(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn truncate_before_durable_write_is_flagged() {
+        let src = r#"
+fn compact_manifest(fp: &FailPoint) -> Result<()> {
+    fp.check()?;
+    let log = OpenOptions::new().write(true).open(&layout.manifest)?;
+    log.set_len(HEADER_LEN)?;
+    let tmp = layout.meta_tmp_path(SNAPSHOT_FILE);
+    let f = File::create(&tmp)?;
+    fp.write_all(&mut f, bytes)?;
+    fp.check()?;
+    f.sync_all()?;
+    fs::rename(&tmp, &layout.snapshot)?;
+    fsync_dir(&layout.root)?;
+    Ok(())
+}
+"#;
+        let v = run(src);
+        assert!(
+            v.iter().any(|v| v.rule == RULE_DURABILITY && v.message.contains("truncated before")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn truncate_without_barrier_is_a_failpoint_bypass() {
+        let src = r#"
+fn compact_manifest(fp: &FailPoint) -> Result<()> {
+    let tmp = layout.meta_tmp_path(SNAPSHOT_FILE);
+    let f = File::create(&tmp)?;
+    fp.write_all(&mut f, bytes)?;
+    fp.check()?;
+    f.sync_all()?;
+    fs::rename(&tmp, &layout.snapshot)?;
+    fsync_dir(&layout.root)?;
+    truncate_log(fp)?;
+    Ok(())
+}
+fn truncate_log(fp: &FailPoint) -> Result<()> {
+    let log = OpenOptions::new().write(true).open(&layout.manifest)?;
+    log.set_len(HEADER_LEN)?;
+    log.sync_all()?;
+    Ok(())
+}
+"#;
+        let v = run(src);
+        assert_eq!(v.iter().filter(|v| v.rule == RULE_FAILPOINT).count(), 1, "{v:?}");
+        assert!(v.iter().any(|v| v.message.contains("prior FailPoint::check barrier")));
+    }
+
+    #[test]
+    fn create_outside_staging_is_flagged_on_maintenance_roots() {
+        // `meta_tmp_path` counts as staging; a bare path does not.
+        let src = r#"
+fn push_to(fp: &FailPoint) -> Result<()> {
+    let f = File::create(&layout.cursor)?;
+    fp.write_all(&mut f, &cursor_bytes)?;
+    fp.check()?;
+    f.sync_all()?;
+    Ok(())
+}
+"#;
+        let v = run(src);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == RULE_DURABILITY && v.message.contains("outside tmp/ staging")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Store scalability: open cost at a long generation horizon.
+//!
+//! Drives a store through thousands of mixed full/INC1 generations
+//! with periodic GC and chain compaction — but *no* manifest
+//! snapshot, so the CSM1 log accumulates every record ever written —
+//! then measures:
+//!
+//! * **save throughput** — generations committed per second over the
+//!   whole drive (each save is durably fsynced).
+//! * **open via log replay** — median `Store::open` wall-clock with
+//!   the full-horizon log, the cost every restart pays without CSM2.
+//! * **open via snapshot** — the same store after one
+//!   `compact_manifest` (snapshot + truncate-to-header); open now
+//!   seeds from the CSM2 snapshot and replays nothing.
+//!
+//! The headline number is the replay/snapshot open ratio: with 10 000
+//! generations the snapshot open must be ≥ 10× faster, which the full
+//! run asserts and records in `BENCH_store_scale.json` (or the path
+//! given as first argument).
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin store_scale`.
+//! `STORE_SCALE_GENS` overrides the horizon.
+//!
+//! `--smoke` is the CI gate: a reduced horizon, every open mode
+//! exercised, state equality between replay-open and snapshot-open,
+//! and a bit-exact tip restore after each. Exits nonzero on any
+//! mismatch (the 10× ratio is asserted only at the full horizon —
+//! small logs replay too fast for a stable ratio).
+
+use ckpt_core::{incremental, Compressor, CompressorConfig};
+use ckpt_deflate::Level;
+use ckpt_store::{SegmentFormat, Store};
+use ckpt_tensor::Tensor;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const FULL_EVERY: usize = 10;
+const CYCLE: usize = 50;
+const OPEN_RUNS: usize = 5;
+
+fn horizon(default: usize) -> usize {
+    std::env::var("STORE_SCALE_GENS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Driven {
+    dir: PathBuf,
+    expected: Tensor<f64>,
+    gens_per_sec: f64,
+    log_bytes: u64,
+}
+
+/// Drives `n` generations (every `FULL_EVERY`-th a fresh full, the
+/// rest INC1 increments), running gc + chain compaction every `CYCLE`
+/// saves. The manifest log is never snapshotted here, so it keeps
+/// every record of the horizon. Returns the scratch dir, the expected
+/// tip tensor, and the sustained save rate.
+fn drive(tag: &str, n: usize) -> Driven {
+    let dir = std::env::temp_dir().join(format!("ckpt-bench-scale-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let mut store = Store::open(&dir).expect("open bench store");
+    let comp = Compressor::new(CompressorConfig::paper_proposed()).expect("compressor");
+    let mut state = Tensor::from_fn(&[12, 5], |ix| {
+        ((ix[0] * 5 + ix[1]) as f64 * 0.37).sin() * 40.0 + 160.0
+    })
+    .expect("seed tensor");
+    let mut prev_gen = 0u64;
+    let start = Instant::now();
+    for step in 0..n {
+        if step % FULL_EVERY == 0 {
+            let packed = comp.compress(&state).expect("compress").bytes;
+            state = Compressor::decompress(&packed).expect("round-trip");
+            prev_gen = store
+                .save_full(step as u64, SegmentFormat::Array, &[&packed], 1)
+                .expect("save full");
+        } else {
+            let mut next = state.clone();
+            for i in (0..next.len()).step_by(7) {
+                next.as_mut_slice()[i] += (step % 13) as f64 * 0.5;
+            }
+            let (delta, _) = incremental::increment(&state, &next, Level::Fast).expect("delta");
+            prev_gen = store
+                .save_increment(step as u64, prev_gen, &[&delta], 1)
+                .expect("save increment");
+            state = next;
+        }
+        if (step + 1) % CYCLE == 0 {
+            store.gc(2).expect("gc");
+            store.compact_chains(4, 1).expect("compact chains");
+            prev_gen = store.latest_committed().expect("latest after maintenance");
+        }
+    }
+    let gens_per_sec = n as f64 / start.elapsed().as_secs_f64();
+    let tip = store.latest_committed().expect("tip");
+    let restored = store.restore_array(tip, 0).expect("tip restore");
+    assert!(restored == state, "tip must restore bit-exactly after the drive");
+    drop(store);
+    let log_bytes = fs::metadata(dir.join("manifest")).expect("manifest metadata").len();
+    Driven { dir, expected: state, gens_per_sec, log_bytes }
+}
+
+/// Median open wall-clock over `runs` cold opens, plus the report of
+/// the last open for mode assertions.
+fn measure_open(driven: &Driven, runs: usize, want_snapshot: bool) -> f64 {
+    let mut times = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        let store = Store::open(&driven.dir).expect("timed open");
+        times.push(start.elapsed());
+        assert_eq!(
+            store.open_report().snapshot_used,
+            want_snapshot,
+            "open mode (snapshot vs log replay) is not what this leg measures"
+        );
+        assert!(!store.open_report().snapshot_fallback, "snapshot must never be quarantined here");
+        let tip = store.latest_committed().expect("tip after open");
+        assert!(
+            store.restore_array(tip, 0).expect("tip restore") == driven.expected,
+            "open must serve the same tip state"
+        );
+    }
+    times.sort();
+    times[times.len() / 2].as_secs_f64() * 1e3
+}
+
+/// CI gate: both open modes at a small horizon, state equality across
+/// the snapshot boundary, bit-exact restores throughout.
+fn smoke() -> ! {
+    let n = horizon(300);
+    let driven = drive("smoke", n);
+
+    let replay_ms = measure_open(&driven, 2, false);
+    // The snapshot prunes retired generations, so only the live set is
+    // comparable across the snapshot boundary.
+    let live = |store: &Store| -> Vec<_> {
+        store.generations().into_iter().filter(|g| g.retired.is_none()).collect()
+    };
+    let gens_replay = live(&Store::open(&driven.dir).expect("replay open"));
+
+    let mut store = Store::open(&driven.dir).expect("open for compaction");
+    let report = store.compact_manifest().expect("compact manifest");
+    assert!(report.snapshot_gens > 0, "snapshot must cover the live set");
+    assert!(report.log_bytes_truncated > 0, "a {n}-gen log must have bytes to truncate");
+    drop(store);
+    let log_len = fs::metadata(driven.dir.join("manifest")).expect("manifest metadata").len();
+    assert_eq!(log_len, 8, "log must be truncated to its header");
+
+    let snapshot_ms = measure_open(&driven, 2, true);
+    let gens_snapshot = live(&Store::open(&driven.dir).expect("snapshot open"));
+    assert_eq!(gens_replay, gens_snapshot, "snapshot open diverged from log replay");
+
+    println!(
+        "store_scale --smoke: {n} generations at {:.0} gens/s, replay open {replay_ms:.2} ms, \
+         snapshot open {snapshot_ms:.2} ms",
+        driven.gens_per_sec
+    );
+    let _ = fs::remove_dir_all(&driven.dir);
+    println!("ok: snapshot open is state-identical to log replay and the tip restores bit-exactly");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+    }
+    let out_path = args.first().cloned().unwrap_or_else(|| "BENCH_store_scale.json".into());
+
+    let n = horizon(10_000);
+    println!("=== Store scalability: {n} generations (full every {FULL_EVERY}, maintenance every {CYCLE}) ===");
+    let driven = drive("full", n);
+    println!(
+        "drive                    {:>9.0} gens/s  ({} byte manifest log)",
+        driven.gens_per_sec, driven.log_bytes
+    );
+
+    let replay_ms = measure_open(&driven, OPEN_RUNS, false);
+    println!("open via log replay      {replay_ms:>9.2} ms");
+
+    let mut store = Store::open(&driven.dir).expect("open for compaction");
+    let report = store.compact_manifest().expect("compact manifest");
+    drop(store);
+    println!(
+        "compact_manifest         {:>9} live gens snapshotted, {} pruned, {} log bytes truncated",
+        report.snapshot_gens, report.pruned_gens, report.log_bytes_truncated
+    );
+
+    let snapshot_ms = measure_open(&driven, OPEN_RUNS, true);
+    let ratio = replay_ms / snapshot_ms;
+    println!("open via CSM2 snapshot   {snapshot_ms:>9.2} ms  ({ratio:.1}x faster than replay)");
+
+    if n >= 10_000 {
+        assert!(
+            ratio >= 10.0,
+            "acceptance: a {n}-gen store must open >= 10x faster from a snapshot \
+             (measured {ratio:.1}x: replay {replay_ms:.2} ms vs snapshot {snapshot_ms:.2} ms)"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"store_scale\",");
+    let _ = writeln!(json, "  \"generations\": {n},");
+    let _ = writeln!(json, "  \"full_every\": {FULL_EVERY},");
+    let _ = writeln!(json, "  \"maintenance_cycle\": {CYCLE},");
+    let _ = writeln!(json, "  \"open_runs\": {OPEN_RUNS},");
+    let _ = writeln!(json, "  \"gens_per_sec\": {:.3},", driven.gens_per_sec);
+    let _ = writeln!(json, "  \"log_bytes_before_snapshot\": {},", driven.log_bytes);
+    let _ = writeln!(json, "  \"snapshot_gens\": {},", report.snapshot_gens);
+    let _ = writeln!(json, "  \"pruned_gens\": {},", report.pruned_gens);
+    let _ = writeln!(json, "  \"snapshot_bytes\": {},", report.snapshot_bytes);
+    let _ = writeln!(json, "  \"log_bytes_truncated\": {},", report.log_bytes_truncated);
+    let _ = writeln!(json, "  \"open_log_replay_ms\": {replay_ms:.3},");
+    let _ = writeln!(json, "  \"open_snapshot_ms\": {snapshot_ms:.3},");
+    let _ = writeln!(json, "  \"open_speedup\": {ratio:.3}");
+    json.push_str("}\n");
+
+    fs::write(&out_path, &json).expect("writing results file");
+    let _ = fs::remove_dir_all(&driven.dir);
+    println!();
+    println!("wrote {out_path}");
+}

@@ -24,9 +24,10 @@ USAGE:
   ckpt info       <in.wck>
   ckpt gen        --dims AxBxC [--kind temperature|pressure|wind_u|wind_v]
                   [--seed N] -o out.f64
-  ckpt store      save|restore|list|verify|gc … (see `ckpt store help`)
+  ckpt store      save|restore|list|verify|gc|compact … (see `ckpt store help`)
   ckpt serve      <dir> --socket <path> [--for-ms N]
   ckpt fetch      <socket> [--list true | [--gen N] [--rank N] -o out]
+  ckpt replicate  <dir> [--to <socket> | --to-dir <dir> | --adopt <socket>]
 
 Raw array files are row-major little-endian f64.
 
@@ -39,6 +40,9 @@ streaming restore with durable progress tokens. `ckpt serve` exports a
 store's committed generations over a Unix socket against epoch-pinned
 snapshots (saves and GC keep running underneath); `ckpt fetch` pulls a
 generation from a running server with CRC-verified ranged reads.
+`ckpt replicate` pushes committed generations to a buddy store (local
+dir or served socket) behind a durable replication cursor, or rebuilds
+a lost primary by adopting the buddy's contents.
 
 --threads 1 (the default) uses the exact serial pipeline; more threads
 parallelize the wavelet, quantize and gzip stages inside one array

@@ -17,6 +17,8 @@ USAGE:
   ckpt store list    <dir>
   ckpt store verify  <dir>
   ckpt store gc      <dir> [--keep N]
+  ckpt store compact <dir> [--max-depth N] [--manifest-only true]
+                     [--threads N]
 
 save sniffs the payload format from its magic (CKPT image vs WCK1/WPK1
 array) unless --format is given; --base GEN saves the files as INC1
@@ -37,7 +39,14 @@ fsyncing a resume token next to it (out.resume) every --resume-interval
 MiB (default 8); a killed streamed restore continues bit-identically
 with --resume TOKEN. gc keeps the newest --keep (default 2) full
 generations plus every increment whose whole chain survives;
-unreadable segments are moved to quarantine/, never deleted.";
+unreadable segments are moved to quarantine/, never deleted.
+
+compact bounds the store's open and restore cost as generations
+accumulate: INC1 chains deeper than --max-depth (default 8) are
+rewritten into fresh full generations (bit-exact with chain replay)
+and the old links retired, then the live state is written as a CSM2
+manifest snapshot and the CSM1 log truncated, making reopen cost
+O(live generations). --manifest-only true skips the chain rewrite.";
 
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some((sub, rest)) = argv.split_first() else {
@@ -50,6 +59,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "list" => list(rest),
         "verify" => verify(rest),
         "gc" => gc(rest),
+        "compact" => compact(rest),
         "help" => {
             println!("{STORE_USAGE}");
             Ok(())
@@ -446,6 +456,35 @@ fn gc(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn compact(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let dir = args.one_positional("store dir")?;
+    let max_depth = args.get_or("max-depth", 8usize)?;
+    let threads = args.get_or("threads", 1usize)?;
+    let manifest_only = args.get_or("manifest-only", false)?;
+    let mut store = open(dir)?;
+    if !manifest_only {
+        let report = store.compact_chains(max_depth, threads).map_err(|e| e.to_string())?;
+        for (old_tip, new_gen) in &report.rewritten {
+            println!("rewrote chain tip {old_tip} as full generation {new_gen}");
+        }
+        println!(
+            "chains: {} rewritten, {} links retired ({} files deleted), {} skipped pinned",
+            report.rewritten.len(),
+            report.retired.len(),
+            report.files_deleted,
+            report.pinned.len()
+        );
+    }
+    let report = store.compact_manifest().map_err(|e| e.to_string())?;
+    println!(
+        "manifest: {} live generations snapshotted ({} pruned), {} snapshot bytes, \
+         {} log bytes truncated",
+        report.snapshot_gens, report.pruned_gens, report.snapshot_bytes, report.log_bytes_truncated
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -743,6 +782,64 @@ mod tests {
         );
 
         for p in [pf, out, out2, rawf] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_truncates_the_manifest_and_rewrites_chains() {
+        let dir = tempdir("compact");
+        let raw = tempfile("compact.f64");
+        let wck = tempfile("compact.wck");
+        crate::commands::gen(&argv(&["--dims", "32x8", "-o", &raw])).unwrap();
+        crate::commands::compress(&argv(&[&raw, "--dims", "32x8", "-o", &wck])).unwrap();
+        dispatch(&argv(&["save", &dir, &wck, "--step", "1"])).unwrap();
+
+        // Build a 3-deep chain by drifting the full array twice.
+        let base = ckpt_core::Compressor::decompress(&std::fs::read(&wck).unwrap()).unwrap();
+        for (i, shift) in [1.5f64, 3.0].iter().enumerate() {
+            let mut cur = base.clone();
+            cur.map_inplace(|v| v + shift);
+            let rawf = tempfile(&format!("compact.cur{i}.f64"));
+            let wck2 = tempfile(&format!("compact.cur{i}.wck"));
+            crate::commands::write_raw_tensor(&rawf, &cur).unwrap();
+            crate::commands::compress(&argv(&[&rawf, "--dims", "32x8", "-o", &wck2])).unwrap();
+            dispatch(&argv(&[
+                "save",
+                &dir,
+                &wck2,
+                "--step",
+                &(i + 2).to_string(),
+                "--base",
+                &(i + 1).to_string(),
+            ]))
+            .unwrap();
+            let _ = std::fs::remove_file(rawf);
+            let _ = std::fs::remove_file(wck2);
+        }
+
+        let before = tempfile("compact.before.f64");
+        dispatch(&argv(&["restore", &dir, "--gen", "3", "-o", &before])).unwrap();
+
+        // Chain depth 3 > 1: the tip is rewritten as a full and the
+        // manifest snapshot truncates the log.
+        dispatch(&argv(&["compact", &dir, "--max-depth", "1"])).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(store.open_report().snapshot_used, "reopen seeds from the CSM2 snapshot");
+        let tip = store.latest_committed().unwrap();
+        assert!(tip > 3, "rewritten tip is a fresh generation");
+        assert_eq!(store.generations().iter().find(|g| g.gen == tip).unwrap().format,
+            SegmentFormat::Array);
+        drop(store);
+        let after = tempfile("compact.after.f64");
+        dispatch(&argv(&["restore", &dir, "--gen", &tip.to_string(), "-o", &after])).unwrap();
+        assert_eq!(std::fs::read(&after).unwrap(), std::fs::read(&before).unwrap());
+
+        // --manifest-only leaves chains alone and is idempotent.
+        dispatch(&argv(&["compact", &dir, "--manifest-only", "true"])).unwrap();
+
+        for p in [raw, wck, before, after] {
             let _ = std::fs::remove_file(p);
         }
         let _ = std::fs::remove_dir_all(&dir);

@@ -285,6 +285,32 @@ impl Compressor {
     }
 }
 
+/// Packs `tensor` into a **lossless** `WCK1` stream (gzip container):
+/// a degenerate zero-level wavelet plan stores the whole tensor as the
+/// exact low band, nothing is quantized, and the inverse transform is
+/// a no-op, so [`Compressor::decompress`] returns the input
+/// bit-identically. The stream is self-describing like any other
+/// `WCK1` — decoders need no special handling.
+///
+/// The store's chain compaction uses this to rewrite an increment
+/// chain into one full segment without changing a single bit of the
+/// restored array; the byte shuffle stays on so the f64 region still
+/// gzips well.
+pub fn compress_exact(tensor: &Tensor<f64>, level: ckpt_deflate::Level) -> Vec<u8> {
+    let dims = tensor.dims();
+    let plan = WaveletPlan::clamped(0, dims);
+    let q = Quantized {
+        len: 0,
+        bitmap: Bitmap::zeros(0),
+        indexes: Vec::new(),
+        averages: Vec::new(),
+        raw: Vec::new(),
+    };
+    let cfg = CompressorConfig::paper_proposed().with_byte_shuffle(true);
+    let formatted = format_stream(&cfg, dims, plan, tensor.as_slice(), &q);
+    gzip::compress(&formatted, level)
+}
+
 fn apply_container(
     cfg: &CompressorConfig,
     formatted: Vec<u8>,
@@ -689,6 +715,43 @@ mod tests {
             lossy_rate < gzip_rate * 0.65,
             "lossy {lossy_rate:.1}% should be far below gzip {gzip_rate:.1}%"
         );
+    }
+}
+
+#[cfg(test)]
+mod exact_tests {
+    use super::*;
+    use ckpt_tensor::fields::{generate, FieldKind, FieldSpec};
+
+    #[test]
+    fn compress_exact_roundtrips_bit_identically() {
+        for (kind, seed) in [(FieldKind::Temperature, 9), (FieldKind::WindU, 10)] {
+            let t = generate(&FieldSpec::small(kind, seed));
+            let packed = compress_exact(&t, ckpt_deflate::Level::Default);
+            let back = Compressor::decompress(&packed).unwrap();
+            assert_eq!(back.dims(), t.dims());
+            let same = t
+                .as_slice()
+                .iter()
+                .zip(back.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{kind:?}: exact stream must restore bit-identically");
+        }
+    }
+
+    #[test]
+    fn compress_exact_handles_awkward_shapes_and_specials() {
+        let t = Tensor::from_fn(&[17, 3], |i| match (i[0] + i[1]) % 4 {
+            0 => f64::NEG_INFINITY,
+            1 => -0.0,
+            2 => 1e-308,
+            _ => (i[0] as f64).exp(),
+        })
+        .unwrap();
+        let back = Compressor::decompress(&compress_exact(&t, ckpt_deflate::Level::Fast)).unwrap();
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }
 

@@ -44,7 +44,9 @@ pub mod shuffle;
 pub mod timing;
 pub mod wire;
 
-pub use codec::{CompressStats, Compressed, Compressor, StreamError, StreamedCompressed};
+pub use codec::{
+    compress_exact, CompressStats, Compressed, Compressor, StreamError, StreamedCompressed,
+};
 pub use config::{CompressorConfig, Container};
 pub use error::CkptError;
 pub use timing::StageTimings;

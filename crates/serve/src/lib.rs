@@ -24,7 +24,7 @@ pub mod restore;
 pub mod server;
 pub mod session;
 
-pub use client::Client;
+pub use client::{Client, RemoteReplica};
 pub use restore::{RestoreOptions, RestoreOutcome};
 pub use server::Server;
 pub use session::ServeSession;

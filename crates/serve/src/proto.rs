@@ -15,6 +15,12 @@
 //!          2 Latest
 //!          3 Index : gen u64
 //!          4 Fetch : gen u64, rank u32, offset u64, len u64
+//!          5 PutBegin : gen u64, step u64, format u8, base_gen u64,
+//!                       ranks u32, bound u8, bound_bits u64
+//!          6 PutSeg : gen u64, rank u32, offset u64, total_len u64,
+//!                     chunk_len u32, chunk bytes
+//!          7 PutCommit : gen u64, rank_count u32, then per rank:
+//!                        payload_len u64, crc u32
 //! Response 0 Error : retryable u8, not_found u8, msg_len u32, msg (UTF-8)
 //!          1 Gens  : count u32, then per gen:
 //!                    gen u64, step u64, format u8, base_gen u64,
@@ -26,7 +32,15 @@
 //!                    member_count u32, then per member:
 //!                    offset u64, compressed_len u64, uncompressed_len u64
 //!          4 Data  : len u32, bytes
+//!          5 PutAck: gen u64, already u8
 //! ```
+//!
+//! The `Put*` triple is the replication push: `PutBegin` announces a
+//! generation, `PutSeg` streams each rank's payload in chunks that fit
+//! a frame, `PutCommit` declares the expected per-rank length + CRC
+//! and asks the server to commit the generation through the store's
+//! two-phase protocol. `PutAck { already: 1 }` means the replica held
+//! an identical copy — the idempotent-import case a resumed push hits.
 
 use crate::{Result, ServeError};
 use ckpt_deflate::crc32::crc32;
@@ -41,7 +55,7 @@ pub const MAX_FRAME: usize = 64 << 20;
 pub const MAX_FETCH: u64 = (MAX_FRAME as u64) - 64;
 
 /// One client request against a snapshot.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// List the snapshot's generations.
     List,
@@ -51,6 +65,25 @@ pub enum Request {
     Index { gen: u64 },
     /// A byte range of one committed segment.
     Fetch { gen: u64, rank: u32, offset: u64, len: u64 },
+    /// Replication push, step 1: announce a generation.
+    PutBegin {
+        gen: u64,
+        step: u64,
+        format: SegmentFormat,
+        base_gen: u64,
+        ranks: u32,
+        error_bound: Option<f64>,
+    },
+    /// Replication push, step 2: one chunk of one rank's payload.
+    /// Chunks for a rank must arrive in order (`offset` equals the
+    /// bytes already received); `total_len` re-declares the rank's
+    /// full payload length so the server can bound its buffer up
+    /// front.
+    PutSeg { gen: u64, rank: u32, offset: u64, total_len: u64, chunk: Vec<u8> },
+    /// Replication push, step 3: commit. `metas` holds each rank's
+    /// expected `(payload_len, crc32)`; the server refuses the commit
+    /// if its accumulated buffers disagree.
+    PutCommit { gen: u64, metas: Vec<(u64, u32)> },
 }
 
 /// The server's answer.
@@ -66,6 +99,10 @@ pub enum Response {
     Index(GenIndex),
     /// Answer to [`Request::Fetch`].
     Data(Vec<u8>),
+    /// Answer to [`Request::PutCommit`]: the generation is durable on
+    /// the replica; `already` is true when an identical copy was
+    /// already there (idempotent re-push).
+    PutAck { gen: u64, already: bool },
 }
 
 // ---------------------------------------------------------------- frames
@@ -165,6 +202,33 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u64(&mut out, *offset);
             put_u64(&mut out, *len);
         }
+        Request::PutBegin { gen, step, format, base_gen, ranks, error_bound } => {
+            out.push(5);
+            put_u64(&mut out, *gen);
+            put_u64(&mut out, *step);
+            out.push(format.to_u8());
+            put_u64(&mut out, *base_gen);
+            put_u32(&mut out, *ranks);
+            put_bound(&mut out, *error_bound);
+        }
+        Request::PutSeg { gen, rank, offset, total_len, chunk } => {
+            out.push(6);
+            put_u64(&mut out, *gen);
+            put_u32(&mut out, *rank);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *total_len);
+            put_u32(&mut out, u32::try_from(chunk.len()).unwrap_or(u32::MAX));
+            out.extend_from_slice(chunk);
+        }
+        Request::PutCommit { gen, metas } => {
+            out.push(7);
+            put_u64(&mut out, *gen);
+            put_u32(&mut out, u32::try_from(metas.len()).unwrap_or(u32::MAX));
+            for (payload_len, crc) in metas {
+                put_u64(&mut out, *payload_len);
+                put_u32(&mut out, *crc);
+            }
+        }
     }
     out
 }
@@ -226,6 +290,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(4);
             put_u32(&mut out, u32::try_from(bytes.len()).unwrap_or(u32::MAX));
             out.extend_from_slice(bytes);
+        }
+        Response::PutAck { gen, already } => {
+            out.push(5);
+            put_u64(&mut out, *gen);
+            out.push(u8::from(*already));
         }
     }
     out
@@ -336,6 +405,33 @@ pub fn decode_request(body: &[u8]) -> Result<Request> {
         2 => Request::Latest,
         3 => Request::Index { gen: c.u64()? },
         4 => Request::Fetch { gen: c.u64()?, rank: c.u32()?, offset: c.u64()?, len: c.u64()? },
+        5 => Request::PutBegin {
+            gen: c.u64()?,
+            step: c.u64()?,
+            format: parse_format(c.u8()?)?,
+            base_gen: c.u64()?,
+            ranks: c.u32()?,
+            error_bound: c.bound()?,
+        },
+        6 => {
+            let gen = c.u64()?;
+            let rank = c.u32()?;
+            let offset = c.u64()?;
+            let total_len = c.u64()?;
+            let len = c.u32()?;
+            let len = usize::try_from(len).map_err(|_| ServeError::Proto("chunk len".into()))?;
+            Request::PutSeg { gen, rank, offset, total_len, chunk: c.bytes(len)?.to_vec() }
+        }
+        7 => {
+            let gen = c.u64()?;
+            let raw = c.u32()?;
+            let count = c.check_count(raw, 12)?;
+            let mut metas = Vec::with_capacity(count);
+            for _ in 0..count {
+                metas.push((c.u64()?, c.u32()?));
+            }
+            Request::PutCommit { gen, metas }
+        }
         t => return Err(ServeError::Proto(format!("bad request tag {t}"))),
     };
     c.finish()?;
@@ -422,6 +518,15 @@ pub fn decode_response(body: &[u8]) -> Result<Response> {
             let len = usize::try_from(len).map_err(|_| ServeError::Proto("data len".into()))?;
             Response::Data(c.bytes(len)?.to_vec())
         }
+        5 => {
+            let gen = c.u64()?;
+            let already = match c.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(ServeError::Proto(format!("bad ack flag {t}"))),
+            };
+            Response::PutAck { gen, already }
+        }
         t => return Err(ServeError::Proto(format!("bad response tag {t}"))),
     };
     c.finish()?;
@@ -470,6 +575,25 @@ mod tests {
         roundtrip_request(Request::Latest);
         roundtrip_request(Request::Index { gen: u64::MAX });
         roundtrip_request(Request::Fetch { gen: 3, rank: 2, offset: 100, len: 4096 });
+        roundtrip_request(Request::PutBegin {
+            gen: 12,
+            step: 1200,
+            format: SegmentFormat::Increment,
+            base_gen: 11,
+            ranks: 3,
+            error_bound: Some(1e-4),
+        });
+        roundtrip_request(Request::PutSeg {
+            gen: 12,
+            rank: 2,
+            offset: 4096,
+            total_len: 5000,
+            chunk: vec![9; 904],
+        });
+        roundtrip_request(Request::PutCommit {
+            gen: 12,
+            metas: vec![(5000, 0xFEED_F00D), (1, 2), (0, 0)],
+        });
     }
 
     #[test]
@@ -494,6 +618,8 @@ mod tests {
         roundtrip_response(Response::Latest(Some(17)));
         roundtrip_response(Response::Index(sample_index()));
         roundtrip_response(Response::Data(vec![1, 2, 3, 255]));
+        roundtrip_response(Response::PutAck { gen: 12, already: false });
+        roundtrip_response(Response::PutAck { gen: u64::MAX, already: true });
     }
 
     #[test]
@@ -555,7 +681,24 @@ mod tests {
     fn truncated_bodies_never_panic() {
         let bodies = [
             encode_request(&Request::Fetch { gen: 1, rank: 2, offset: 3, len: 4 }),
+            encode_request(&Request::PutBegin {
+                gen: 2,
+                step: 20,
+                format: SegmentFormat::Array,
+                base_gen: 2,
+                ranks: 1,
+                error_bound: Some(0.5),
+            }),
+            encode_request(&Request::PutSeg {
+                gen: 2,
+                rank: 0,
+                offset: 0,
+                total_len: 3,
+                chunk: vec![1, 2, 3],
+            }),
+            encode_request(&Request::PutCommit { gen: 2, metas: vec![(3, 77)] }),
             encode_response(&Response::Index(sample_index())),
+            encode_response(&Response::PutAck { gen: 2, already: false }),
             encode_response(&Response::Error {
                 retryable: false,
                 not_found: true,

@@ -6,6 +6,13 @@ use std::path::{Path, PathBuf};
 
 /// Manifest file name under the store root.
 pub const MANIFEST_FILE: &str = "manifest";
+/// Manifest snapshot file name (`CSM2`): a compact image of the live
+/// store state, written by `Store::compact_manifest` so the log can be
+/// truncated.
+pub const SNAPSHOT_FILE: &str = "manifest.snap";
+/// Replication cursor file name (`RPC1`): the highest generation
+/// durably pushed to this store's buddy.
+pub const CURSOR_FILE: &str = "replication.cursor";
 /// Committed segment directory.
 pub const SEGMENTS_DIR: &str = "segments";
 /// Where unreadable or orphaned segments are moved (never deleted).
@@ -18,6 +25,10 @@ pub const TMP_DIR: &str = "tmp";
 pub struct Layout {
     pub root: PathBuf,
     pub manifest: PathBuf,
+    /// `CSM2` snapshot (absent until the first `compact_manifest`).
+    pub snapshot: PathBuf,
+    /// `RPC1` replication cursor (absent until the first push).
+    pub cursor: PathBuf,
     pub segments: PathBuf,
     pub quarantine: PathBuf,
     pub tmp: PathBuf,
@@ -29,11 +40,20 @@ impl Layout {
         let root = root.as_ref().to_path_buf();
         Layout {
             manifest: root.join(MANIFEST_FILE),
+            snapshot: root.join(SNAPSHOT_FILE),
+            cursor: root.join(CURSOR_FILE),
             segments: root.join(SEGMENTS_DIR),
             quarantine: root.join(QUARANTINE_DIR),
             tmp: root.join(TMP_DIR),
             root,
         }
+    }
+
+    /// Staging path for an atomic rewrite of a root-level metadata file
+    /// (snapshot, cursor): same name, `tmp/` directory — open-time
+    /// recovery sweeps abandoned staging files automatically.
+    pub fn meta_tmp_path(&self, name: &str) -> PathBuf {
+        self.tmp.join(name)
     }
 
     /// Creates the directory tree (idempotent).

@@ -47,10 +47,12 @@
 //! is retained, and quarantines unreadable segments instead of
 //! deleting them.
 
-pub mod failpoint;
+pub mod compact;
+mod failpoint;
 pub mod gc;
 pub mod layout;
 pub mod manifest;
+pub mod replicate;
 pub mod segment;
 pub mod snapshot;
 pub mod store;
@@ -60,7 +62,9 @@ pub use segment::SegmentWriter;
 pub use gc::GcReport;
 pub use manifest::{RetireReason, SegmentFormat};
 pub use snapshot::{GenIndex, MemberRange, RankIndex, Snapshot};
-pub use store::{GenInfo, OpenReport, Store, VerifyReport};
+pub use compact::ChainCompactReport;
+pub use replicate::{LocalReplica, PushReport, PutGen, ReplicaSink};
+pub use store::{CompactManifestReport, GenInfo, OpenReport, Store, VerifyReport};
 
 use std::fmt;
 

@@ -23,9 +23,11 @@
 //! to that point. The parser is panic-free on arbitrary bytes — it is
 //! part of `ckpt-lint`'s decoder scope.
 
+use crate::store::{GenState, SegMeta};
 use crate::{Result, StoreError};
 use ckpt_core::wire::{ByteReader, ByteWriter};
 use ckpt_deflate::crc32::crc32;
+use std::collections::BTreeMap;
 
 /// Manifest magic.
 pub const MAGIC: [u8; 4] = *b"CSM1";
@@ -36,6 +38,17 @@ pub const HEADER_LEN: usize = 8;
 /// Upper bound on one record body; real bodies are tens of bytes, so
 /// anything larger is garbage and ends the valid prefix.
 pub const MAX_RECORD_BODY: usize = 1 << 16;
+
+/// Snapshot (`CSM2`) magic.
+pub const SNAP_MAGIC: [u8; 4] = *b"CSM2";
+/// Current snapshot version.
+pub const SNAP_VERSION: u8 = 1;
+/// Snapshot header length: magic + version + 3 reserved bytes.
+pub const SNAP_HEADER_LEN: usize = 8;
+/// Upper bound on a snapshot body (64 MiB ≈ millions of generations),
+/// checked before any allocation so a hostile length prefix cannot
+/// balloon memory.
+pub const MAX_SNAPSHOT_BODY: usize = 64 << 20;
 
 /// What a generation's segments contain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -273,6 +286,184 @@ fn decode_body(body: &[u8]) -> Option<Record> {
     Some(rec)
 }
 
+// ---------------------------------------------------------------------
+// CSM2 manifest snapshot
+//
+// A snapshot is one CRC-framed image of the whole in-memory generation
+// map plus the next generation id, written atomically by
+// `Store::compact_manifest` (tmp → fsync → rename), after which the
+// CSM1 log is truncated back to its header. Opening a store then costs
+// O(live generations) — parse the snapshot, replay whatever short log
+// tail accumulated since — instead of O(every record ever appended).
+//
+// ```text
+// header : "CSM2" + version u8 (=1) + 3 reserved zero bytes
+// frame  : u32 body_len | u32 crc32(body) | body
+// body   : next_gen u64, gen_count u32, then per generation ascending:
+//          gen u64, step u64, format u8, base_gen u64, committed u8,
+//          retired u8 (0 live, 1 gc, 2 quarantine),
+//          bound u8 (+ bound_bits u64 when 1), ranks u32, then per
+//          rank: present u8 (+ payload_len u64 + crc u32 when 1)
+// ```
+//
+// Unlike the tolerant CSM1 record scanner, the snapshot parser is
+// all-or-nothing: any damage (bad header, CRC mismatch, trailing
+// bytes, out-of-range tags) is an error, and `Store::open` falls back
+// to replaying the log, quarantining the damaged snapshot file.
+
+/// The snapshot file header.
+pub fn snapshot_header_bytes() -> [u8; SNAP_HEADER_LEN] {
+    let mut h = [0u8; SNAP_HEADER_LEN];
+    h[..4].copy_from_slice(&SNAP_MAGIC);
+    h[4] = SNAP_VERSION;
+    h
+}
+
+fn retired_to_u8(retired: Option<RetireReason>) -> u8 {
+    match retired {
+        None => 0,
+        Some(r) => r.to_u8() + 1,
+    }
+}
+
+fn retired_from_u8(v: u8) -> Option<Option<RetireReason>> {
+    match v {
+        0 => Some(None),
+        _ => RetireReason::from_u8(v - 1).map(Some),
+    }
+}
+
+/// Encodes the full snapshot file image (header + CRC frame) for
+/// `next_gen` and the generation map.
+pub(crate) fn encode_snapshot(next_gen: u64, gens: &BTreeMap<u64, GenState>) -> Vec<u8> {
+    let mut body = ByteWriter::with_capacity(16 + gens.len() * 64);
+    body.put_u64(next_gen);
+    body.put_u32(u32::try_from(gens.len()).unwrap_or(u32::MAX));
+    for (&gen, g) in gens {
+        body.put_u64(gen);
+        body.put_u64(g.step);
+        body.put_u8(g.format.to_u8());
+        body.put_u64(g.base_gen);
+        body.put_u8(g.committed as u8);
+        body.put_u8(retired_to_u8(g.retired));
+        match g.error_bound {
+            Some(eps) => {
+                body.put_u8(1);
+                body.put_u64(eps.to_bits());
+            }
+            None => body.put_u8(0),
+        }
+        body.put_u32(u32::try_from(g.segs.len()).unwrap_or(u32::MAX));
+        for seg in &g.segs {
+            match seg {
+                Some(m) => {
+                    body.put_u8(1);
+                    body.put_u64(m.payload_len);
+                    body.put_u32(m.crc);
+                }
+                None => body.put_u8(0),
+            }
+        }
+    }
+    let body = body.into_bytes();
+    let mut out = ByteWriter::with_capacity(SNAP_HEADER_LEN + 8 + body.len());
+    out.put_bytes(&snapshot_header_bytes());
+    out.put_u32(u32::try_from(body.len()).unwrap_or(u32::MAX));
+    out.put_u32(crc32(&body));
+    out.put_bytes(&body);
+    out.into_bytes()
+}
+
+/// Parses a snapshot file image back into `(next_gen, gens)`. Strict:
+/// any damage errors so recovery can fall back to log replay. The
+/// parser is panic-free on arbitrary bytes — it is part of
+/// `ckpt-lint`'s decoder scope.
+pub(crate) fn parse_snapshot(bytes: &[u8]) -> Result<(u64, BTreeMap<u64, GenState>)> {
+    let corrupt = |why: &str| StoreError::Corrupt(format!("manifest snapshot: {why}"));
+    let head =
+        bytes.get(..SNAP_HEADER_LEN).ok_or_else(|| corrupt("shorter than its header"))?;
+    if head.get(..4) != Some(SNAP_MAGIC.as_slice()) {
+        return Err(corrupt("bad magic"));
+    }
+    if head.get(4) != Some(&SNAP_VERSION) {
+        return Err(corrupt("unsupported version"));
+    }
+    if head.get(5..) != Some(&[0u8; 3][..]) {
+        return Err(corrupt("nonzero reserved header bytes"));
+    }
+    let mut r = ByteReader::new(bytes.get(SNAP_HEADER_LEN..).unwrap_or(&[]));
+    let wire = |_| corrupt("truncated");
+    let body_len = usize::try_from(r.get_u32().map_err(wire)?)
+        .map_err(|_| corrupt("body length overflows"))?;
+    if body_len > MAX_SNAPSHOT_BODY {
+        return Err(corrupt("body length exceeds the 64 MiB bound"));
+    }
+    let stored_crc = r.get_u32().map_err(wire)?;
+    let body = r.get_bytes(body_len).map_err(wire)?;
+    if crc32(body) != stored_crc {
+        return Err(corrupt("body CRC mismatch"));
+    }
+    r.expect_end().map_err(|_| corrupt("trailing bytes after the frame"))?;
+
+    let mut r = ByteReader::new(body);
+    let next_gen = r.get_u64().map_err(wire)?;
+    let gen_count = r.get_u32().map_err(wire)? as usize;
+    // Each generation needs at least 32 body bytes; a count promising
+    // more than the body holds is garbage, refused before allocation.
+    if gen_count > r.remaining() / 32 {
+        return Err(corrupt("generation count exceeds the body"));
+    }
+    let mut gens = BTreeMap::new();
+    let mut prev_gen: Option<u64> = None;
+    for _ in 0..gen_count {
+        let gen = r.get_u64().map_err(wire)?;
+        if prev_gen.is_some_and(|p| p >= gen) {
+            return Err(corrupt("generation ids not strictly ascending"));
+        }
+        prev_gen = Some(gen);
+        if gen >= next_gen {
+            return Err(corrupt("generation id at or above next_gen"));
+        }
+        let step = r.get_u64().map_err(wire)?;
+        let format = SegmentFormat::from_u8(r.get_u8().map_err(wire)?)
+            .ok_or_else(|| corrupt("unknown segment format"))?;
+        let base_gen = r.get_u64().map_err(wire)?;
+        let committed = match r.get_u8().map_err(wire)? {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt("bad committed flag")),
+        };
+        let retired = retired_from_u8(r.get_u8().map_err(wire)?)
+            .ok_or_else(|| corrupt("unknown retire reason"))?;
+        let error_bound = match r.get_u8().map_err(wire)? {
+            0 => None,
+            1 => Some(f64::from_bits(r.get_u64().map_err(wire)?)),
+            _ => return Err(corrupt("bad bound flag")),
+        };
+        let ranks = r.get_u32().map_err(wire)? as usize;
+        if ranks > r.remaining() {
+            return Err(corrupt("rank count exceeds the body"));
+        }
+        let mut segs = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            segs.push(match r.get_u8().map_err(wire)? {
+                0 => None,
+                1 => Some(SegMeta {
+                    payload_len: r.get_u64().map_err(wire)?,
+                    crc: r.get_u32().map_err(wire)?,
+                }),
+                _ => return Err(corrupt("bad segment presence flag")),
+            });
+        }
+        gens.insert(
+            gen,
+            GenState { step, format, base_gen, segs, committed, retired, error_bound },
+        );
+    }
+    r.expect_end().map_err(|_| corrupt("trailing bytes after the last generation"))?;
+    Ok((next_gen, gens))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +595,113 @@ mod tests {
             let scan = parse_manifest(&bytes).unwrap();
             assert!(scan.valid_len <= bytes.len());
         }
+    }
+
+    fn sample_gens() -> BTreeMap<u64, GenState> {
+        let mut gens = BTreeMap::new();
+        gens.insert(
+            3,
+            GenState {
+                step: 30,
+                format: SegmentFormat::Array,
+                base_gen: 0,
+                segs: vec![Some(SegMeta { payload_len: 512, crc: 0xDEAD_BEEF }), None],
+                committed: true,
+                retired: None,
+                error_bound: Some(1e-3),
+            },
+        );
+        gens.insert(
+            7,
+            GenState {
+                step: 70,
+                format: SegmentFormat::Increment,
+                base_gen: 3,
+                segs: vec![Some(SegMeta { payload_len: 64, crc: 7 })],
+                committed: true,
+                retired: Some(RetireReason::Gc),
+                error_bound: None,
+            },
+        );
+        gens
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let gens = sample_gens();
+        let bytes = encode_snapshot(11, &gens);
+        let (next_gen, parsed) = parse_snapshot(&bytes).unwrap();
+        assert_eq!(next_gen, 11);
+        assert_eq!(parsed, gens);
+
+        let empty = BTreeMap::new();
+        let bytes = encode_snapshot(1, &empty);
+        let (next_gen, parsed) = parse_snapshot(&bytes).unwrap();
+        assert_eq!((next_gen, parsed.len()), (1, 0));
+    }
+
+    #[test]
+    fn snapshot_rejects_damage() {
+        let good = encode_snapshot(11, &sample_gens());
+
+        // Every strict prefix is refused — no tolerant-tail scan here.
+        for cut in 0..good.len() {
+            assert!(parse_snapshot(&good[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+        // Any single bit flip is caught by magic/version/CRC checks.
+        for byte in 0..good.len() {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x10;
+            assert!(parse_snapshot(&bad).is_err(), "bit flip at byte {byte} accepted");
+        }
+        // Trailing garbage after the frame is refused too.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(parse_snapshot(&long).is_err());
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_version_and_counts() {
+        let mut bad_version = encode_snapshot(11, &sample_gens());
+        bad_version[4] = SNAP_VERSION + 1;
+        assert!(parse_snapshot(&bad_version).is_err());
+
+        // A generation-count far beyond the body must be refused before
+        // any allocation happens.
+        let mut body = ByteWriter::new();
+        body.put_u64(1); // next_gen
+        body.put_u32(u32::MAX); // gen_count
+        let body = body.into_bytes();
+        let mut bytes = snapshot_header_bytes().to_vec();
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        assert!(parse_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn snapshot_rejects_disordered_or_future_gens() {
+        let mut gens = sample_gens();
+        // gen >= next_gen
+        let bytes = encode_snapshot(5, &gens);
+        assert!(parse_snapshot(&bytes).is_err());
+
+        // Duplicate-id ordering violations can't be built through the
+        // BTreeMap encoder, so splice two copies of the same gen body.
+        gens.remove(&7);
+        let one = encode_snapshot(11, &gens);
+        let body = &one[SNAP_HEADER_LEN + 8..];
+        let gen_body = &body[12..]; // past next_gen + gen_count
+        let mut dup = ByteWriter::new();
+        dup.put_u64(11);
+        dup.put_u32(2);
+        dup.put_bytes(gen_body);
+        dup.put_bytes(gen_body);
+        let dup = dup.into_bytes();
+        let mut bytes = snapshot_header_bytes().to_vec();
+        bytes.extend_from_slice(&(dup.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&dup).to_le_bytes());
+        bytes.extend_from_slice(&dup);
+        assert!(parse_snapshot(&bytes).is_err());
     }
 }

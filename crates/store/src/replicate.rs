@@ -1,0 +1,326 @@
+//! Buddy replication: push committed generations to a peer store, and
+//! adopt a replica's contents to rebuild a lost primary.
+//!
+//! The paper's checkpoint/restart premise assumes the checkpoint
+//! survives the failure — which a single local store cannot promise
+//! when the failure takes the node's disk with it. Buddy replication
+//! is the classic remedy: every committed generation is pushed to a
+//! peer (the node's "buddy"), so losing the primary costs at most the
+//! generations not yet pushed.
+//!
+//! Three pieces, all riding the existing crash contract:
+//!
+//! * [`Store::push_to`] walks live generations above the **replication
+//!   cursor** and hands each to a [`ReplicaSink`] (a local store for
+//!   tests and same-host buddies, the `SRV1` client for remote ones).
+//!   After each durable put the cursor file (`RPC1`) is rewritten
+//!   tmp → fsync → rename, so a crashed push resumes where it left
+//!   off instead of starting over.
+//! * [`Store::import_generation`] is the receiving half: an explicit
+//!   generation id committed through the ordinary two-phase save path.
+//!   It is **idempotent** — re-importing a generation the replica
+//!   already holds with identical metadata is a no-op — so a lost
+//!   cursor (or a crash between a put and its cursor write) only costs
+//!   a re-push, never divergence.
+//! * [`Store::adopt_from`] rebuilds a store from its buddy: every live
+//!   generation the source holds and the destination lacks is
+//!   imported, ascending, so bases always precede their increments.
+//!
+//! A damaged or missing cursor parses as `None` ("push everything"),
+//! never an error: the worst case is redundant work the idempotent
+//! import absorbs.
+
+use crate::layout::{self, CURSOR_FILE};
+use crate::manifest::SegmentFormat;
+use crate::store::{GenState, SegMeta, Store};
+use crate::{Result, StoreError};
+use ckpt_deflate::crc32::crc32;
+use std::fs;
+
+/// Cursor file magic (`<root>/replication.cursor`).
+pub const CURSOR_MAGIC: [u8; 4] = *b"RPC1";
+/// Current cursor format version.
+pub const CURSOR_VERSION: u8 = 1;
+/// Exact cursor file length: header (8) + last_gen u64 + crc32 u32.
+pub const CURSOR_LEN: usize = 20;
+
+/// One generation handed to a [`ReplicaSink`]: the metadata the
+/// replica's manifest needs plus every rank's committed payload bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PutGen {
+    pub gen: u64,
+    pub step: u64,
+    pub format: SegmentFormat,
+    /// Base generation (== `gen` for full generations).
+    pub base_gen: u64,
+    pub error_bound: Option<f64>,
+    /// Per-rank payloads, rank 0 first.
+    pub payloads: Vec<Vec<u8>>,
+}
+
+/// Where [`Store::push_to`] delivers generations. Implementations must
+/// make a put *durable* before returning `Ok` — the pusher advances
+/// its cursor on that promise.
+pub trait ReplicaSink {
+    /// Stores one generation durably. Must be idempotent: delivering a
+    /// generation the replica already holds (identical bytes and
+    /// metadata) is a success, not an error.
+    fn put(&mut self, put: &PutGen) -> Result<()>;
+}
+
+/// A [`ReplicaSink`] over a local store — same-host buddies and tests.
+pub struct LocalReplica<'a>(pub &'a mut Store);
+
+impl ReplicaSink for LocalReplica<'_> {
+    fn put(&mut self, put: &PutGen) -> Result<()> {
+        self.0.import_generation(put).map(|_| ())
+    }
+}
+
+/// What one [`Store::push_to`] run did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PushReport {
+    /// Generations delivered (and recorded in the cursor) this run.
+    pub pushed: Vec<u64>,
+    /// Live generations above the cursor skipped because their chain
+    /// no longer fully resolves (a damaged link quarantined earlier).
+    pub skipped: Vec<u64>,
+    /// Cursor value after the run, when any push has ever happened.
+    pub cursor: Option<u64>,
+}
+
+fn encode_cursor(gen: u64) -> [u8; CURSOR_LEN] {
+    let mut out = [0u8; CURSOR_LEN];
+    out[..4].copy_from_slice(&CURSOR_MAGIC);
+    out[4] = CURSOR_VERSION;
+    out[8..16].copy_from_slice(&gen.to_le_bytes());
+    let crc = crc32(&out[8..16]);
+    out[16..20].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Strict but total: any damage (wrong length, magic, version,
+/// reserved bytes, CRC) reads as "no cursor".
+fn parse_cursor(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() != CURSOR_LEN
+        || bytes.get(..4) != Some(CURSOR_MAGIC.as_slice())
+        || bytes.get(4) != Some(&CURSOR_VERSION)
+        || bytes.get(5..8) != Some(&[0u8; 3][..])
+    {
+        return None;
+    }
+    let gen_bytes = bytes.get(8..16)?;
+    let crc = u32::from_le_bytes(<[u8; 4]>::try_from(bytes.get(16..20)?).ok()?);
+    if crc32(gen_bytes) != crc {
+        return None;
+    }
+    Some(u64::from_le_bytes(<[u8; 8]>::try_from(gen_bytes).ok()?))
+}
+
+impl Store {
+    /// The highest generation durably pushed to this store's buddy, if
+    /// a push ever completed. A missing or damaged cursor file reads
+    /// as `None` — the next push re-sends from the start, which the
+    /// idempotent import absorbs.
+    pub fn replication_cursor(&self) -> Option<u64> {
+        fs::read(&self.layout().cursor).ok().as_deref().and_then(parse_cursor)
+    }
+
+    /// Durably records `gen` as pushed: tmp → fsync → rename, through
+    /// the fail point, like every other metadata write.
+    fn write_cursor(&self, gen: u64) -> Result<()> {
+        let tmp = self.layout().meta_tmp_path(CURSOR_FILE);
+        let mut f = fs::File::create(&tmp)?;
+        self.failpoint.write_all(&mut f, &encode_cursor(gen))?;
+        self.failpoint.check()?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, &self.layout().cursor)?;
+        layout::fsync_dir(&self.layout().root)?;
+        self.failpoint.check()?;
+        Ok(())
+    }
+
+    /// Pushes every live generation above the replication cursor to
+    /// `sink`, ascending, advancing the cursor after each delivered
+    /// generation. Like a failed save, an error poisons the store
+    /// (disk may hold a torn cursor staging write); reopen to recover.
+    pub fn push_to(&mut self, sink: &mut dyn ReplicaSink) -> Result<PushReport> {
+        self.guard()?;
+        match self.push_to_inner(sink) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn push_to_inner(&mut self, sink: &mut dyn ReplicaSink) -> Result<PushReport> {
+        let mut report =
+            PushReport { cursor: self.replication_cursor(), ..PushReport::default() };
+        let todo: Vec<u64> = self
+            .generations()
+            .into_iter()
+            .filter(|g| g.committed && g.retired.is_none())
+            .map(|g| g.gen)
+            .filter(|&g| report.cursor.is_none_or(|c| g > c))
+            .collect();
+        for gen in todo {
+            // A live increment whose chain lost a link restores
+            // nowhere; pushing it would hand the replica a dead end.
+            if self.resolve_chain(gen).is_err() {
+                report.skipped.push(gen);
+                continue;
+            }
+            let put = self.export_generation(gen)?;
+            sink.put(&put)?;
+            self.write_cursor(gen)?;
+            report.cursor = Some(gen);
+            report.pushed.push(gen);
+        }
+        Ok(report)
+    }
+
+    /// Packages one live generation for a sink: manifest metadata plus
+    /// every rank's CRC-checked payload.
+    pub fn export_generation(&self, gen: u64) -> Result<PutGen> {
+        self.guard()?;
+        let (step, format, base_gen, error_bound, ranks) = {
+            let s = self.gen_state(gen)?;
+            (s.step, s.format, s.base_gen, s.error_bound, s.segs.len() as u32)
+        };
+        let payloads = (0..ranks)
+            .map(|rank| self.read_segment(gen, rank))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PutGen { gen, step, format, base_gen, error_bound, payloads })
+    }
+
+    /// Commits a generation under an **explicit** id through the
+    /// ordinary two-phase save path — the receiving half of
+    /// replication. Returns `false` (and writes nothing) when this
+    /// store already holds the generation live with identical
+    /// metadata; a live generation with *different* metadata is a
+    /// divergence error. Like a failed save, a write error poisons.
+    pub fn import_generation(&mut self, put: &PutGen) -> Result<bool> {
+        self.guard()?;
+        if put.payloads.is_empty() {
+            return Err(StoreError::NotFound("an import needs at least one rank payload".into()));
+        }
+        let incoming: Vec<SegMeta> = put
+            .payloads
+            .iter()
+            .map(|p| SegMeta { payload_len: p.len() as u64, crc: crc32(p) })
+            .collect();
+        if let Some(existing) = self.gens_mut().get(&put.gen) {
+            let same = existing.live()
+                && existing.step == put.step
+                && existing.format == put.format
+                && existing.base_gen == put.base_gen
+                && existing.segs.iter().map(|s| s.as_ref()).eq(incoming.iter().map(Some));
+            if same {
+                return Ok(false);
+            }
+            return Err(StoreError::Chain(format!(
+                "import of generation {} diverges from the copy this store holds",
+                put.gen
+            )));
+        }
+        if put.format == SegmentFormat::Increment {
+            let base = self.gen_state(put.base_gen).map_err(|_| {
+                StoreError::Chain(format!(
+                    "increment {} needs base generation {} first",
+                    put.gen, put.base_gen
+                ))
+            })?;
+            if !base.live() || base.segs.len() != put.payloads.len() {
+                return Err(StoreError::Chain(format!(
+                    "increment {} does not fit base generation {}",
+                    put.gen, put.base_gen
+                )));
+            }
+        }
+
+        let refs: Vec<&[u8]> = put.payloads.iter().map(Vec::as_slice).collect();
+        let write = self.write_generation(
+            put.gen,
+            put.step,
+            put.format,
+            put.base_gen,
+            &refs,
+            1,
+            put.error_bound,
+        );
+        if let Err(e) = write {
+            self.poisoned = true;
+            return Err(e);
+        }
+        let next = self.next_gen().max(put.gen + 1);
+        self.gens_mut().insert(
+            put.gen,
+            GenState {
+                step: put.step,
+                format: put.format,
+                base_gen: put.base_gen,
+                segs: incoming.into_iter().map(Some).collect(),
+                committed: true,
+                retired: None,
+                error_bound: put.error_bound,
+            },
+        );
+        self.set_next_gen(next);
+        Ok(true)
+    }
+
+    /// Rebuilds this store from a buddy: imports every live generation
+    /// `src` holds that this store lacks, ascending (bases before
+    /// their increments). Returns the imported generation ids.
+    pub fn adopt_from(&mut self, src: &Store) -> Result<Vec<u64>> {
+        self.guard()?;
+        let mut imported = Vec::new();
+        let live: Vec<u64> = src
+            .generations()
+            .into_iter()
+            .filter(|g| g.committed && g.retired.is_none())
+            .map(|g| g.gen)
+            .collect();
+        for gen in live {
+            if src.resolve_chain(gen).is_err() {
+                continue;
+            }
+            let put = src.export_generation(gen)?;
+            if self.import_generation(&put)? {
+                imported.push(gen);
+            }
+        }
+        Ok(imported)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_bytes_roundtrip() {
+        for gen in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(parse_cursor(&encode_cursor(gen)), Some(gen));
+        }
+    }
+
+    #[test]
+    fn damaged_cursor_reads_as_none() {
+        let good = encode_cursor(7);
+        for cut in 0..good.len() {
+            assert_eq!(parse_cursor(&good[..cut]), None, "prefix of {cut} bytes");
+        }
+        for byte in 0..good.len() {
+            let mut bad = good;
+            bad[byte] ^= 0x08;
+            assert_eq!(parse_cursor(&bad), None, "bit flip at byte {byte}");
+        }
+        let mut long = good.to_vec();
+        long.push(0);
+        assert_eq!(parse_cursor(&long), None);
+    }
+}

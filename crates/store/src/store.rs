@@ -21,14 +21,14 @@ use std::sync::Arc;
 const MAX_CHAIN: usize = 1024;
 
 /// Per-rank metadata from a committed `Seg` record.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct SegMeta {
     pub payload_len: u64,
     pub crc: u32,
 }
 
 /// In-memory state of one generation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct GenState {
     pub step: u64,
     pub format: SegmentFormat,
@@ -76,6 +76,26 @@ pub struct OpenReport {
     pub quarantined_files: Vec<String>,
     /// Staging files removed from `tmp/`.
     pub tmp_files_removed: usize,
+    /// A `CSM2` snapshot seeded recovery (log replay covered only the
+    /// tail appended since the last `compact_manifest`).
+    pub snapshot_used: bool,
+    /// A snapshot file existed but was damaged: it was quarantined and
+    /// recovery fell back to full log replay.
+    pub snapshot_fallback: bool,
+}
+
+/// What one [`Store::compact_manifest`] run did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactManifestReport {
+    /// Generations captured in the snapshot.
+    pub snapshot_gens: usize,
+    /// Fully-dead generations (retired, no segment files left) dropped
+    /// from the snapshot and the in-memory map.
+    pub pruned_gens: usize,
+    /// Size of the snapshot file written.
+    pub snapshot_bytes: u64,
+    /// Log bytes the truncation reclaimed.
+    pub log_bytes_truncated: u64,
 }
 
 /// Verification outcome; `problems` is empty for a healthy store.
@@ -135,8 +155,34 @@ impl Store {
             f.sync_all()?;
         }
 
-        // 2. Interpret the valid prefix.
+        // 2a. Seed state from the `CSM2` snapshot when one exists, so
+        // replay only covers the log tail appended since the last
+        // `compact_manifest`. The snapshot parser is all-or-nothing; a
+        // damaged snapshot is quarantined (never deleted) and recovery
+        // falls back to full log replay.
         let mut gens: BTreeMap<u64, GenState> = BTreeMap::new();
+        let mut snap_next_gen = 0u64;
+        if layout.snapshot.exists() {
+            let parsed = fs::read(&layout.snapshot)
+                .map_err(StoreError::from)
+                .and_then(|b| manifest::parse_snapshot(&b));
+            match parsed {
+                Ok((next, snap_gens)) => {
+                    snap_next_gen = next;
+                    gens = snap_gens;
+                    report.snapshot_used = true;
+                }
+                Err(_) => {
+                    let dst = layout.quarantine_path(layout::SNAPSHOT_FILE);
+                    let _ = fs::rename(&layout.snapshot, &dst);
+                    report.snapshot_fallback = true;
+                }
+            }
+        }
+
+        // 2b. Interpret the valid log prefix on top. Replay is
+        // idempotent over snapshot state: `Begin` keeps an existing
+        // entry, the rest re-apply what the snapshot already captured.
         let mut max_gen = 0u64;
         for rec in &scan.records {
             max_gen = max_gen.max(rec.gen());
@@ -240,7 +286,7 @@ impl Store {
         Ok(Store {
             layout,
             gens,
-            next_gen: max_gen + 1,
+            next_gen: snap_next_gen.max(max_gen + 1),
             poisoned: false,
             failpoint: FailPoint::unlimited(),
             open_report: report,
@@ -460,7 +506,7 @@ impl Store {
         Ok(gen)
     }
 
-    fn save(
+    pub(crate) fn save(
         &mut self,
         step: u64,
         format: SegmentFormat,
@@ -511,7 +557,7 @@ impl Store {
 
     /// Phase 1 + 2 of the commit protocol (see crate docs).
     #[allow(clippy::too_many_arguments)]
-    fn write_generation(
+    pub(crate) fn write_generation(
         &mut self,
         gen: u64,
         step: u64,
@@ -579,6 +625,80 @@ impl Store {
         Ok(())
     }
 
+    /// Writes a `CSM2` snapshot of the live store state and truncates
+    /// the `CSM1` log back to its header, so the next open replays
+    /// O(live generations) instead of every record ever appended.
+    ///
+    /// Fully-dead generations — retired, with every segment file
+    /// already deleted — are dropped entirely: nothing on disk refers
+    /// to them (a live chain may only pass through live generations),
+    /// so they would only bloat every future snapshot.
+    ///
+    /// Crash-safe at every byte: the snapshot goes tmp → fsync →
+    /// rename before the log is touched, so a kill leaves either the
+    /// old state (log intact) or the new snapshot plus a log tail that
+    /// replays idempotently on top of it. Like a failed save, an error
+    /// poisons the store.
+    pub fn compact_manifest(&mut self) -> Result<CompactManifestReport> {
+        self.guard()?;
+
+        // Stage the pruned map without touching `self` yet: nothing is
+        // mutated (memory or disk) until the size guard passes.
+        let mut live_map = self.gens.clone();
+        live_map.retain(|&gen, g| {
+            g.retired.is_none()
+                || (0..g.segs.len() as u32).any(|rank| self.layout.segment_path(gen, rank).exists())
+        });
+        let pruned_gens = self.gens.len() - live_map.len();
+        let bytes = manifest::encode_snapshot(self.next_gen, &live_map);
+        if bytes.len() > manifest::SNAP_HEADER_LEN + 8 + manifest::MAX_SNAPSHOT_BODY {
+            return Err(StoreError::Corrupt(format!(
+                "manifest snapshot would be {} bytes, above the {} byte bound",
+                bytes.len(),
+                manifest::MAX_SNAPSHOT_BODY
+            )));
+        }
+
+        match self.write_snapshot(&bytes) {
+            Ok(log_bytes_truncated) => {
+                self.gens = live_map;
+                Ok(CompactManifestReport {
+                    snapshot_gens: self.gens.len(),
+                    pruned_gens,
+                    snapshot_bytes: bytes.len() as u64,
+                    log_bytes_truncated,
+                })
+            }
+            Err(e) => {
+                // A failed compaction is a simulated crash: run no
+                // cleanup, require a reopen (which performs recovery).
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Durably installs a snapshot image, then truncates the log.
+    /// Returns the log bytes reclaimed.
+    fn write_snapshot(&self, bytes: &[u8]) -> Result<u64> {
+        let tmp = self.layout.meta_tmp_path(layout::SNAPSHOT_FILE);
+        let mut f = fs::File::create(&tmp)?;
+        self.failpoint.write_all(&mut f, bytes)?;
+        self.failpoint.check()?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, &self.layout.snapshot)?;
+        layout::fsync_dir(&self.layout.root)?;
+        self.failpoint.check()?;
+
+        // The snapshot is durable; the log records it subsumes can go.
+        let log_len = fs::metadata(&self.layout.manifest)?.len();
+        let f = fs::OpenOptions::new().write(true).open(&self.layout.manifest)?;
+        f.set_len(manifest::HEADER_LEN as u64)?;
+        f.sync_all()?;
+        Ok(log_len.saturating_sub(manifest::HEADER_LEN as u64))
+    }
+
     /// Lists every generation the manifest knows, ascending.
     pub fn generations(&self) -> Vec<GenInfo> {
         gen_infos(&self.gens)
@@ -632,6 +752,14 @@ impl Store {
 
     pub(crate) fn gens_mut(&mut self) -> &mut BTreeMap<u64, GenState> {
         &mut self.gens
+    }
+
+    pub(crate) fn next_gen(&self) -> u64 {
+        self.next_gen
+    }
+
+    pub(crate) fn set_next_gen(&mut self, next: u64) {
+        self.next_gen = next;
     }
 
     pub(crate) fn layout(&self) -> &Layout {

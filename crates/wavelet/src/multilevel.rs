@@ -152,7 +152,18 @@ impl MultiLevel {
     pub fn all_subbands(&self, shape: &Shape) -> Result<Vec<Subband>> {
         let dims = shape.dims().to_vec();
         let mut out = Vec::new();
-        let mut deepest_low = subband::low_subband(shape);
+        // Before any level runs, the "low band" is the untransformed
+        // tensor itself: with a zero-level plan (the lossless stream
+        // `ckpt_core::compress_exact` writes) every element belongs to
+        // it. The first loop iteration replaces this with the real
+        // level-0 low block; when it breaks immediately (all dims < 2)
+        // the two coincide, since `low_len(d) == d` for `d < 2`.
+        let mut deepest_low = Subband {
+            mask: 0,
+            kind: SubbandKind::Low,
+            start: vec![0; dims.len()],
+            size: dims.clone(),
+        };
         for level in 0..self.plan.levels {
             let region = low_dims_at_level(&dims, level);
             if region.iter().all(|&d| d < 2) {

@@ -163,4 +163,43 @@ fn main() {
     let mut ick_state = ick.clone();
     ick_state[26] = 7;
     write("ick1_bad_state.bin", &reframe(ick_state));
+
+    // CSM2 manifest snapshots: a real snapshot written by
+    // `compact_manifest` over a deterministic two-generation store,
+    // then the three damage modes `Store::open` must refuse —
+    // quarantining the file and falling back to CSM1 log replay.
+    let snap = {
+        use lossy_ckpt::store::{SegmentFormat, Store};
+        let sdir = std::env::temp_dir()
+            .join(format!("ckpt-gen-corpus-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&sdir);
+        let mut store = Store::open(&sdir).expect("corpus store");
+        let t1 = generate(&FieldSpec::small(FieldKind::Temperature, 5));
+        let p1 = comp.compress(&t1).unwrap().bytes;
+        store.save_full(1, SegmentFormat::Array, &[&p1], 1).unwrap();
+        let t2 = generate(&FieldSpec::small(FieldKind::Pressure, 6));
+        let p2 = comp.compress(&t2).unwrap().bytes;
+        store.save_full(2, SegmentFormat::Array, &[&p2], 1).unwrap();
+        store.compact_manifest().unwrap();
+        let snap = fs::read(sdir.join("manifest.snap")).expect("read snapshot");
+        let _ = fs::remove_dir_all(&sdir);
+        snap
+    };
+
+    // 18. CSM2 truncated inside the generation map body.
+    write("csm2_truncated.bin", &snap[..snap.len() - 7]);
+
+    // 19. CSM2 with a flipped byte mid-body: geometry still parses,
+    //     the frame CRC must not.
+    let mut snap_flip = snap.clone();
+    let mid = snap.len() / 2;
+    snap_flip[mid] ^= 0x10;
+    write("csm2_crc_flip.bin", &snap_flip);
+
+    // 20. CSM2 claiming an unknown version. The version byte sits in
+    //     the header, outside the CRC frame, so rejection comes from
+    //     the version check itself.
+    let mut snap_ver = snap.clone();
+    snap_ver[4] = 9;
+    write("csm2_bad_version.bin", &snap_ver);
 }

@@ -126,6 +126,57 @@ fn corpus_increment_files_all_error() {
     assert_eq!(incremental::apply(base, &inc).unwrap(), cur);
 }
 
+/// Every damaged CSM2 snapshot must make `Store::open` quarantine the
+/// file and fall back to CSM1 log replay — same state, nothing lost,
+/// and the next manifest compaction installs a healthy snapshot again.
+#[test]
+fn corpus_csm2_snapshots_fall_back_to_log_replay() {
+    use lossy_ckpt::core::{Compressor, CompressorConfig};
+    use lossy_ckpt::store::{SegmentFormat, Store};
+
+    for (name, bytes) in [
+        ("csm2_truncated", &include_bytes!("corpus/csm2_truncated.bin")[..]),
+        ("csm2_crc_flip", &include_bytes!("corpus/csm2_crc_flip.bin")[..]),
+        ("csm2_bad_version", &include_bytes!("corpus/csm2_bad_version.bin")[..]),
+    ] {
+        let dir = std::env::temp_dir()
+            .join(format!("ckpt-corpus-csm2-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let mut store = Store::open(&dir).unwrap();
+        for step in 1..=2u64 {
+            let t = generate(&FieldSpec::small(FieldKind::Temperature, step));
+            let packed = comp.compress(&t).unwrap().bytes;
+            store.save_full(step, SegmentFormat::Array, &[&packed], 1).unwrap();
+        }
+        let gens_before = store.generations();
+        let latest = store.latest_committed().unwrap();
+        let tip_before = store.read_segment(latest, 0).unwrap();
+        drop(store);
+
+        // Plant the damaged snapshot over the healthy log.
+        std::fs::write(dir.join("manifest.snap"), bytes).unwrap();
+        let store = Store::open(&dir)
+            .unwrap_or_else(|e| panic!("{name}: open must fall back, got {e}"));
+        assert!(store.open_report().snapshot_fallback, "{name}: fallback not reported");
+        assert!(!store.open_report().snapshot_used, "{name}: damaged snapshot used");
+        assert!(!dir.join("manifest.snap").exists(), "{name}: snapshot not quarantined");
+        assert_eq!(store.generations(), gens_before, "{name}: log replay lost state");
+        assert_eq!(store.read_segment(latest, 0).unwrap(), tip_before, "{name}");
+        assert!(store.verify().unwrap().clean(), "{name}");
+        drop(store);
+
+        // A retried compaction installs a healthy snapshot again.
+        let mut store = Store::open(&dir).unwrap();
+        store.compact_manifest().unwrap_or_else(|e| panic!("{name}: recompact: {e}"));
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert!(store.open_report().snapshot_used, "{name}: recompaction ignored");
+        assert_eq!(store.generations(), gens_before, "{name}: recompaction lost state");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// The deterministic mid-stream `ICK1` blob the corpus entries damage
 /// (must match `examples/gen_corpus.rs`: LCG payload 42, gzip Default,
 /// one 5000-byte inflate step), plus the stream it came from.

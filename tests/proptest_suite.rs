@@ -360,3 +360,203 @@ proptest! {
         prop_assert_eq!(&chunked::decompress_chunked(&reference, 1).unwrap(), &data);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Store maintenance equivalences: chain compaction, CSM2 snapshots, and
+// buddy replication must all be invisible to readers — same generations,
+// same bytes (every `read_segment` is CRC-verified on the way out).
+
+mod store_equivalence {
+    use lossy_ckpt::core::{incremental, Compressor, CompressorConfig};
+    use lossy_ckpt::deflate::Level;
+    use lossy_ckpt::store::{LocalReplica, SegmentFormat, Store};
+    use lossy_ckpt::tensor::Tensor;
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch(tag: &str) -> PathBuf {
+        let n = CASE.fetch_add(1, Ordering::SeqCst);
+        let dir = std::env::temp_dir()
+            .join(format!("ckpt-prop-store-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// One randomized save: `true` starts a fresh full (re-seeded from
+    /// its own lossy round-trip), `false` chains an exact increment
+    /// with `bump`-derived deltas onto the previous generation.
+    type Op = (bool, u8);
+
+    /// Applies `ops` starting at `step0` (the first save is always a
+    /// full, so a later phase stands alone), returning the expected
+    /// tensor per committed step.
+    fn apply_ops(store: &mut Store, ops: &[Op], seed: u64, step0: u64) -> Vec<(u64, Tensor<f64>)> {
+        let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+        let mut state = Tensor::from_fn(&[11, 4], |ix| {
+            ((ix[0] * 4 + ix[1]) as f64 * 0.29 + (seed as f64 + step0 as f64) * 0.01).sin() * 45.0
+                + 220.0
+        })
+        .unwrap();
+        let mut prev_gen = 0;
+        let mut expected = Vec::new();
+        for (step, &(full, bump)) in ops.iter().enumerate() {
+            let step = step0 + step as u64;
+            if full || step == step0 {
+                let packed = comp.compress(&state).unwrap().bytes;
+                state = Compressor::decompress(&packed).unwrap();
+                prev_gen =
+                    store.save_full(step, SegmentFormat::Array, &[&packed], 1).unwrap();
+            } else {
+                let mut next = state.clone();
+                for i in (0..next.len()).step_by(1 + (bump as usize % 9)) {
+                    next.as_mut_slice()[i] += bump as f64 * 0.0625;
+                }
+                let (delta, _) = incremental::increment(&state, &next, Level::Fast).unwrap();
+                prev_gen = store.save_increment(step, prev_gen, &[&delta], 1).unwrap();
+                state = next;
+            }
+            expected.push((step, state.clone()));
+        }
+        expected
+    }
+
+    /// Every live committed generation's raw segment bytes, by gen id.
+    fn live_bytes(store: &Store) -> Vec<(u64, u64, Vec<Vec<u8>>)> {
+        store
+            .generations()
+            .into_iter()
+            .filter(|g| g.committed && g.retired.is_none())
+            .map(|g| {
+                let segs =
+                    (0..g.ranks).map(|r| store.read_segment(g.gen, r).unwrap()).collect();
+                (g.gen, g.step, segs)
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+        /// Chain compaction is invisible to restores: whatever mix of
+        /// fulls and increments came before, every surviving step —
+        /// and above all the newest — replays to bit-identical tensors
+        /// after the pass, and the rewrite itself is a lossless full.
+        #[test]
+        fn compacted_chain_replays_bit_identically(
+            ops in pvec((any::<bool>(), any::<u8>()), 2..14),
+            seed in any::<u64>(),
+            max_depth in 1usize..4,
+        ) {
+            let dir = scratch("compact");
+            let mut store = Store::open(&dir).unwrap();
+            let expected = apply_ops(&mut store, &ops, seed, 0);
+            store.compact_chains(max_depth, 1).unwrap();
+
+            // The newest step always survives with identical state.
+            let (last_step, last_tensor) = expected.last().unwrap();
+            let latest = store.latest_committed().unwrap();
+            let info = store.generations().into_iter().find(|g| g.gen == latest).unwrap();
+            prop_assert_eq!(info.step, *last_step);
+            prop_assert!(store.restore_array(latest, 0).unwrap() == *last_tensor,
+                         "latest diverged after compaction");
+
+            // Every still-live step replays to exactly its pre-compaction
+            // tensor, and no chain is deeper than the bound.
+            for info in store.generations() {
+                if !info.committed || info.retired.is_some() {
+                    continue;
+                }
+                prop_assert!(store.resolve_chain(info.gen).unwrap().len() <= max_depth.max(1));
+                let (_, want) = expected.iter().find(|(s, _)| *s == info.step)
+                    .expect("live gen has a driven step");
+                prop_assert!(store.restore_array(info.gen, 0).unwrap() == *want,
+                             "step {} diverged after compaction", info.step);
+            }
+            prop_assert!(store.verify().unwrap().clean());
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        /// A CSM2 snapshot open is state-identical to replaying the full
+        /// CSM1 log: same live generations, same raw segment bytes.
+        #[test]
+        fn snapshot_open_matches_log_replay(
+            ops in pvec((any::<bool>(), any::<u8>()), 2..14),
+            seed in any::<u64>(),
+            keep in 1usize..4,
+        ) {
+            let dir = scratch("snap");
+            let mut store = Store::open(&dir).unwrap();
+            apply_ops(&mut store, &ops, seed, 0);
+            store.gc(keep).unwrap();
+            drop(store);
+
+            // Leg 1: pure CSM1 log replay.
+            let replayed = Store::open(&dir).unwrap();
+            prop_assert!(!replayed.open_report().snapshot_used);
+            let before = live_bytes(&replayed);
+            drop(replayed);
+
+            // Leg 2: snapshot + truncate, then a CSM2-seeded open.
+            let mut store = Store::open(&dir).unwrap();
+            store.compact_manifest().unwrap();
+            drop(store);
+            let snapped = Store::open(&dir).unwrap();
+            prop_assert!(snapped.open_report().snapshot_used);
+            prop_assert!(!snapped.open_report().snapshot_fallback);
+            prop_assert_eq!(live_bytes(&snapped), before,
+                            "snapshot open diverged from log replay");
+            prop_assert!(snapped.verify().unwrap().clean());
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        /// After cursor catch-up — including a second batch of saves
+        /// pushed through the recorded cursor — the replica holds
+        /// byte-identical segments for every live generation, and a
+        /// replica promoted to primary restores the same states.
+        #[test]
+        fn replica_catches_up_byte_identically(
+            ops in pvec((any::<bool>(), any::<u8>()), 2..10),
+            more in pvec((any::<bool>(), any::<u8>()), 1..6),
+            seed in any::<u64>(),
+        ) {
+            let pdir = scratch("repl-primary");
+            let bdir = scratch("repl-buddy");
+            let mut primary = Store::open(&pdir).unwrap();
+            let mut buddy = Store::open(&bdir).unwrap();
+
+            let mut expected = apply_ops(&mut primary, &ops, seed, 0);
+            let first = primary.push_to(&mut LocalReplica(&mut buddy)).unwrap();
+            prop_assert!(first.skipped.is_empty());
+            prop_assert!(!first.pushed.is_empty());
+
+            // More saves, then catch-up: only the new gens travel —
+            // the recorded cursor keeps the first batch off the wire.
+            expected.extend(apply_ops(&mut primary, &more, seed, ops.len() as u64));
+            let report = primary.push_to(&mut LocalReplica(&mut buddy)).unwrap();
+            prop_assert!(report.skipped.is_empty());
+            prop_assert!(
+                report.pushed.iter().all(|g| !first.pushed.contains(g)),
+                "catch-up re-sent generations below the cursor"
+            );
+            let second = primary.push_to(&mut LocalReplica(&mut buddy)).unwrap();
+            prop_assert!(second.pushed.is_empty(), "catch-up must be idempotent");
+
+            prop_assert_eq!(live_bytes(&buddy), live_bytes(&primary),
+                            "replica bytes diverged from the primary");
+            let (last_step, last_tensor) = expected.last().unwrap();
+            let latest = buddy.latest_committed().unwrap();
+            let info = buddy.generations().into_iter().find(|g| g.gen == latest).unwrap();
+            prop_assert_eq!(info.step, *last_step);
+            prop_assert!(buddy.restore_array(latest, 0).unwrap() == *last_tensor,
+                         "promoted replica restores a different state");
+            prop_assert!(buddy.verify().unwrap().clean());
+            let _ = fs::remove_dir_all(&pdir);
+            let _ = fs::remove_dir_all(&bdir);
+        }
+    }
+}

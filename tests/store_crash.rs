@@ -5,14 +5,15 @@
 //! This is the acceptance test for the store's core promise: a kill at
 //! any byte boundary leaves the previous generation restorable.
 
-use lossy_ckpt::core::{Compressor, CompressorConfig};
+use lossy_ckpt::core::{incremental, Compressor, CompressorConfig};
+use lossy_ckpt::deflate::Level;
 use lossy_ckpt::sim::failure::{run_with_failures_sink, CheckpointSink, FailureInjector};
 use lossy_ckpt::sim::{ClimateSim, SimConfig};
-use lossy_ckpt::store::{SegmentFormat, Store, StoreError};
+use lossy_ckpt::store::{LocalReplica, SegmentFormat, Store, StoreError};
 use lossy_ckpt::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("ckpt-store-crash-{}-{name}", std::process::id()));
@@ -191,6 +192,271 @@ fn kill_at_every_byte_of_streamed_save_preserves_previous_generation() {
         assert_eq!(tmp_entries, 0, "k={k}: tmp/ not empty after recovery");
     }
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// Builds the fixture every maintenance sweep kills mid-flight: a
+/// store holding a 4-deep increment chain (full + 3 exact deltas), a
+/// fresh full saved after it (the newest application state), and two
+/// generations already retired by GC. Returns the store, the newest
+/// generation's step, and the tensors the chain tip and the newest
+/// full must keep restoring to.
+fn maintenance_fixture(dir: &Path) -> (Store, u64, Tensor<f64>, Tensor<f64>) {
+    let _ = fs::remove_dir_all(dir);
+    let mut store = Store::open(dir).unwrap();
+    let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+
+    // Two early fulls GC will retire: the manifest then holds retired
+    // records the snapshot must prune.
+    for step in 0..2u64 {
+        let t = Tensor::from_fn(&[10, 3], |ix| (ix[0] * 3 + ix[1]) as f64 + step as f64).unwrap();
+        let packed = comp.compress(&t).unwrap().bytes;
+        store.save_full(step, SegmentFormat::Array, &[&packed], 1).unwrap();
+    }
+
+    // The chain: a lossy full, then exact increments.
+    let field = Tensor::from_fn(&[10, 3], |ix| {
+        ((ix[0] * 3 + ix[1]) as f64 * 0.31).sin() * 70.0 + 300.0
+    })
+    .unwrap();
+    let packed = comp.compress(&field).unwrap().bytes;
+    let mut prev_gen = store.save_full(10, SegmentFormat::Array, &[&packed], 1).unwrap();
+    let mut prev = Compressor::decompress(&packed).unwrap();
+    for step in 11..=13u64 {
+        let mut cur = prev.clone();
+        for i in (0..cur.len()).step_by(5) {
+            cur.as_mut_slice()[i] += step as f64 * 0.125;
+        }
+        let (delta, _) = incremental::increment(&prev, &cur, Level::Fast).unwrap();
+        prev_gen = store.save_increment(step, prev_gen, &[&delta], 1).unwrap();
+        prev = cur;
+    }
+    let chain_tensor = prev;
+
+    // The newest state: a full committed after the chain.
+    let newest = Tensor::from_fn(&[10, 3], |ix| {
+        ((ix[0] * 3 + ix[1]) as f64 * 0.17).cos() * 55.0 + 410.0
+    })
+    .unwrap();
+    let packed = comp.compress(&newest).unwrap().bytes;
+    store.save_full(20, SegmentFormat::Array, &[&packed], 1).unwrap();
+    let newest_tensor = Compressor::decompress(&packed).unwrap();
+
+    // keep_fulls = 2 retires the two early fulls but keeps the chain
+    // base and the newest full.
+    store.gc(2).unwrap();
+    (store, 20, chain_tensor, newest_tensor)
+}
+
+/// The newest application state must restore bit-exactly from the
+/// highest-step live generation, whatever a kill did to maintenance.
+fn assert_newest_intact(store: &Store, step: u64, expect: &Tensor<f64>, ctx: &str) {
+    let gen = store
+        .generations()
+        .into_iter()
+        .filter(|g| g.committed && g.retired.is_none())
+        .max_by_key(|g| (g.step, g.gen))
+        .unwrap_or_else(|| panic!("{ctx}: no live generation survived"));
+    assert_eq!(gen.step, step, "{ctx}: newest step lost");
+    let got = store
+        .restore_array(gen.gen, 0)
+        .unwrap_or_else(|e| panic!("{ctx}: newest restore failed: {e}"));
+    assert!(&got == expect, "{ctx}: newest state not bit-exact");
+}
+
+/// Kill-at-every-byte sweep over `compact_manifest`: whatever byte the
+/// CSM2 snapshot write or the log truncate dies at, the store reopens
+/// (from the old log, or from the new snapshot plus an idempotent log
+/// tail), the newest state restores bit-exactly, and a retried
+/// compaction completes.
+#[test]
+fn kill_at_every_byte_of_manifest_compaction() {
+    let dir = scratch("compact-manifest-measure");
+    let (mut store, _, _, _) = maintenance_fixture(&dir);
+    store.set_failpoint(None);
+    store.compact_manifest().unwrap();
+    let total = store.bytes_written();
+    assert!(total > 0, "a manifest compaction must write bytes");
+    drop(store);
+    let _ = fs::remove_dir_all(&dir);
+
+    let dir = scratch("compact-manifest-sweep");
+    for k in 0..=total {
+        let (mut store, step, chain_t, newest_t) = maintenance_fixture(&dir);
+        let live_before: Vec<_> = store
+            .generations()
+            .into_iter()
+            .filter(|g| g.retired.is_none())
+            .collect();
+        store.set_failpoint(Some(k));
+        let outcome = store.compact_manifest();
+        if outcome.is_err() {
+            assert!(store.poisoned(), "k={k}: a failed compaction must poison");
+        }
+        drop(store);
+
+        let store = Store::open(&dir).unwrap_or_else(|e| panic!("k={k}: reopen failed: {e}"));
+        assert!(
+            !store.open_report().snapshot_fallback,
+            "k={k}: a torn compaction must never leave a quarantined snapshot"
+        );
+        let live_after: Vec<_> =
+            store.generations().into_iter().filter(|g| g.retired.is_none()).collect();
+        assert_eq!(live_after, live_before, "k={k}: live set changed across the kill");
+        assert_newest_intact(&store, step, &newest_t, &format!("k={k}"));
+        let report = store.verify().unwrap();
+        assert!(report.clean(), "k={k}: verify problems: {:?}", report.problems);
+        drop(store);
+
+        // The retried compaction completes and the next open seeds
+        // from the snapshot with the same state.
+        let mut store = Store::open(&dir).unwrap();
+        store.compact_manifest().unwrap_or_else(|e| panic!("k={k}: retry failed: {e}"));
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert!(store.open_report().snapshot_used, "k={k}: retry must install the snapshot");
+        assert_newest_intact(&store, step, &newest_t, &format!("k={k} post-retry"));
+        let tip = store
+            .generations()
+            .into_iter()
+            .find(|g| g.step == 13 && g.retired.is_none())
+            .expect("chain tip survives manifest compaction");
+        assert!(store.restore_array(tip.gen, 0).unwrap() == chain_t, "k={k}: chain tip");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Kill-at-every-byte sweep over `compact_chains`: the rewrite saves,
+/// the re-anchor copy, the durable retire append, and the file deletes
+/// each die at every byte. At every kill point the newest application
+/// state stays restorable bit-exactly, and a reopen plus one retried
+/// pass converges to the compacted shape with `latest_committed`
+/// naming the newest step.
+#[test]
+fn kill_at_every_byte_of_chain_compaction() {
+    let dir = scratch("compact-chains-measure");
+    let (mut store, _, _, _) = maintenance_fixture(&dir);
+    store.set_failpoint(None);
+    let report = store.compact_chains(2, 1).unwrap();
+    assert!(!report.rewritten.is_empty(), "fixture must trigger a rewrite");
+    let total = store.bytes_written();
+    assert!(total > 0);
+    drop(store);
+    let _ = fs::remove_dir_all(&dir);
+
+    let dir = scratch("compact-chains-sweep");
+    for k in 0..=total {
+        let (mut store, step, chain_t, newest_t) = maintenance_fixture(&dir);
+        store.set_failpoint(Some(k));
+        let outcome = store.compact_chains(2, 1);
+        if outcome.is_err() {
+            assert!(store.poisoned(), "k={k}: a failed compaction must poison");
+        }
+        drop(store);
+
+        // Reopen: the newest state is always intact — even when the
+        // kill landed between an old chain's rewrite and the re-anchor
+        // copy, the highest-step generation still restores.
+        let store = Store::open(&dir).unwrap_or_else(|e| panic!("k={k}: reopen failed: {e}"));
+        assert_newest_intact(&store, step, &newest_t, &format!("k={k}"));
+        let report = store.verify().unwrap();
+        assert!(report.clean(), "k={k}: verify problems: {:?}", report.problems);
+        drop(store);
+
+        // One retried pass converges: latest_committed names the
+        // newest step and both surviving states are bit-exact.
+        let mut store = Store::open(&dir).unwrap();
+        store.compact_chains(2, 1).unwrap_or_else(|e| panic!("k={k}: retry failed: {e}"));
+        let latest = store.latest_committed().unwrap();
+        let latest_info =
+            store.generations().into_iter().find(|g| g.gen == latest).unwrap();
+        assert_eq!(latest_info.step, step, "k={k}: latest must name the newest step");
+        assert!(store.restore_array(latest, 0).unwrap() == newest_t, "k={k}: latest state");
+        let tip_state = store
+            .generations()
+            .into_iter()
+            .filter(|g| g.step == 13 && g.committed && g.retired.is_none())
+            .map(|g| store.restore_array(g.gen, 0).unwrap())
+            .next()
+            .unwrap_or_else(|| panic!("k={k}: chain-tip state lost"));
+        assert!(tip_state == chain_t, "k={k}: chain tip not bit-exact after retry");
+        assert!(store.verify().unwrap().clean(), "k={k}: post-retry verify");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Kill-at-every-byte sweep over the replication push: the primary's
+/// durable cursor writes die at every byte. The cursor file is always
+/// whole-or-absent (its parser is total), the replica never holds a
+/// torn generation, and a retried push converges to a byte-identical
+/// mirror with the cursor at the top.
+#[test]
+fn kill_at_every_byte_of_replication_cursor_writes() {
+    let primary_dir = scratch("push-measure");
+    let (mut primary, _, _, _) = maintenance_fixture(&primary_dir);
+    let buddy_dir = scratch("push-measure-buddy");
+    let mut buddy = Store::open(&buddy_dir).unwrap();
+    primary.set_failpoint(None);
+    primary.push_to(&mut LocalReplica(&mut buddy)).unwrap();
+    let total = primary.bytes_written();
+    assert!(total > 0, "a push must write cursor bytes");
+    drop(primary);
+    drop(buddy);
+    let _ = fs::remove_dir_all(&primary_dir);
+    let _ = fs::remove_dir_all(&buddy_dir);
+
+    let primary_dir = scratch("push-sweep");
+    let buddy_dir = scratch("push-sweep-buddy");
+    for k in 0..=total {
+        let (mut primary, step, _, newest_t) = maintenance_fixture(&primary_dir);
+        let _ = fs::remove_dir_all(&buddy_dir);
+        let mut buddy = Store::open(&buddy_dir).unwrap();
+        primary.set_failpoint(Some(k));
+        let outcome = primary.push_to(&mut LocalReplica(&mut buddy));
+        if outcome.is_err() {
+            assert!(primary.poisoned(), "k={k}: a failed push must poison the primary");
+        }
+        drop(primary);
+        drop(buddy);
+
+        // The replica is always a valid store holding a prefix of the
+        // primary's live set — never a torn generation.
+        let buddy = Store::open(&buddy_dir).unwrap_or_else(|e| panic!("k={k}: buddy open: {e}"));
+        assert!(buddy.verify().unwrap().clean(), "k={k}: buddy verify");
+        drop(buddy);
+
+        // The reopened primary's cursor is whole or absent, and a
+        // retried push converges to a byte-identical mirror.
+        let mut primary = Store::open(&primary_dir).unwrap();
+        if let Some(cursor) = primary.replication_cursor() {
+            assert!(
+                primary.generations().iter().any(|g| g.gen == cursor),
+                "k={k}: cursor {cursor} names an unknown generation"
+            );
+        }
+        let mut buddy = Store::open(&buddy_dir).unwrap();
+        let report = primary
+            .push_to(&mut LocalReplica(&mut buddy))
+            .unwrap_or_else(|e| panic!("k={k}: retry push failed: {e}"));
+        assert!(report.skipped.is_empty(), "k={k}: every live chain must resolve");
+        let live: Vec<_> = primary
+            .generations()
+            .into_iter()
+            .filter(|g| g.committed && g.retired.is_none())
+            .collect();
+        assert_eq!(report.cursor, live.last().map(|g| g.gen), "k={k}: cursor at the top");
+        for info in &live {
+            for rank in 0..info.ranks {
+                let a = primary.read_segment(info.gen, rank).unwrap();
+                let b = buddy
+                    .read_segment(info.gen, rank)
+                    .unwrap_or_else(|e| panic!("k={k}: buddy gen {} rank {rank}: {e}", info.gen));
+                assert_eq!(a, b, "k={k}: replica of gen {} rank {rank} diverged", info.gen);
+            }
+        }
+        assert_newest_intact(&buddy, step, &newest_t, &format!("k={k} buddy"));
+    }
+    let _ = fs::remove_dir_all(&primary_dir);
+    let _ = fs::remove_dir_all(&buddy_dir);
 }
 
 /// A durable sink whose saves can be killed mid-write by a schedule of
