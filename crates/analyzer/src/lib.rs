@@ -1,7 +1,8 @@
 //! ckpt-lint: repo-specific static analysis for the checkpoint
 //! compression workspace.
 //!
-//! Six rule families, all deny-by-default (DESIGN.md §9 and §13):
+//! Seven rule families, all deny-by-default (DESIGN.md §9, §13 and
+//! §16):
 //!
 //! - `unchecked-cast` — no `as` numeric casts in functions reachable
 //!   from the untrusted-input decode entry points.
@@ -19,6 +20,8 @@
 //!   `failpoint-bypass`) — the store's tmp-write → fsync → rename →
 //!   dir-fsync → manifest-append → manifest-fsync protocol, checked
 //!   on every path reachable from the save/GC roots.
+//! - `simd-unguarded-dispatch` — every `#[target_feature]` kernel must
+//!   be reached through a feature-detect guard (DESIGN.md §16).
 //!
 //! Suppression only via checked-in `lint-allow.toml` entries, each with
 //! a non-empty justification; unused entries are errors.
@@ -31,6 +34,7 @@ pub mod durability;
 pub mod functions;
 pub mod lexer;
 pub mod rules;
+pub mod simd;
 pub mod spec;
 
 use callgraph::CallGraph;
@@ -217,6 +221,10 @@ pub fn run(root: &Path) -> Report {
     // Concurrency family over the workspace graph.
     violations.extend(concurrency::check_sendptr(&workspace, &ws_graph));
     violations.extend(concurrency::check_relaxed(&workspace, &ws_graph));
+
+    // SIMD dispatch rule: guards close over the whole workspace (the
+    // dispatch helpers live in a different file than the kernels).
+    violations.extend(simd::check(&workspace));
 
     // Crash-consistency family over the store sources.
     let store_input: Vec<(&ScannedFile, &FileFunctions)> = workspace

@@ -1,0 +1,34 @@
+//! Fixture: the same `#[target_feature]` kernel as `simd_unguarded.rs`
+//! but reached correctly — one caller tests the CPU feature inline,
+//! the other through a helper (the transitive closure the real
+//! dispatch layer relies on: kernel ← assert_available ←
+//! is_available). `simd-unguarded-dispatch` must stay silent.
+
+/// # Safety
+/// Caller must verify AVX2 is available.
+#[target_feature(enable = "avx2")]
+unsafe fn sum_avx2(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+fn have_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+pub fn sum_direct(xs: &[f64]) -> f64 {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the branch condition verified AVX2 is present.
+        unsafe { sum_avx2(xs) }
+    } else {
+        xs.iter().sum()
+    }
+}
+
+pub fn sum_transitive(xs: &[f64]) -> f64 {
+    if have_avx2() {
+        // SAFETY: have_avx2 verified AVX2 is present.
+        unsafe { sum_avx2(xs) }
+    } else {
+        xs.iter().sum()
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a `#[target_feature]` kernel reached from a safe wrapper
+//! with no feature-detect guard anywhere on the path — calling it on a
+//! host without AVX2 is undefined behavior. `simd-unguarded-dispatch`
+//! must flag the call site in `sum`.
+
+/// # Safety
+/// Caller must verify AVX2 is available.
+#[target_feature(enable = "avx2")]
+unsafe fn sum_avx2(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+pub fn sum(xs: &[f64]) -> f64 {
+    // SAFETY: nothing actually checks the CPU — that is the bug this
+    // fixture demonstrates (the comment only satisfies the unrelated
+    // unsafe-needs-safety-comment rule).
+    unsafe { sum_avx2(xs) }
+}

@@ -1,0 +1,329 @@
+//! Per-kernel SIMD throughput for the wavelet/quantizer hot paths.
+//!
+//! Times every ckpt-simd kernel twice — pinned to the scalar tier and
+//! at the host's detected tier (`ckpt_simd::level()`) — over the same
+//! buffers, and reports GB/s plus the vector/scalar speedup per
+//! kernel. A final section times the end-to-end compress/decompress
+//! pipeline on the paper-shaped 1156 × 82 × 2 array under both tiers,
+//! since the kernels only matter through that path. The equivalence
+//! harnesses (crates/wavelet, crates/quant, tests/simd_dispatch.rs)
+//! pin that both tiers produce identical bits; this bin measures only
+//! how fast they do it.
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin kernel_throughput`.
+//! Writes `BENCH_kernels.json` (or the path given as first argument).
+//! Rows record the detected tier name, so scalar-host results are
+//! self-describing: speedups read 1.0x because both columns ran the
+//! same code, not because vectorization regressed.
+//!
+//! `--smoke` runs reduced sizes and gates: on a host whose detected
+//! tier beats scalar it requires the best kernel speedup >= 1.2x and
+//! no kernel below 0.75x (vectorization must never be a pessimization);
+//! scalar-only hosts print a note and exit 0 — never a regression gate
+//! where there is nothing to compare.
+
+use ckpt_bench::{median_time, temperature_nicam};
+use ckpt_core::{Compressor, CompressorConfig};
+use ckpt_simd::wavelet::{apply_at, WaveletOp};
+use ckpt_simd::{quant, Level};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+const RUNS: usize = 5;
+/// Smoke gate: the best kernel must vectorize at least this much.
+const SMOKE_BEST_FLOOR: f64 = 1.2;
+/// Smoke gate: no kernel may be slower than this fraction of scalar.
+const SMOKE_WORST_FLOOR: f64 = 0.75;
+
+struct Sizes {
+    /// Wavelet batch lane length (n) and width (w).
+    lane_len: usize,
+    lane_width: usize,
+    /// Repeats per timed closure for the small wavelet batch.
+    wavelet_iters: usize,
+    /// Element count for the quant array kernels.
+    quant_len: usize,
+    /// Probe count for count_le (against a 255-entry boundary table).
+    probes: usize,
+    runs: usize,
+}
+
+impl Sizes {
+    fn full() -> Self {
+        Sizes {
+            lane_len: 1024,
+            lane_width: 8,
+            wavelet_iters: 128,
+            quant_len: 1 << 20,
+            probes: 1 << 16,
+            runs: RUNS,
+        }
+    }
+
+    fn smoke() -> Self {
+        Sizes {
+            lane_len: 512,
+            lane_width: 8,
+            wavelet_iters: 32,
+            quant_len: 1 << 17,
+            probes: 1 << 13,
+            runs: 3,
+        }
+    }
+}
+
+struct Row {
+    name: &'static str,
+    bytes: usize,
+    scalar_ms: f64,
+    vector_ms: f64,
+}
+
+impl Row {
+    fn scalar_gbps(&self) -> f64 {
+        self.bytes as f64 / (self.scalar_ms * 1e-3) / 1e9
+    }
+
+    fn vector_gbps(&self) -> f64 {
+        self.bytes as f64 / (self.vector_ms * 1e-3) / 1e9
+    }
+
+    fn speedup(&self) -> f64 {
+        self.scalar_ms / self.vector_ms
+    }
+}
+
+/// Times `f(level)` at scalar and at the detected tier.
+fn time_pair(
+    name: &'static str,
+    bytes: usize,
+    runs: usize,
+    detected: Level,
+    mut f: impl FnMut(Level),
+) -> Row {
+    let scalar = median_time(runs, || f(Level::Scalar));
+    let vector = median_time(runs, || f(detected));
+    Row {
+        name,
+        bytes,
+        scalar_ms: scalar.as_secs_f64() * 1e3,
+        vector_ms: vector.as_secs_f64() * 1e3,
+    }
+}
+
+fn lcg_doubles(len: usize) -> Vec<f64> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.0e3
+        })
+        .collect()
+}
+
+fn measure_kernels(sizes: &Sizes, detected: Level) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // Wavelet batch kernels: bytes = input elements read per timed
+    // closure (iters passes over an n x w batch).
+    let n = sizes.lane_len;
+    let w = sizes.lane_width;
+    let batch = lcg_doubles(n * w);
+    let batch_bytes = n * w * 8 * sizes.wavelet_iters;
+    let mut dst = vec![0.0f64; n * w];
+    for op in WaveletOp::ALL {
+        let row = time_pair(op.name(), batch_bytes, sizes.runs, detected, |level| {
+            for _ in 0..sizes.wavelet_iters {
+                apply_at(level, op, black_box(&batch), &mut dst, n, w);
+            }
+            black_box(&dst);
+        });
+        rows.push(row);
+    }
+
+    // Quantizer kernels over a flat array.
+    let values = lcg_doubles(sizes.quant_len);
+    let quant_bytes = sizes.quant_len * 8;
+
+    rows.push(time_pair("min_max", quant_bytes, sizes.runs, detected, |level| {
+        black_box(quant::min_max_at(level, black_box(&values)));
+    }));
+
+    let (lo, hi) = quant::min_max(&values).unwrap();
+    let mut bins = vec![0u32; sizes.quant_len];
+    rows.push(time_pair("bin_indices", quant_bytes, sizes.runs, detected, |level| {
+        quant::bin_indices_at(level, black_box(&values), lo, hi, 256, &mut bins);
+        black_box(&bins);
+    }));
+
+    // count_le: every probe scans the full 255-entry boundary table,
+    // so the bytes moved are probes * table, not probes * 8.
+    let mut boundaries = lcg_doubles(255);
+    boundaries.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let probes = &values[..sizes.probes];
+    let count_bytes = sizes.probes * boundaries.len() * 8;
+    rows.push(time_pair("count_le", count_bytes, sizes.runs, detected, |level| {
+        let mut acc = 0usize;
+        for &v in black_box(probes) {
+            acc += quant::count_le_at(level, &boundaries, v);
+        }
+        black_box(acc);
+    }));
+
+    let flags: Vec<bool> = values.iter().map(|&v| v > 0.0).collect();
+    rows.push(time_pair("pack_bools", sizes.quant_len, sizes.runs, detected, |level| {
+        black_box(quant::pack_bools_at(level, black_box(&flags)));
+    }));
+
+    let words = quant::pack_bools(&flags);
+    rows.push(time_pair("unpack_bools", sizes.quant_len, sizes.runs, detected, |level| {
+        black_box(quant::unpack_bools_at(level, black_box(&words), sizes.quant_len));
+    }));
+
+    rows
+}
+
+/// End-to-end pipeline under a pinned tier: (compress_ms, decompress_ms).
+fn measure_pipeline(runs: usize, tier: Level) -> (f64, f64) {
+    let t = temperature_nicam();
+    let comp = Compressor::new(CompressorConfig::paper_proposed()).unwrap();
+    ckpt_simd::set_override(Some(tier));
+    let packed = comp.compress(&t).unwrap();
+    let compress = median_time(runs, || {
+        let _ = comp.compress(&t).unwrap();
+    });
+    let decompress = median_time(runs, || {
+        let _ = Compressor::decompress(&packed.bytes).unwrap();
+    });
+    ckpt_simd::set_override(None);
+    (compress.as_secs_f64() * 1e3, decompress.as_secs_f64() * 1e3)
+}
+
+fn print_rows(rows: &[Row]) {
+    println!(
+        "{:>14} {:>12} {:>11} {:>11} {:>9} {:>9} {:>8}",
+        "kernel", "bytes", "scalar", "vector", "s GB/s", "v GB/s", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>12} {:>8.3} ms {:>8.3} ms {:>9.2} {:>9.2} {:>7.2}x",
+            r.name,
+            r.bytes,
+            r.scalar_ms,
+            r.vector_ms,
+            r.scalar_gbps(),
+            r.vector_gbps(),
+            r.speedup()
+        );
+    }
+}
+
+fn smoke(detected: Level) -> ! {
+    let rows = measure_kernels(&Sizes::smoke(), detected);
+    print_rows(&rows);
+    if detected == Level::Scalar {
+        println!(
+            "kernel_throughput --smoke: detected tier is scalar — nothing to compare, \
+             gate skipped (never a regression gate on scalar hosts)"
+        );
+        std::process::exit(0);
+    }
+    let best = rows.iter().map(Row::speedup).fold(f64::MIN, f64::max);
+    let worst = rows.iter().map(Row::speedup).fold(f64::MAX, f64::min);
+    println!(
+        "kernel_throughput --smoke: tier {}, best speedup {best:.2}x, worst {worst:.2}x",
+        detected.name()
+    );
+    if best < SMOKE_BEST_FLOOR {
+        eprintln!(
+            "FAIL: best kernel speedup {best:.2}x < {SMOKE_BEST_FLOOR}x on a {} host",
+            detected.name()
+        );
+        std::process::exit(1);
+    }
+    if worst < SMOKE_WORST_FLOOR {
+        eprintln!(
+            "FAIL: worst kernel speedup {worst:.2}x < {SMOKE_WORST_FLOOR}x — vectorization \
+             must never be a pessimization"
+        );
+        std::process::exit(1);
+    }
+    println!("ok: vectorized kernels beat scalar (best >= {SMOKE_BEST_FLOOR}x, none below {SMOKE_WORST_FLOOR}x)");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let detected = ckpt_simd::level();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(detected);
+    }
+    let out_path = args.first().cloned().unwrap_or_else(|| "BENCH_kernels.json".into());
+    let cores = ckpt_pool::host_parallelism();
+    let sizes = Sizes::full();
+
+    println!(
+        "=== Kernel throughput: scalar vs detected tier \"{}\" ({cores} cores) ===",
+        detected.name()
+    );
+    println!();
+    let rows = measure_kernels(&sizes, detected);
+    print_rows(&rows);
+
+    println!();
+    let (c_scalar, d_scalar) = measure_pipeline(sizes.runs, Level::Scalar);
+    let (c_vector, d_vector) = measure_pipeline(sizes.runs, detected);
+    println!(
+        "pipeline (1156x82x2, paper_proposed): compress {c_scalar:.2} -> {c_vector:.2} ms \
+         ({:.2}x), decompress {d_scalar:.2} -> {d_vector:.2} ms ({:.2}x)",
+        c_scalar / c_vector,
+        d_scalar / d_vector
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernel_throughput\",");
+    let _ = writeln!(json, "  \"runs\": {},", sizes.runs);
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"detected_level\": \"{}\",", detected.name());
+    let _ = writeln!(
+        json,
+        "  \"wavelet_batch\": {{\"lane_len\": {}, \"lane_width\": {}, \"iters\": {}}},",
+        sizes.lane_len, sizes.lane_width, sizes.wavelet_iters
+    );
+    let _ = writeln!(json, "  \"quant_len\": {},", sizes.quant_len);
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"scalar_ms\": {:.4}, \"vector_ms\": {:.4}, \
+             \"scalar_gbps\": {:.3}, \"vector_gbps\": {:.3}, \"speedup\": {:.3}}}{}",
+            r.name,
+            r.bytes,
+            r.scalar_ms,
+            r.vector_ms,
+            r.scalar_gbps(),
+            r.vector_gbps(),
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"pipeline\": {{\"compress_scalar_ms\": {c_scalar:.3}, \"compress_vector_ms\": \
+         {c_vector:.3}, \"decompress_scalar_ms\": {d_scalar:.3}, \"decompress_vector_ms\": \
+         {d_vector:.3}}}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("writing results file");
+    println!();
+    println!("wrote {out_path}");
+    if detected == Level::Scalar {
+        eprintln!(
+            "warning: detected tier is scalar — both columns ran the same code, so speedups \
+             read 1.0x by construction; rerun on an SSE2/AVX2 host"
+        );
+    }
+}

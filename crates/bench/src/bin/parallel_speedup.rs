@@ -108,9 +108,10 @@ fn main() {
     println!();
     println!("wrote {out_path}");
     if cores < 2 {
-        eprintln!("note: single-core host — the pool clamps every row to effective_threads = 1,");
-        eprintln!("note: so rows above 1 thread measure the chunked container at one worker");
-        eprintln!("note: (no time-slicing). Rerun on a multi-core machine for real speedups.");
+        eprintln!(
+            "warning: single-core host — every row clamps to effective_threads = 1, so \
+             speedups read ~1.0x by construction; rerun on a multi-core machine"
+        );
     }
 
     // Fail only on real regressions: a row that actually ran parallel

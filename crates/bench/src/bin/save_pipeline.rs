@@ -281,8 +281,9 @@ fn main() {
     println!();
     println!("wrote {out_path}");
     if cores < 2 {
-        eprintln!("note: single-core host — compression workers time-slice, so the overlap");
-        eprintln!("note: shown comes purely from hiding sink sleep behind compression;");
-        eprintln!("note: rerun on a multi-core machine to see >= 1.5x at 4 threads.");
+        eprintln!(
+            "warning: single-core host — overlap shown comes purely from hiding sink sleep \
+             behind compression; rerun on a multi-core machine to see >= 1.5x at 4 threads"
+        );
     }
 }

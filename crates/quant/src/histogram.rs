@@ -6,6 +6,43 @@
 //! to the last partition (a closed final interval), matching the usual
 //! histogram convention and keeping every value inside some partition.
 
+/// Streams `values` through the SIMD binning kernel in fixed-size
+/// chunks, invoking `f(value, bin)` in stream order. Bit-identical to
+/// calling [`Histogram::bin_of`] per element — the kernel replicates
+/// the same formula (including the degenerate-range and NaN → bin 0
+/// cases) — while the chunking bounds the index scratch buffer.
+pub(crate) fn for_each_bin(
+    values: &[f64],
+    lo: f64,
+    hi: f64,
+    k: usize,
+    mut f: impl FnMut(f64, usize),
+) {
+    if k > u32::MAX as usize {
+        // The kernel's u32 index type can't express such bins; nothing
+        // in the pipeline gets here (k <= 256), but keep the scalar
+        // formula as a correctness backstop.
+        for &v in values {
+            let b = if hi <= lo {
+                0
+            } else {
+                let t = (v - lo) / (hi - lo);
+                (t * k as f64) as isize
+            };
+            f(v, b.clamp(0, k as isize - 1) as usize);
+        }
+        return;
+    }
+    const CHUNK: usize = 1024;
+    let mut bins = [0u32; CHUNK];
+    for chunk in values.chunks(CHUNK) {
+        ckpt_simd::quant::bin_indices(chunk, lo, hi, k, &mut bins[..chunk.len()]);
+        for (&v, &b) in chunk.iter().zip(&bins[..chunk.len()]) {
+            f(v, b as usize);
+        }
+    }
+}
+
 /// An equal-width histogram over a fixed range.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -41,39 +78,23 @@ impl Histogram {
         }
         let workers = ckpt_pool::clamp_workers(threads, values.len());
         if workers == 1 {
-            let mut lo = values[0];
-            let mut hi = values[0];
-            for &v in &values[1..] {
-                if v < lo {
-                    lo = v;
-                }
-                if v > hi {
-                    hi = v;
-                }
-            }
+            // The SIMD scan preserves the serial strict-compare
+            // first-seen semantics bit for bit (including NaN and
+            // signed-zero ties), so lo/hi — and therefore the whole
+            // histogram geometry — are unchanged by dispatch.
+            let (lo, hi) = ckpt_simd::quant::min_max(values).expect("non-empty values");
             let mut h = Histogram { lo, hi, counts: vec![0; k], sums: vec![0.0; k] };
-            for &v in values {
-                let b = h.bin_of(v);
+            for_each_bin(values, lo, hi, k, |v, b| {
                 h.counts[b] += 1;
                 h.sums[b] += v;
-            }
+            });
             return Some(h);
         }
 
         // Per-shard min/max, merged in shard order with strict
         // comparisons — first-seen semantics, exactly as the serial scan.
         let minmax = ckpt_pool::map_shards(values, workers, |_, shard| {
-            let mut lo = shard[0];
-            let mut hi = shard[0];
-            for &v in &shard[1..] {
-                if v < lo {
-                    lo = v;
-                }
-                if v > hi {
-                    hi = v;
-                }
-            }
-            (lo, hi)
+            ckpt_simd::quant::min_max(shard).expect("shards are non-empty")
         });
         let (mut lo, mut hi) = minmax[0];
         for &(slo, shi) in &minmax[1..] {
@@ -90,9 +111,7 @@ impl Histogram {
         // addition (exact).
         let partials = ckpt_pool::map_shards(values, workers, |_, shard| {
             let mut counts = vec![0usize; k];
-            for &v in shard {
-                counts[h.bin_of(v)] += 1;
-            }
+            for_each_bin(shard, lo, hi, k, |_, b| counts[b] += 1);
             counts
         });
         for partial in partials {
@@ -102,11 +121,9 @@ impl Histogram {
         }
         // Sums stay serial in stream order: f64 addition is not
         // associative, and serial-identical averages are part of the
-        // determinism contract.
-        for &v in values {
-            let b = h.bin_of(v);
-            h.sums[b] += v;
-        }
+        // determinism contract. (Only the bin *indices* come from the
+        // SIMD kernel; the accumulation order is untouched.)
+        for_each_bin(values, lo, hi, k, |v, b| h.sums[b] += v);
         Some(h)
     }
 
@@ -285,6 +302,25 @@ mod tests {
                 assert_eq!(pb, sb, "k={k} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn for_each_bin_matches_bin_of() {
+        let values: Vec<f64> = (0..3001)
+            .map(|i| ((i as f64) * 0.0213).sin() * 7.0)
+            .chain([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 1e-308])
+            .collect();
+        for k in [1usize, 3, 64, 256] {
+            let h = Histogram::build(&values[..3001], k).unwrap();
+            let mut got = Vec::with_capacity(values.len());
+            for_each_bin(&values, h.lo(), h.hi(), k, |_, b| got.push(b));
+            let want: Vec<usize> = values.iter().map(|&v| h.bin_of(v)).collect();
+            assert_eq!(got, want, "k={k}");
+        }
+        // Degenerate range: everything lands in bin 0.
+        let mut got = Vec::new();
+        for_each_bin(&values, 2.0, 2.0, 8, |_, b| got.push(b));
+        assert!(got.iter().all(|&b| b == 0));
     }
 
     #[test]

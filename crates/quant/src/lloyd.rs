@@ -84,11 +84,15 @@ pub fn quantize(values: &[f64], n: usize) -> Result<Quantized, QuantError> {
         }
     }
 
-    // Final assignment via binary search on the midpoint boundaries.
+    // Final assignment: on the sorted boundary table,
+    // `partition_point(|&b| b <= v)` equals the number of boundaries
+    // `<= v`, which the SIMD compare-and-count kernel computes directly
+    // (the table is tiny — at most 255 entries — so a linear vectorized
+    // count beats the branchy binary search on long value streams).
     let boundaries: Vec<f64> = centroids.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
     let indexes: Vec<u8> = values
         .iter()
-        .map(|&v| boundaries.partition_point(|&b| b <= v) as u8)
+        .map(|&v| ckpt_simd::quant::count_le(&boundaries, v) as u8)
         .collect();
 
     Ok(Quantized {

@@ -56,18 +56,21 @@ pub fn quantize_threaded(
         }
     }
 
-    let encode = |v: f64| {
-        let bin = hist.bin_of(v);
-        debug_assert_ne!(remap[bin], EMPTY, "value must land in a non-empty bin");
-        remap[bin] as u8
+    // Index encoding runs the SIMD binning kernel (identical to
+    // `hist.bin_of` per element) and applies the remap table per bin.
+    let encode = |shard: &[f64]| {
+        let mut out = Vec::with_capacity(shard.len());
+        crate::histogram::for_each_bin(shard, hist.lo(), hist.hi(), n, |_, bin| {
+            debug_assert_ne!(remap[bin], EMPTY, "value must land in a non-empty bin");
+            out.push(remap[bin] as u8);
+        });
+        out
     };
     let workers = ckpt_pool::clamp_workers(threads, values.len());
     let indexes: Vec<u8> = if workers == 1 {
-        values.iter().map(|&v| encode(v)).collect()
+        encode(values)
     } else {
-        let shards = ckpt_pool::map_shards(values, workers, |_, shard| {
-            shard.iter().map(|&v| encode(v)).collect::<Vec<u8>>()
-        });
+        let shards = ckpt_pool::map_shards(values, workers, |_, shard| encode(shard));
         let mut out = Vec::with_capacity(values.len());
         for shard in shards {
             out.extend_from_slice(&shard);

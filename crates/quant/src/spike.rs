@@ -89,48 +89,43 @@ pub fn quantize_with_threshold_threaded(
     };
 
     // Split the stream into detected (to be quantized) and pass-through
-    // populations, remembering positions via the bitmap.
-    let mut bitmap = Bitmap::zeros(values.len());
+    // populations, remembering positions via the bitmap. Bin membership
+    // runs the SIMD binning kernel (identical to `hist.bin_of` per
+    // element) and the membership flags are packed into bitmap words by
+    // the SIMD pack kernel instead of one `set` call per bit.
     let mut detected = Vec::new();
     let mut raw = Vec::new();
     let workers = ckpt_pool::clamp_workers(threads, values.len());
-    if workers == 1 {
-        for (i, &v) in values.iter().enumerate() {
-            if spiked[hist.bin_of(v)] {
-                bitmap.set(i, true);
-                detected.push(v);
+    let split = |shard: &[f64], det: &mut Vec<f64>, r: &mut Vec<f64>| {
+        let mut flags = Vec::with_capacity(shard.len());
+        crate::histogram::for_each_bin(shard, hist.lo(), hist.hi(), d, |v, b| {
+            let hit = spiked[b];
+            flags.push(hit);
+            if hit {
+                det.push(v);
             } else {
-                raw.push(v);
+                r.push(v);
             }
-        }
+        });
+        flags
+    };
+    let bitmap = if workers == 1 {
+        Bitmap::from_bools(&split(values, &mut detected, &mut raw))
     } else {
         let shards = ckpt_pool::map_shards(values, workers, |_, shard| {
-            let mut flags = Vec::with_capacity(shard.len());
             let mut det = Vec::new();
             let mut r = Vec::new();
-            for &v in shard {
-                let hit = spiked[hist.bin_of(v)];
-                flags.push(hit);
-                if hit {
-                    det.push(v);
-                } else {
-                    r.push(v);
-                }
-            }
+            let flags = split(shard, &mut det, &mut r);
             (flags, det, r)
         });
-        let mut i = 0;
-        for (flags, det, r) in shards {
-            for hit in flags {
-                if hit {
-                    bitmap.set(i, true);
-                }
-                i += 1;
-            }
+        let mut flags = Vec::with_capacity(values.len());
+        for (f, det, r) in shards {
+            flags.extend_from_slice(&f);
             detected.extend_from_slice(&det);
             raw.extend_from_slice(&r);
         }
-    }
+        Bitmap::from_bools(&flags)
+    };
 
     // Simple quantization over the detected values only.
     let inner = simple::quantize_threaded(&detected, n, threads)?;

@@ -1,0 +1,149 @@
+//! SIMD ↔ scalar equivalence harness for the quantizer kernels.
+//!
+//! Each ckpt-simd quant kernel is pinned against an inline serial
+//! reference written in the exact association/comparison order the
+//! quantizers used before vectorization — bit-for-bit, across every
+//! runtime-available tier, including NaN, ±inf, signed zeros and
+//! degenerate ranges.
+
+#![allow(clippy::needless_update)]
+
+use ckpt_simd::dispatch::Level;
+use ckpt_simd::quant;
+use proptest::prelude::*;
+
+fn available_tiers() -> Vec<Level> {
+    [Level::Scalar, Level::Sse2, Level::Avx2]
+        .into_iter()
+        .filter(|l| l.is_available())
+        .collect()
+}
+
+/// Serial reference: strict-compare first-seen min/max from element 0.
+fn ref_min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let (&first, rest) = values.split_first()?;
+    let mut lo = first;
+    let mut hi = first;
+    for &v in rest {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Serial reference: the histogram `bin_of` formula.
+fn ref_bin(v: f64, lo: f64, hi: f64, k: usize) -> u32 {
+    if hi <= lo {
+        return 0;
+    }
+    let t = (v - lo) / (hi - lo);
+    let b = (t * k as f64) as isize;
+    b.clamp(0, k as isize - 1) as u32
+}
+
+fn lcg_values(seed: u64, len: usize, with_specials: bool) -> Vec<f64> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    (0..len)
+        .map(|k| {
+            if with_specials {
+                match k % 11 {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => -0.0,
+                    4 => 0.0,
+                    _ => f64::from_bits(next()),
+                }
+            } else {
+                ((next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 100.0
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn min_max_matches_reference(len in 0usize..300, seed in any::<u64>(), specials in any::<bool>()) {
+        let values = lcg_values(seed, len, specials);
+        let want = ref_min_max(&values).map(|(a, b)| (a.to_bits(), b.to_bits()));
+        for level in available_tiers() {
+            let got = quant::min_max_at(level, &values).map(|(a, b)| (a.to_bits(), b.to_bits()));
+            prop_assert_eq!(got, want, "level={:?} len={}", level, len);
+        }
+    }
+
+    #[test]
+    fn bin_indices_matches_reference(
+        len in 0usize..300, k in 1usize..300, seed in any::<u64>(), degenerate in any::<bool>(),
+    ) {
+        let values = lcg_values(seed, len, true);
+        let (lo, hi) = if degenerate {
+            (2.5, 2.5) // hi <= lo: everything lands in bin 0
+        } else {
+            ref_min_max(&lcg_values(seed ^ 7, len.max(2), false)).unwrap()
+        };
+        let want: Vec<u32> = values.iter().map(|&v| ref_bin(v, lo, hi, k)).collect();
+        for level in available_tiers() {
+            let mut got = vec![u32::MAX; len];
+            quant::bin_indices_at(level, &values, lo, hi, k, &mut got);
+            prop_assert_eq!(&got, &want, "level={:?} len={} k={}", level, len, k);
+        }
+    }
+
+    #[test]
+    fn count_le_matches_partition_point(
+        nb in 0usize..256, seed in any::<u64>(), probe_special in any::<bool>(),
+    ) {
+        // Sorted boundary table, as Lloyd-Max builds it.
+        let mut boundaries = lcg_values(seed, nb, false);
+        boundaries.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let probes = if probe_special {
+            vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0]
+        } else {
+            lcg_values(seed ^ 3, 16, false)
+        };
+        for &v in &probes {
+            let want = boundaries.partition_point(|&b| b <= v);
+            for level in available_tiers() {
+                prop_assert_eq!(
+                    quant::count_le_at(level, &boundaries, v), want,
+                    "level={:?} v={} nb={}", level, v, nb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_matches_reference(len in 0usize..520, seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let flags: Vec<bool> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state & 4096 != 0
+            })
+            .collect();
+        // Serial reference pack: LSB-first bit loop.
+        let mut want = vec![0u64; len.div_ceil(64)];
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                want[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        for level in available_tiers() {
+            let packed = quant::pack_bools_at(level, &flags);
+            prop_assert_eq!(&packed, &want, "pack level={:?} len={}", level, len);
+            let unpacked = quant::unpack_bools_at(level, &packed, len);
+            prop_assert_eq!(&unpacked, &flags, "unpack level={:?} len={}", level, len);
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! Vectorized quantizer scans.
+//!
+//! Four kernels, each bit-identical to the scalar loops they replace in
+//! `crates/quant` (pinned by `crates/quant/tests/simd_equivalence.rs`):
+//!
+//! - [`min_max`] — the histogram/spike range scan, with the serial
+//!   first-seen semantics for NaN and signed zero preserved;
+//! - [`bin_indices`] — `Histogram::bin_of` over a slice (the binning,
+//!   encoding, and spike-split hot loop);
+//! - [`count_le`] — `boundaries.partition_point(|&b| b <= v)` for a
+//!   sorted boundary table (the Lloyd-Max assignment loop);
+//! - [`pack_bools`] / [`unpack_bools`] — bitmap pack/unpack between one
+//!   bool per element and LSB-first u64 words.
+//!
+//! Float kernels never reassociate: `min_max` reduces per-lane
+//! accumulators in lane order with the same strict comparisons the
+//! serial scan uses (plus a signed-zero fixup, see below), and
+//! `bin_indices` evaluates the exact scalar expression
+//! `((v - lo) / (hi - lo) * k) as isize` per element — SIMD covers the
+//! sub/div/mul, the cast and clamp stay scalar per element.
+
+use crate::dispatch::{self, Level};
+
+/// First-seen min/max of `values` with the serial scan's semantics:
+/// strict `<`/`>` comparisons starting from `values[0]`, so NaN is
+/// never selected (unless `values[0]` is NaN, which then sticks) and
+/// the first-seen zero wins among `±0.0`. Returns `None` when empty.
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    min_max_at(dispatch::level(), values)
+}
+
+/// [`min_max`] at an explicit tier.
+pub fn min_max_at(level: Level, values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    level.assert_available();
+    let (lo, hi) = match level {
+        Level::Scalar => scalar::min_max(values),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified SSE2 is present.
+        Level::Sse2 => unsafe { sse2::min_max(values) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified AVX2 is present.
+        Level::Avx2 => unsafe { avx2::min_max(values) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::min_max(values),
+    };
+    // Signed-zero fixup: a blocked reduction can surface a later ±0.0
+    // than the serial first-seen scan would (−0.0 == 0.0 but the bits
+    // differ). If an extremum is zero, take the *first* zero in stream
+    // order — exactly what the serial scan returns. Idempotent on the
+    // scalar tier.
+    let first_zero = |fallback: f64| {
+        values.iter().copied().find(|&v| v == 0.0).unwrap_or(fallback)
+    };
+    let lo = if lo == 0.0 { first_zero(lo) } else { lo };
+    let hi = if hi == 0.0 { first_zero(hi) } else { hi };
+    Some((lo, hi))
+}
+
+/// Writes the histogram bin of each value into `out`, replicating
+/// `Histogram::bin_of` bit for bit: bin `((v-lo)/(hi-lo)*k) as isize`
+/// clamped to `[0, k-1]`, everything in bin 0 when `hi <= lo`.
+///
+/// Panics if `out.len() != values.len()` or `k == 0` / `k > u32::MAX`.
+pub fn bin_indices(values: &[f64], lo: f64, hi: f64, k: usize, out: &mut [u32]) {
+    bin_indices_at(dispatch::level(), values, lo, hi, k, out);
+}
+
+/// [`bin_indices`] at an explicit tier.
+pub fn bin_indices_at(level: Level, values: &[f64], lo: f64, hi: f64, k: usize, out: &mut [u32]) {
+    assert_eq!(values.len(), out.len(), "bin_indices buffers must match");
+    assert!(k >= 1 && k <= u32::MAX as usize, "bin count {k} out of range");
+    if hi.partial_cmp(&lo) != Some(core::cmp::Ordering::Greater) {
+        // `hi <= lo` (or either bound NaN, where the quotient is NaN
+        // and the cast saturates to 0): bin_of returns 0 everywhere.
+        out.fill(0);
+        return;
+    }
+    level.assert_available();
+    match level {
+        Level::Scalar => scalar::bin_indices(values, lo, hi, k, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified SSE2 is present.
+        Level::Sse2 => unsafe { sse2::bin_indices(values, lo, hi, k, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified AVX2 is present.
+        Level::Avx2 => unsafe { avx2::bin_indices(values, lo, hi, k, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::bin_indices(values, lo, hi, k, out),
+    }
+}
+
+/// Number of elements `<= v`. For a sorted-ascending `boundaries` table
+/// this equals `boundaries.partition_point(|&b| b <= v)` — the
+/// Lloyd-Max cell assignment. NaN boundaries and NaN `v` compare false,
+/// as in the scalar comparison.
+pub fn count_le(boundaries: &[f64], v: f64) -> usize {
+    count_le_at(dispatch::level(), boundaries, v)
+}
+
+/// [`count_le`] at an explicit tier.
+pub fn count_le_at(level: Level, boundaries: &[f64], v: f64) -> usize {
+    level.assert_available();
+    match level {
+        Level::Scalar => scalar::count_le(boundaries, v),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified SSE2 is present.
+        Level::Sse2 => unsafe { sse2::count_le(boundaries, v) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified AVX2 is present.
+        Level::Avx2 => unsafe { avx2::count_le(boundaries, v) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::count_le(boundaries, v),
+    }
+}
+
+/// Packs one bool per bit into LSB-first u64 words (bit `i` of the
+/// result is `flags[i]`, in word `i / 64` at position `i % 64`). The
+/// result always has `flags.len().div_ceil(64)` words with a clear
+/// tail.
+pub fn pack_bools(flags: &[bool]) -> Vec<u64> {
+    pack_bools_at(dispatch::level(), flags)
+}
+
+/// [`pack_bools`] at an explicit tier.
+pub fn pack_bools_at(level: Level, flags: &[bool]) -> Vec<u64> {
+    level.assert_available();
+    match level {
+        Level::Scalar => scalar::pack_bools(flags),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified SSE2 is present.
+        Level::Sse2 => unsafe { sse2::pack_bools(flags) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified AVX2 is present
+        // (which implies SSE2 for the 128-bit unpack path).
+        Level::Avx2 => unsafe { avx2::pack_bools(flags) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::pack_bools(flags),
+    }
+}
+
+/// Inverse of [`pack_bools`]: expands `len` bits of LSB-first words
+/// into one bool per element.
+///
+/// Panics unless `words.len() == len.div_ceil(64)`.
+pub fn unpack_bools(words: &[u64], len: usize) -> Vec<bool> {
+    unpack_bools_at(dispatch::level(), words, len)
+}
+
+/// [`unpack_bools`] at an explicit tier.
+pub fn unpack_bools_at(level: Level, words: &[u64], len: usize) -> Vec<bool> {
+    assert_eq!(words.len(), len.div_ceil(64), "unpack_bools word count must match len");
+    level.assert_available();
+    match level {
+        Level::Scalar => scalar::unpack_bools(words, len),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available verified SSE2 (directly, or implied
+        // by AVX2) — the 128-bit expand covers both tiers.
+        Level::Sse2 | Level::Avx2 => unsafe { sse2::unpack_bools(words, len) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::unpack_bools(words, len),
+    }
+}
+
+/// Portable reference tier: the exact scalar loops from `crates/quant`.
+mod scalar {
+    pub(super) fn min_max(values: &[f64]) -> (f64, f64) {
+        let mut lo = values[0];
+        let mut hi = values[0];
+        for &v in &values[1..] {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        (lo, hi)
+    }
+
+    pub(super) fn bin_indices(values: &[f64], lo: f64, hi: f64, k: usize, out: &mut [u32]) {
+        for (o, &v) in out.iter_mut().zip(values) {
+            let t = (v - lo) / (hi - lo);
+            let b = (t * k as f64) as isize;
+            *o = b.clamp(0, k as isize - 1) as u32;
+        }
+    }
+
+    pub(super) fn count_le(boundaries: &[f64], v: f64) -> usize {
+        boundaries.iter().filter(|&&b| b <= v).count()
+    }
+
+    pub(super) fn pack_bools(flags: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; flags.len().div_ceil(64)];
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
+
+    pub(super) fn unpack_bools(words: &[u64], len: usize) -> Vec<bool> {
+        (0..len).map(|i| words[i / 64] & (1u64 << (i % 64)) != 0).collect()
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// SSE2 must be available; `values` is non-empty.
+    ///
+    /// `_mm_min_pd(v, acc)` returns `v` iff `v < acc` and `acc`
+    /// otherwise (equal operands and NaNs yield the second operand), so
+    /// each lane keeps the serial scan's strict-compare first-seen
+    /// semantics; the lane-order reduction below uses the same strict
+    /// compares. The caller's signed-zero fixup handles cross-lane
+    /// `±0.0` ties.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn min_max(values: &[f64]) -> (f64, f64) {
+        let n = values.len();
+        if n < 4 {
+            return super::scalar::min_max(values);
+        }
+        let p = values.as_ptr();
+        let mut vlo = _mm_loadu_pd(p);
+        let mut vhi = vlo;
+        let mut i = 2;
+        while i + 2 <= n {
+            let v = _mm_loadu_pd(p.add(i));
+            vlo = _mm_min_pd(v, vlo);
+            vhi = _mm_max_pd(v, vhi);
+            i += 2;
+        }
+        let mut lanes_lo = [0.0f64; 2];
+        let mut lanes_hi = [0.0f64; 2];
+        _mm_storeu_pd(lanes_lo.as_mut_ptr(), vlo);
+        _mm_storeu_pd(lanes_hi.as_mut_ptr(), vhi);
+        let mut lo = lanes_lo[0];
+        if lanes_lo[1] < lo {
+            lo = lanes_lo[1];
+        }
+        let mut hi = lanes_hi[0];
+        if lanes_hi[1] > hi {
+            hi = lanes_hi[1];
+        }
+        while i < n {
+            let v = *p.add(i);
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+            i += 1;
+        }
+        (lo, hi)
+    }
+
+    /// # Safety
+    /// SSE2 available; `out.len() == values.len()`; `hi > lo`;
+    /// `1 <= k <= u32::MAX`.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn bin_indices(
+        values: &[f64],
+        lo: f64,
+        hi: f64,
+        k: usize,
+        out: &mut [u32],
+    ) {
+        let vlo = _mm_set1_pd(lo);
+        let vrange = _mm_set1_pd(hi - lo);
+        let vk = _mm_set1_pd(k as f64);
+        let kmax = k as isize - 1;
+        let p = values.as_ptr();
+        let mut buf = [0.0f64; 2];
+        let mut i = 0;
+        while i + 2 <= values.len() {
+            let t = _mm_div_pd(_mm_sub_pd(_mm_loadu_pd(p.add(i)), vlo), vrange);
+            _mm_storeu_pd(buf.as_mut_ptr(), _mm_mul_pd(t, vk));
+            out[i] = (buf[0] as isize).clamp(0, kmax) as u32;
+            out[i + 1] = (buf[1] as isize).clamp(0, kmax) as u32;
+            i += 2;
+        }
+        while i < values.len() {
+            let t = (*p.add(i) - lo) / (hi - lo);
+            out[i] = ((t * k as f64) as isize).clamp(0, kmax) as u32;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// SSE2 must be available. `_mm_cmple_pd` is false on NaN in either
+    /// operand, matching the scalar `b <= v`.
+    ///
+    /// The compare mask is all-ones (-1 as i64) per satisfied lane, so
+    /// subtracting it from an integer accumulator counts matches
+    /// without a per-iteration movemask round-trip to scalar.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn count_le(boundaries: &[f64], v: f64) -> usize {
+        let vv = _mm_set1_pd(v);
+        let p = boundaries.as_ptr();
+        let n = boundaries.len();
+        let mut acc = _mm_setzero_si128();
+        let mut i = 0;
+        while i + 2 <= n {
+            let m = _mm_castpd_si128(_mm_cmple_pd(_mm_loadu_pd(p.add(i)), vv));
+            acc = _mm_sub_epi64(acc, m);
+            i += 2;
+        }
+        let mut lanes = [0i64; 2];
+        _mm_storeu_si128(lanes.as_mut_ptr().cast::<__m128i>(), acc);
+        let mut count = (lanes[0] + lanes[1]) as usize;
+        while i < n {
+            if *p.add(i) <= v {
+                count += 1;
+            }
+            i += 1;
+        }
+        count
+    }
+
+    /// # Safety
+    /// SSE2 must be available. `bool` is guaranteed to be one byte
+    /// holding 0 or 1, so `cmpgt(v, 0)` marks exactly the true flags
+    /// and `movemask` collects them 16 at a time; `i` stays a multiple
+    /// of 16, so each mask lands inside one u64 word.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn pack_bools(flags: &[bool]) -> Vec<u64> {
+        let len = flags.len();
+        let mut words = vec![0u64; len.div_ceil(64)];
+        let p = flags.as_ptr().cast::<u8>();
+        let zero = _mm_setzero_si128();
+        let mut i = 0;
+        while i + 16 <= len {
+            let v = _mm_loadu_si128(p.add(i).cast::<__m128i>());
+            let m = _mm_movemask_epi8(_mm_cmpgt_epi8(v, zero)) as u64;
+            words[i / 64] |= m << (i % 64);
+            i += 16;
+        }
+        while i < len {
+            if flags[i] {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+            i += 1;
+        }
+        words
+    }
+
+    /// # Safety
+    /// SSE2 available; `words.len() == len.div_ceil(64)`. Expands one
+    /// mask byte to 8 bool bytes: broadcast the byte, AND against the
+    /// per-lane bit masks, compare-equal, mask to 0/1 — writing 0/1
+    /// bytes into `Vec<bool>` storage is valid. `i` stays a multiple
+    /// of 8 so each byte comes from a single word.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn unpack_bools(words: &[u64], len: usize) -> Vec<bool> {
+        let mut out = vec![false; len];
+        #[allow(overflowing_literals)]
+        let bits = _mm_set_epi8(
+            0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01, 0x80, 0x40, 0x20, 0x10, 0x08, 0x04,
+            0x02, 0x01,
+        );
+        let one = _mm_set1_epi8(1);
+        let p = out.as_mut_ptr().cast::<u8>();
+        let mut i = 0;
+        while i + 8 <= len {
+            let byte = ((words[i / 64] >> (i % 64)) & 0xFF) as i8;
+            let sel = _mm_and_si128(_mm_set1_epi8(byte), bits);
+            let booleans = _mm_and_si128(_mm_cmpeq_epi8(sel, bits), one);
+            _mm_storel_epi64(p.add(i).cast::<__m128i>(), booleans);
+            i += 8;
+        }
+        while i < len {
+            out[i] = words[i / 64] & (1u64 << (i % 64)) != 0;
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// AVX2 must be available; `values` is non-empty. Same per-lane
+    /// first-seen argument as the SSE2 tier, four lanes wide.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn min_max(values: &[f64]) -> (f64, f64) {
+        let n = values.len();
+        if n < 8 {
+            return super::scalar::min_max(values);
+        }
+        let p = values.as_ptr();
+        let mut vlo = _mm256_loadu_pd(p);
+        let mut vhi = vlo;
+        let mut i = 4;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(p.add(i));
+            vlo = _mm256_min_pd(v, vlo);
+            vhi = _mm256_max_pd(v, vhi);
+            i += 4;
+        }
+        let mut lanes_lo = [0.0f64; 4];
+        let mut lanes_hi = [0.0f64; 4];
+        _mm256_storeu_pd(lanes_lo.as_mut_ptr(), vlo);
+        _mm256_storeu_pd(lanes_hi.as_mut_ptr(), vhi);
+        let mut lo = lanes_lo[0];
+        let mut hi = lanes_hi[0];
+        for lane in 1..4 {
+            if lanes_lo[lane] < lo {
+                lo = lanes_lo[lane];
+            }
+            if lanes_hi[lane] > hi {
+                hi = lanes_hi[lane];
+            }
+        }
+        while i < n {
+            let v = *p.add(i);
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+            i += 1;
+        }
+        (lo, hi)
+    }
+
+    /// # Safety
+    /// AVX2 available; `out.len() == values.len()`; `hi > lo`;
+    /// `1 <= k <= u32::MAX`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn bin_indices(
+        values: &[f64],
+        lo: f64,
+        hi: f64,
+        k: usize,
+        out: &mut [u32],
+    ) {
+        let vlo = _mm256_set1_pd(lo);
+        let vrange = _mm256_set1_pd(hi - lo);
+        let vk = _mm256_set1_pd(k as f64);
+        let kmax = k as isize - 1;
+        let p = values.as_ptr();
+        let mut buf = [0.0f64; 4];
+        let mut i = 0;
+        while i + 4 <= values.len() {
+            let t = _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(p.add(i)), vlo), vrange);
+            _mm256_storeu_pd(buf.as_mut_ptr(), _mm256_mul_pd(t, vk));
+            for (j, &x) in buf.iter().enumerate() {
+                out[i + j] = (x as isize).clamp(0, kmax) as u32;
+            }
+            i += 4;
+        }
+        while i < values.len() {
+            let t = (*p.add(i) - lo) / (hi - lo);
+            out[i] = ((t * k as f64) as isize).clamp(0, kmax) as u32;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available. `_CMP_LE_OQ` is false on NaN, matching
+    /// the scalar `b <= v`.
+    ///
+    /// Two independent accumulators (compare mask is -1 per satisfied
+    /// lane; subtracting accumulates in-register) hide the sub latency
+    /// and skip the per-iteration movemask round-trip to scalar.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn count_le(boundaries: &[f64], v: f64) -> usize {
+        let vv = _mm256_set1_pd(v);
+        let p = boundaries.as_ptr();
+        let n = boundaries.len();
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 8 <= n {
+            let m0 = _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(p.add(i)), vv));
+            let m1 =
+                _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(p.add(i + 4)), vv));
+            acc0 = _mm256_sub_epi64(acc0, m0);
+            acc1 = _mm256_sub_epi64(acc1, m1);
+            i += 8;
+        }
+        while i + 4 <= n {
+            let m = _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(p.add(i)), vv));
+            acc0 = _mm256_sub_epi64(acc0, m);
+            i += 4;
+        }
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), _mm256_add_epi64(acc0, acc1));
+        let mut count = (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as usize;
+        while i < n {
+            if *p.add(i) <= v {
+                count += 1;
+            }
+            i += 1;
+        }
+        count
+    }
+
+    /// # Safety
+    /// AVX2 must be available. Same argument as the SSE2 pack, 32 flags
+    /// per iteration; `i` stays a multiple of 32 so each mask lands
+    /// inside one u64 word.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pack_bools(flags: &[bool]) -> Vec<u64> {
+        let len = flags.len();
+        let mut words = vec![0u64; len.div_ceil(64)];
+        let p = flags.as_ptr().cast::<u8>();
+        let zero = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 32 <= len {
+            let v = _mm256_loadu_si256(p.add(i).cast::<__m256i>());
+            let m = _mm256_movemask_epi8(_mm256_cmpgt_epi8(v, zero)) as u32 as u64;
+            words[i / 64] |= m << (i % 64);
+            i += 32;
+        }
+        while i < len {
+            if flags[i] {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+            i += 1;
+        }
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiers() -> Vec<Level> {
+        [Level::Scalar, Level::Sse2, Level::Avx2]
+            .into_iter()
+            .filter(|l| l.is_available())
+            .collect()
+    }
+
+    #[test]
+    fn min_max_first_seen_zero_and_nan() {
+        let vals = [1.0, 0.0, 5.0, -0.0, 3.0, 9.0, 2.0, 4.0, 8.0, 7.0];
+        for level in tiers() {
+            let (lo, hi) = min_max_at(level, &vals).unwrap();
+            assert_eq!(lo.to_bits(), 0.0f64.to_bits(), "{}", level.name());
+            assert_eq!(hi, 9.0);
+        }
+        let nan_first = [f64::NAN, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        for level in tiers() {
+            let (lo, hi) = min_max_at(level, &nan_first).unwrap();
+            assert!(lo.is_nan(), "{}", level.name());
+            assert!(hi.is_nan(), "{}", level.name());
+        }
+        let nan_later = [3.0, 1.0, f64::NAN, 2.0, 9.0, 4.0, 5.0, 6.0, 7.0];
+        for level in tiers() {
+            let (lo, hi) = min_max_at(level, &nan_later).unwrap();
+            assert_eq!((lo, hi), (1.0, 9.0), "{}", level.name());
+        }
+        assert_eq!(min_max_at(Level::Scalar, &[]), None);
+    }
+
+    #[test]
+    fn count_le_matches_partition_point() {
+        let sorted: Vec<f64> = (0..37).map(|i| i as f64 * 0.5 - 3.0).collect();
+        for v in [-10.0, -3.0, -2.75, 0.0, 7.3, 100.0, f64::NAN] {
+            let want = sorted.partition_point(|&b| b <= v);
+            for level in tiers() {
+                assert_eq!(count_le_at(level, &sorted, v), want, "{} v={v}", level.name());
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_all_tiers() {
+        for len in [0usize, 1, 7, 8, 15, 16, 17, 63, 64, 65, 100, 127, 128, 321] {
+            let flags: Vec<bool> = (0..len).map(|i| (i * 7 + 3) % 5 < 2).collect();
+            let want = scalar_pack(&flags);
+            for level in tiers() {
+                let words = pack_bools_at(level, &flags);
+                assert_eq!(words, want, "pack {} len={len}", level.name());
+                let back = unpack_bools_at(level, &words, len);
+                assert_eq!(back, flags, "unpack {} len={len}", level.name());
+            }
+        }
+    }
+
+    fn scalar_pack(flags: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; flags.len().div_ceil(64)];
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
+
+    #[test]
+    fn bin_indices_matches_scalar_formula() {
+        let vals: Vec<f64> = (0..101).map(|i| (i as f64 * 0.37).sin() * 12.0).collect();
+        let (lo, hi) = min_max_at(Level::Scalar, &vals).unwrap();
+        for k in [1usize, 2, 64, 255] {
+            let mut want = vec![0u32; vals.len()];
+            bin_indices_at(Level::Scalar, &vals, lo, hi, k, &mut want);
+            for level in tiers() {
+                let mut got = vec![0u32; vals.len()];
+                bin_indices_at(level, &vals, lo, hi, k, &mut got);
+                assert_eq!(got, want, "{} k={k}", level.name());
+            }
+            // Degenerate range: everything in bin 0.
+            let mut got = vec![9u32; vals.len()];
+            bin_indices_at(Level::Scalar, &vals, 1.0, 1.0, k, &mut got);
+            assert!(got.iter().all(|&b| b == 0));
+        }
+    }
+}

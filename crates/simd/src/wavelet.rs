@@ -1,0 +1,818 @@
+//! Batched multi-lane wavelet kernels.
+//!
+//! Layout: a batch holds `w` lanes interleaved row-major — element `k`
+//! of lane `j` lives at `buf[k * w + j]`. A *row* is the `w` values at
+//! one lane position. This is exactly the memory a vertical (strided)
+//! tensor pass touches contiguously, so every per-lane scalar operation
+//! becomes one contiguous row operation, and row operations map 1:1
+//! onto SIMD vectors with a scalar tail.
+//!
+//! Bit-identical contract: every tier performs the per-lane arithmetic
+//! of the reference 1-d kernels in `ckpt-wavelet` (`haar.rs`,
+//! `cdf53.rs`, `cdf97.rs`) in the same association order. Lanes are
+//! independent, so vectorizing *across* lanes reorders nothing within a
+//! lane. The only expression rewrites used are value-preserving for
+//! every IEEE-754 double, including NaN payloads and subnormals:
+//!
+//! - `x / 2.0` ⇔ `x * 0.5` and `x / 4.0` ⇔ `x * 0.25` (power-of-two
+//!   scale, correctly rounded either way);
+//! - `a - t` ⇔ `a + (-t)` where `-t` comes from `t * (-c)` with the
+//!   sign folded into the constant.
+//!
+//! FMA is deliberately never used (fused rounding differs from the
+//! scalar mul-then-add), and the 9/7 `/ K` stays a division (`K` is not
+//! a power of two). The proptest harnesses in
+//! `crates/wavelet/tests/simd_equivalence.rs` pin every tier to the
+//! reference kernels on arbitrary bit patterns.
+
+use crate::dispatch::{self, Level};
+
+// CDF 9/7 lifting constants — must match crates/wavelet/src/cdf97.rs
+// exactly (the equivalence harness pins this).
+const ALPHA: f64 = -1.586_134_342_059_924;
+const BETA: f64 = -0.052_980_118_572_961;
+const GAMMA: f64 = 0.882_911_075_530_934;
+const DELTA: f64 = 0.443_506_852_043_971;
+const K: f64 = 1.230_174_104_914_001;
+
+/// Symmetric (whole-sample) extension index, as in
+/// `crates/wavelet/src/cdf53.rs`.
+#[inline]
+fn reflect(i: isize, n: usize) -> usize {
+    debug_assert!(n >= 1);
+    let n = n as isize;
+    let mut i = i;
+    if i < 0 {
+        i = -i;
+    }
+    if i >= n {
+        i = 2 * (n - 1) - i;
+    }
+    i.clamp(0, n - 1) as usize
+}
+
+/// One batched lane transform: which wavelet, which direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveletOp {
+    HaarForward,
+    HaarInverse,
+    Cdf53Forward,
+    Cdf53Inverse,
+    Cdf97Forward,
+    Cdf97Inverse,
+}
+
+impl WaveletOp {
+    /// Stable name for bench JSON rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaveletOp::HaarForward => "haar_forward",
+            WaveletOp::HaarInverse => "haar_inverse",
+            WaveletOp::Cdf53Forward => "cdf53_forward",
+            WaveletOp::Cdf53Inverse => "cdf53_inverse",
+            WaveletOp::Cdf97Forward => "cdf97_forward",
+            WaveletOp::Cdf97Inverse => "cdf97_inverse",
+        }
+    }
+
+    /// All ops, for harnesses and benches.
+    pub const ALL: [WaveletOp; 6] = [
+        WaveletOp::HaarForward,
+        WaveletOp::HaarInverse,
+        WaveletOp::Cdf53Forward,
+        WaveletOp::Cdf53Inverse,
+        WaveletOp::Cdf97Forward,
+        WaveletOp::Cdf97Inverse,
+    ];
+}
+
+/// Applies `op` to a batch of `w` interleaved lanes of length `n` at
+/// the process-wide dispatch tier.
+pub fn apply(op: WaveletOp, src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+    apply_at(dispatch::level(), op, src, dst, n, w);
+}
+
+/// Applies `op` at an explicit tier (harness/bench entry point).
+///
+/// Panics if the buffers are not `n * w` long or the tier is not
+/// available on this CPU.
+pub fn apply_at(level: Level, op: WaveletOp, src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+    assert_eq!(src.len(), n * w, "batch src must be n*w");
+    assert_eq!(dst.len(), n * w, "batch dst must be n*w");
+    if n == 0 || w == 0 {
+        return;
+    }
+    level.assert_available();
+    match level {
+        Level::Scalar => scalar::apply(op, src, dst, n, w),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified SSE2 is present.
+        Level::Sse2 => unsafe { sse2::apply(op, src, dst, n, w) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: assert_available above verified AVX2 is present.
+        Level::Avx2 => unsafe { avx2::apply(op, src, dst, n, w) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::apply(op, src, dst, n, w),
+    }
+}
+
+/// Portable reference tier: the 1-d kernels transcribed to batch
+/// layout, expression for expression.
+mod scalar {
+    use super::{reflect, WaveletOp, ALPHA, BETA, DELTA, GAMMA, K};
+
+    pub(super) fn apply(op: WaveletOp, src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+        match op {
+            WaveletOp::HaarForward => haar_forward(src, dst, n, w),
+            WaveletOp::HaarInverse => haar_inverse(src, dst, n, w),
+            WaveletOp::Cdf53Forward => cdf53_forward(src, dst, n, w),
+            WaveletOp::Cdf53Inverse => cdf53_inverse(src, dst, n, w),
+            WaveletOp::Cdf97Forward => cdf97_forward(src, dst, n, w),
+            WaveletOp::Cdf97Inverse => cdf97_inverse(src, dst, n, w),
+        }
+    }
+
+    fn haar_forward(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+        let h = n.div_ceil(2);
+        for i in 0..n / 2 {
+            for j in 0..w {
+                let a = src[2 * i * w + j];
+                let b = src[(2 * i + 1) * w + j];
+                dst[i * w + j] = (a + b) / 2.0;
+                dst[(h + i) * w + j] = (a - b) / 2.0;
+            }
+        }
+        if n % 2 == 1 {
+            dst[(h - 1) * w..h * w].copy_from_slice(&src[(n - 1) * w..n * w]);
+        }
+    }
+
+    fn haar_inverse(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+        let h = n.div_ceil(2);
+        for i in 0..n / 2 {
+            for j in 0..w {
+                let l = src[i * w + j];
+                let hi = src[(h + i) * w + j];
+                dst[2 * i * w + j] = l + hi;
+                dst[(2 * i + 1) * w + j] = l - hi;
+            }
+        }
+        if n % 2 == 1 {
+            dst[(n - 1) * w..n * w].copy_from_slice(&src[(h - 1) * w..h * w]);
+        }
+    }
+
+    fn cdf53_forward(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+        if n == 1 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let h = n.div_ceil(2);
+        let pairs = n / 2;
+        for i in 0..pairs {
+            let r = reflect(2 * i as isize + 2, n);
+            for j in 0..w {
+                let left = src[2 * i * w + j];
+                let right = src[r * w + j];
+                dst[(h + i) * w + j] = src[(2 * i + 1) * w + j] - (left + right) / 2.0;
+            }
+        }
+        for i in 0..h {
+            // The reference kernel's `2*i >= n` break never fires for
+            // i < ceil(n/2); likewise pairs >= 1 because n >= 2 here.
+            let dp = if i == 0 { h } else { h + i - 1 };
+            let dh = if i < pairs { h + i } else { dp };
+            for j in 0..w {
+                let d_prev = dst[dp * w + j];
+                let d_here = dst[dh * w + j];
+                dst[i * w + j] = src[2 * i * w + j] + (d_prev + d_here) / 4.0;
+            }
+        }
+    }
+
+    fn cdf53_inverse(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+        if n == 1 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let h = n.div_ceil(2);
+        let pairs = n / 2;
+        for i in 0..h {
+            let dp = if i == 0 { h } else { h + i - 1 };
+            let dh = if i < pairs { h + i } else { dp };
+            for j in 0..w {
+                let d_prev = src[dp * w + j];
+                let d_here = src[dh * w + j];
+                dst[2 * i * w + j] = src[i * w + j] - (d_prev + d_here) / 4.0;
+            }
+        }
+        for i in 0..pairs {
+            let r = reflect(2 * i as isize + 2, n);
+            for j in 0..w {
+                let left = dst[2 * i * w + j];
+                let right = dst[r * w + j];
+                dst[(2 * i + 1) * w + j] = src[(h + i) * w + j] + (left + right) / 2.0;
+            }
+        }
+    }
+
+    fn cdf97_forward(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+        let ns = n.div_ceil(2);
+        let nd = n / 2;
+        if nd == 0 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let mut s = vec![0.0; ns * w];
+        let mut d = vec![0.0; nd * w];
+        for i in 0..ns {
+            s[i * w..(i + 1) * w].copy_from_slice(&src[2 * i * w..(2 * i + 1) * w]);
+        }
+        for i in 0..nd {
+            d[i * w..(i + 1) * w].copy_from_slice(&src[(2 * i + 1) * w..(2 * i + 2) * w]);
+        }
+        for i in 0..nd {
+            let k2 = (i + 1).min(ns - 1);
+            for j in 0..w {
+                d[i * w + j] += ALPHA * (s[i * w + j] + s[k2 * w + j]);
+            }
+        }
+        for i in 0..ns {
+            let a = i.saturating_sub(1);
+            let b = i.min(nd - 1);
+            for j in 0..w {
+                s[i * w + j] += BETA * (d[a * w + j] + d[b * w + j]);
+            }
+        }
+        for i in 0..nd {
+            let k2 = (i + 1).min(ns - 1);
+            for j in 0..w {
+                d[i * w + j] += GAMMA * (s[i * w + j] + s[k2 * w + j]);
+            }
+        }
+        for i in 0..ns {
+            let a = i.saturating_sub(1);
+            let b = i.min(nd - 1);
+            for j in 0..w {
+                s[i * w + j] += DELTA * (d[a * w + j] + d[b * w + j]);
+            }
+        }
+        for (k, &v) in s.iter().enumerate() {
+            dst[k] = v / K;
+        }
+        for (k, &v) in d.iter().enumerate() {
+            dst[ns * w + k] = v * K;
+        }
+    }
+
+    fn cdf97_inverse(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+        let ns = n.div_ceil(2);
+        let nd = n / 2;
+        if nd == 0 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let mut s: Vec<f64> = src[..ns * w].iter().map(|&v| v * K).collect();
+        let mut d: Vec<f64> = src[ns * w..].iter().map(|&v| v / K).collect();
+        for i in 0..ns {
+            let a = i.saturating_sub(1);
+            let b = i.min(nd - 1);
+            for j in 0..w {
+                s[i * w + j] -= DELTA * (d[a * w + j] + d[b * w + j]);
+            }
+        }
+        for i in 0..nd {
+            let k2 = (i + 1).min(ns - 1);
+            for j in 0..w {
+                d[i * w + j] -= GAMMA * (s[i * w + j] + s[k2 * w + j]);
+            }
+        }
+        for i in 0..ns {
+            let a = i.saturating_sub(1);
+            let b = i.min(nd - 1);
+            for j in 0..w {
+                s[i * w + j] -= BETA * (d[a * w + j] + d[b * w + j]);
+            }
+        }
+        for i in 0..nd {
+            let k2 = (i + 1).min(ns - 1);
+            for j in 0..w {
+                d[i * w + j] -= ALPHA * (s[i * w + j] + s[k2 * w + j]);
+            }
+        }
+        for i in 0..ns {
+            dst[2 * i * w..(2 * i + 1) * w].copy_from_slice(&s[i * w..(i + 1) * w]);
+        }
+        for i in 0..nd {
+            dst[(2 * i + 1) * w..(2 * i + 2) * w].copy_from_slice(&d[i * w..(i + 1) * w]);
+        }
+    }
+}
+
+/// Generates one SIMD tier: identical kernel structure, parameterized
+/// only by vector width and intrinsic names. All arithmetic rewrites
+/// relative to the scalar reference are the value-preserving ones
+/// listed in the module docs.
+#[cfg(target_arch = "x86_64")]
+macro_rules! simd_tier {
+    ($modname:ident, $feature:literal, $lanes:literal,
+     $loadu:ident, $storeu:ident, $add:ident, $sub:ident, $mul:ident, $div:ident,
+     $set1:ident) => {
+        pub(super) mod $modname {
+            use super::{reflect, WaveletOp, ALPHA, BETA, DELTA, GAMMA, K};
+            use core::arch::x86_64::*;
+
+            const L: usize = $lanes;
+
+            /// # Safety
+            /// Caller must have verified the `$feature` CPU feature is
+            /// available (the dispatcher's `assert_available`) and that
+            /// `src.len() == dst.len() == n * w` with `n, w > 0`.
+            #[target_feature(enable = $feature)]
+            pub(in super::super) unsafe fn apply(
+                op: WaveletOp,
+                src: &[f64],
+                dst: &mut [f64],
+                n: usize,
+                w: usize,
+            ) {
+                match op {
+                    WaveletOp::HaarForward => haar_forward(src, dst, n, w),
+                    WaveletOp::HaarInverse => haar_inverse(src, dst, n, w),
+                    WaveletOp::Cdf53Forward => cdf53_forward(src, dst, n, w),
+                    WaveletOp::Cdf53Inverse => cdf53_inverse(src, dst, n, w),
+                    WaveletOp::Cdf97Forward => cdf97_forward(src, dst, n, w),
+                    WaveletOp::Cdf97Inverse => cdf97_inverse(src, dst, n, w),
+                }
+            }
+
+            /// `out[j] = (a[j] + b[j]) * c` — with `c = 0.5` this is the
+            /// reference `(a + b) / 2.0` (power-of-two scale).
+            ///
+            /// # Safety
+            /// `a`, `b`, `out` each point at `w` f64s; `out` does not
+            /// overlap `a` or `b`.
+            #[inline]
+            #[target_feature(enable = $feature)]
+            unsafe fn sum_scale_row(a: *const f64, b: *const f64, out: *mut f64, c: f64, w: usize) {
+                let vc = $set1(c);
+                let mut j = 0;
+                while j + L <= w {
+                    $storeu(out.add(j), $mul($add($loadu(a.add(j)), $loadu(b.add(j))), vc));
+                    j += L;
+                }
+                while j < w {
+                    *out.add(j) = (*a.add(j) + *b.add(j)) * c;
+                    j += 1;
+                }
+            }
+
+            /// `out[j] = (a[j] - b[j]) * c` — with `c = 0.5` this is the
+            /// reference `(a - b) / 2.0`.
+            ///
+            /// # Safety
+            /// Same contract as `sum_scale_row`.
+            #[inline]
+            #[target_feature(enable = $feature)]
+            unsafe fn diff_scale_row(
+                a: *const f64,
+                b: *const f64,
+                out: *mut f64,
+                c: f64,
+                w: usize,
+            ) {
+                let vc = $set1(c);
+                let mut j = 0;
+                while j + L <= w {
+                    $storeu(out.add(j), $mul($sub($loadu(a.add(j)), $loadu(b.add(j))), vc));
+                    j += L;
+                }
+                while j < w {
+                    *out.add(j) = (*a.add(j) - *b.add(j)) * c;
+                    j += 1;
+                }
+            }
+
+            /// `out[j] = a[j] + b[j]`.
+            ///
+            /// # Safety
+            /// Same contract as `sum_scale_row`.
+            #[inline]
+            #[target_feature(enable = $feature)]
+            unsafe fn add_row(a: *const f64, b: *const f64, out: *mut f64, w: usize) {
+                let mut j = 0;
+                while j + L <= w {
+                    $storeu(out.add(j), $add($loadu(a.add(j)), $loadu(b.add(j))));
+                    j += L;
+                }
+                while j < w {
+                    *out.add(j) = *a.add(j) + *b.add(j);
+                    j += 1;
+                }
+            }
+
+            /// `out[j] = a[j] - b[j]`.
+            ///
+            /// # Safety
+            /// Same contract as `sum_scale_row`.
+            #[inline]
+            #[target_feature(enable = $feature)]
+            unsafe fn sub_row(a: *const f64, b: *const f64, out: *mut f64, w: usize) {
+                let mut j = 0;
+                while j + L <= w {
+                    $storeu(out.add(j), $sub($loadu(a.add(j)), $loadu(b.add(j))));
+                    j += L;
+                }
+                while j < w {
+                    *out.add(j) = *a.add(j) - *b.add(j);
+                    j += 1;
+                }
+            }
+
+            /// `out[j] = base[j] + (x[j] + y[j]) * c` — the lifting
+            /// step. The reference writes `base + C*(x+y)` (cdf97) and
+            /// `base + (x+y)/4.0` (cdf53, `c = 0.25`); both are this
+            /// expression verbatim.
+            ///
+            /// # Safety
+            /// `base`, `x`, `y`, `out` each point at `w` f64s; `out`
+            /// may alias `base` (in-place lifting) but not `x` or `y`.
+            #[inline]
+            #[target_feature(enable = $feature)]
+            unsafe fn fused_add_row(
+                base: *const f64,
+                x: *const f64,
+                y: *const f64,
+                c: f64,
+                out: *mut f64,
+                w: usize,
+            ) {
+                let vc = $set1(c);
+                let mut j = 0;
+                while j + L <= w {
+                    let t = $mul($add($loadu(x.add(j)), $loadu(y.add(j))), vc);
+                    $storeu(out.add(j), $add($loadu(base.add(j)), t));
+                    j += L;
+                }
+                while j < w {
+                    *out.add(j) = *base.add(j) + (*x.add(j) + *y.add(j)) * c;
+                    j += 1;
+                }
+            }
+
+            /// `out[j] = base[j] - (x[j] + y[j]) * c` — the inverse
+            /// lifting step (`base - C*(x+y)` / `base - (x+y)/2.0`).
+            ///
+            /// # Safety
+            /// Same contract as `fused_add_row`.
+            #[inline]
+            #[target_feature(enable = $feature)]
+            unsafe fn fused_sub_row(
+                base: *const f64,
+                x: *const f64,
+                y: *const f64,
+                c: f64,
+                out: *mut f64,
+                w: usize,
+            ) {
+                let vc = $set1(c);
+                let mut j = 0;
+                while j + L <= w {
+                    let t = $mul($add($loadu(x.add(j)), $loadu(y.add(j))), vc);
+                    $storeu(out.add(j), $sub($loadu(base.add(j)), t));
+                    j += L;
+                }
+                while j < w {
+                    *out.add(j) = *base.add(j) - (*x.add(j) + *y.add(j)) * c;
+                    j += 1;
+                }
+            }
+
+            /// `out[j] = a[j] / c` — kept as a true division because the
+            /// 9/7 gain `K` is not a power of two.
+            ///
+            /// # Safety
+            /// `a`, `out` each point at `w` f64s.
+            #[inline]
+            #[target_feature(enable = $feature)]
+            unsafe fn div_scalar_row(a: *const f64, c: f64, out: *mut f64, w: usize) {
+                let vc = $set1(c);
+                let mut j = 0;
+                while j + L <= w {
+                    $storeu(out.add(j), $div($loadu(a.add(j)), vc));
+                    j += L;
+                }
+                while j < w {
+                    *out.add(j) = *a.add(j) / c;
+                    j += 1;
+                }
+            }
+
+            /// `out[j] = a[j] * c`.
+            ///
+            /// # Safety
+            /// `a`, `out` each point at `w` f64s.
+            #[inline]
+            #[target_feature(enable = $feature)]
+            unsafe fn mul_scalar_row(a: *const f64, c: f64, out: *mut f64, w: usize) {
+                let vc = $set1(c);
+                let mut j = 0;
+                while j + L <= w {
+                    $storeu(out.add(j), $mul($loadu(a.add(j)), vc));
+                    j += L;
+                }
+                while j < w {
+                    *out.add(j) = *a.add(j) * c;
+                    j += 1;
+                }
+            }
+
+            /// # Safety
+            /// See `apply`; row indices are all `< n` by the band-length
+            /// arithmetic, so every `.add(row * w)` stays in bounds.
+            #[target_feature(enable = $feature)]
+            unsafe fn haar_forward(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+                let h = n.div_ceil(2);
+                let sp = src.as_ptr();
+                let dp = dst.as_mut_ptr();
+                for i in 0..n / 2 {
+                    let a = sp.add(2 * i * w);
+                    let b = sp.add((2 * i + 1) * w);
+                    sum_scale_row(a, b, dp.add(i * w), 0.5, w);
+                    diff_scale_row(a, b, dp.add((h + i) * w), 0.5, w);
+                }
+                if n % 2 == 1 {
+                    core::ptr::copy_nonoverlapping(sp.add((n - 1) * w), dp.add((h - 1) * w), w);
+                }
+            }
+
+            /// # Safety
+            /// See `apply`.
+            #[target_feature(enable = $feature)]
+            unsafe fn haar_inverse(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+                let h = n.div_ceil(2);
+                let sp = src.as_ptr();
+                let dp = dst.as_mut_ptr();
+                for i in 0..n / 2 {
+                    let l = sp.add(i * w);
+                    let hi = sp.add((h + i) * w);
+                    add_row(l, hi, dp.add(2 * i * w), w);
+                    sub_row(l, hi, dp.add((2 * i + 1) * w), w);
+                }
+                if n % 2 == 1 {
+                    core::ptr::copy_nonoverlapping(sp.add((h - 1) * w), dp.add((n - 1) * w), w);
+                }
+            }
+
+            /// # Safety
+            /// See `apply`. Predict writes high rows reading only `src`;
+            /// update writes low rows reading `src` plus already-written
+            /// high rows of `dst` — no row aliases its inputs.
+            #[target_feature(enable = $feature)]
+            unsafe fn cdf53_forward(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+                if n == 1 {
+                    dst.copy_from_slice(src);
+                    return;
+                }
+                let h = n.div_ceil(2);
+                let pairs = n / 2;
+                let sp = src.as_ptr();
+                let dp = dst.as_mut_ptr();
+                for i in 0..pairs {
+                    let r = reflect(2 * i as isize + 2, n);
+                    fused_sub_row(
+                        sp.add((2 * i + 1) * w),
+                        sp.add(2 * i * w),
+                        sp.add(r * w),
+                        0.5,
+                        dp.add((h + i) * w),
+                        w,
+                    );
+                }
+                for i in 0..h {
+                    let dprev = if i == 0 { h } else { h + i - 1 };
+                    let dhere = if i < pairs { h + i } else { dprev };
+                    fused_add_row(
+                        sp.add(2 * i * w),
+                        dp.add(dprev * w),
+                        dp.add(dhere * w),
+                        0.25,
+                        dp.add(i * w),
+                        w,
+                    );
+                }
+            }
+
+            /// # Safety
+            /// See `apply`. The undo-update pass writes even rows
+            /// reading only `src`; undo-predict writes odd rows reading
+            /// `src` plus the even `dst` rows written by the first pass.
+            #[target_feature(enable = $feature)]
+            unsafe fn cdf53_inverse(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+                if n == 1 {
+                    dst.copy_from_slice(src);
+                    return;
+                }
+                let h = n.div_ceil(2);
+                let pairs = n / 2;
+                let sp = src.as_ptr();
+                let dp = dst.as_mut_ptr();
+                for i in 0..h {
+                    let dprev = if i == 0 { h } else { h + i - 1 };
+                    let dhere = if i < pairs { h + i } else { dprev };
+                    fused_sub_row(
+                        sp.add(i * w),
+                        sp.add(dprev * w),
+                        sp.add(dhere * w),
+                        0.25,
+                        dp.add(2 * i * w),
+                        w,
+                    );
+                }
+                for i in 0..pairs {
+                    let r = reflect(2 * i as isize + 2, n);
+                    fused_add_row(
+                        sp.add((h + i) * w),
+                        dp.add(2 * i * w),
+                        dp.add(r * w),
+                        0.5,
+                        dp.add((2 * i + 1) * w),
+                        w,
+                    );
+                }
+            }
+
+            /// # Safety
+            /// See `apply`. Lifting passes alternate between the `s` and
+            /// `d` scratch buffers; within a pass each written row reads
+            /// only rows of the *other* buffer, so in-place
+            /// `fused_add_row` (out == base) never aliases `x`/`y`.
+            #[target_feature(enable = $feature)]
+            unsafe fn cdf97_forward(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+                let ns = n.div_ceil(2);
+                let nd = n / 2;
+                if nd == 0 {
+                    dst.copy_from_slice(src);
+                    return;
+                }
+                let mut s = vec![0.0f64; ns * w];
+                let mut d = vec![0.0f64; nd * w];
+                let sp = src.as_ptr();
+                for i in 0..ns {
+                    core::ptr::copy_nonoverlapping(sp.add(2 * i * w), s.as_mut_ptr().add(i * w), w);
+                }
+                for i in 0..nd {
+                    core::ptr::copy_nonoverlapping(
+                        sp.add((2 * i + 1) * w),
+                        d.as_mut_ptr().add(i * w),
+                        w,
+                    );
+                }
+                let spp = s.as_mut_ptr();
+                let dpp = d.as_mut_ptr();
+                for i in 0..nd {
+                    let k2 = (i + 1).min(ns - 1);
+                    let row = dpp.add(i * w);
+                    fused_add_row(row, spp.add(i * w), spp.add(k2 * w), ALPHA, row, w);
+                }
+                for i in 0..ns {
+                    let a = i.saturating_sub(1);
+                    let b = i.min(nd - 1);
+                    let row = spp.add(i * w);
+                    fused_add_row(row, dpp.add(a * w), dpp.add(b * w), BETA, row, w);
+                }
+                for i in 0..nd {
+                    let k2 = (i + 1).min(ns - 1);
+                    let row = dpp.add(i * w);
+                    fused_add_row(row, spp.add(i * w), spp.add(k2 * w), GAMMA, row, w);
+                }
+                for i in 0..ns {
+                    let a = i.saturating_sub(1);
+                    let b = i.min(nd - 1);
+                    let row = spp.add(i * w);
+                    fused_add_row(row, dpp.add(a * w), dpp.add(b * w), DELTA, row, w);
+                }
+                let dp = dst.as_mut_ptr();
+                div_scalar_row(spp, K, dp, ns * w);
+                mul_scalar_row(dpp, K, dp.add(ns * w), nd * w);
+            }
+
+            /// # Safety
+            /// See `apply` and `cdf97_forward` (same aliasing argument,
+            /// lifting steps reversed with `fused_sub_row`).
+            #[target_feature(enable = $feature)]
+            unsafe fn cdf97_inverse(src: &[f64], dst: &mut [f64], n: usize, w: usize) {
+                let ns = n.div_ceil(2);
+                let nd = n / 2;
+                if nd == 0 {
+                    dst.copy_from_slice(src);
+                    return;
+                }
+                let mut s = vec![0.0f64; ns * w];
+                let mut d = vec![0.0f64; nd * w];
+                let sp = src.as_ptr();
+                mul_scalar_row(sp, K, s.as_mut_ptr(), ns * w);
+                div_scalar_row(sp.add(ns * w), K, d.as_mut_ptr(), nd * w);
+                let spp = s.as_mut_ptr();
+                let dpp = d.as_mut_ptr();
+                for i in 0..ns {
+                    let a = i.saturating_sub(1);
+                    let b = i.min(nd - 1);
+                    let row = spp.add(i * w);
+                    fused_sub_row(row, dpp.add(a * w), dpp.add(b * w), DELTA, row, w);
+                }
+                for i in 0..nd {
+                    let k2 = (i + 1).min(ns - 1);
+                    let row = dpp.add(i * w);
+                    fused_sub_row(row, spp.add(i * w), spp.add(k2 * w), GAMMA, row, w);
+                }
+                for i in 0..ns {
+                    let a = i.saturating_sub(1);
+                    let b = i.min(nd - 1);
+                    let row = spp.add(i * w);
+                    fused_sub_row(row, dpp.add(a * w), dpp.add(b * w), BETA, row, w);
+                }
+                for i in 0..nd {
+                    let k2 = (i + 1).min(ns - 1);
+                    let row = dpp.add(i * w);
+                    fused_sub_row(row, spp.add(i * w), spp.add(k2 * w), ALPHA, row, w);
+                }
+                let dp = dst.as_mut_ptr();
+                for i in 0..ns {
+                    core::ptr::copy_nonoverlapping(spp.add(i * w), dp.add(2 * i * w), w);
+                }
+                for i in 0..nd {
+                    core::ptr::copy_nonoverlapping(dpp.add(i * w), dp.add((2 * i + 1) * w), w);
+                }
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+simd_tier!(
+    sse2, "sse2", 2, _mm_loadu_pd, _mm_storeu_pd, _mm_add_pd, _mm_sub_pd, _mm_mul_pd, _mm_div_pd,
+    _mm_set1_pd
+);
+
+#[cfg(target_arch = "x86_64")]
+simd_tier!(
+    avx2, "avx2", 4, _mm256_loadu_pd, _mm256_storeu_pd, _mm256_add_pd, _mm256_sub_pd,
+    _mm256_mul_pd, _mm256_div_pd, _mm256_set1_pd
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random doubles (no external RNG dep).
+    fn field(len: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) * 200.0 - 100.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_tiers_agree_on_smoke_batches() {
+        for &(n, w) in &[(0usize, 3usize), (1, 4), (2, 1), (7, 5), (16, 8), (33, 9)] {
+            let src = field(n * w, (n * 31 + w) as u64);
+            for op in WaveletOp::ALL {
+                let mut want = vec![0.0; n * w];
+                apply_at(Level::Scalar, op, &src, &mut want, n, w);
+                for level in [Level::Sse2, Level::Avx2] {
+                    if !level.is_available() {
+                        continue;
+                    }
+                    let mut got = vec![0.0; n * w];
+                    apply_at(level, op, &src, &mut got, n, w);
+                    let wb: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+                    let gb: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(wb, gb, "{op:?} n={n} w={w} at {}", level.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_through_batches() {
+        let (n, w) = (37, 8);
+        let src = field(n * w, 99);
+        for (fwd, inv) in [
+            (WaveletOp::HaarForward, WaveletOp::HaarInverse),
+            (WaveletOp::Cdf53Forward, WaveletOp::Cdf53Inverse),
+            (WaveletOp::Cdf97Forward, WaveletOp::Cdf97Inverse),
+        ] {
+            let mut mid = vec![0.0; n * w];
+            let mut back = vec![0.0; n * w];
+            apply(fwd, &src, &mut mid, n, w);
+            apply(inv, &mid, &mut back, n, w);
+            for (a, b) in src.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "{fwd:?}: {a} vs {b}");
+            }
+        }
+    }
+}

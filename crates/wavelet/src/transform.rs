@@ -11,7 +11,14 @@
 //! in the block layout described by [`crate::subband`].
 
 use crate::{cdf53, haar};
-use ckpt_tensor::{Result, Tensor, TensorError};
+use ckpt_simd::wavelet::WaveletOp;
+use ckpt_tensor::{lanes::Lane, Result, Tensor, TensorError};
+
+/// How many lanes a batched kernel call processes at once. Eight f64
+/// columns are two AVX2 vectors per row — wide enough to amortize the
+/// batch gather, narrow enough that the interleaved scratch stays in
+/// L1 for the lane lengths the pipeline uses.
+const LANE_BATCH: usize = 8;
 
 /// Which 1-d wavelet kernel to apply per lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +52,47 @@ impl Kernel {
             Kernel::Cdf97 => crate::cdf97::inverse_1d(src, dst),
         }
     }
+
+    /// The batched multi-lane form of this kernel/direction in
+    /// `ckpt-simd` (bit-identical to the per-lane fns above).
+    #[inline]
+    fn batch_op(self, forward_dir: bool) -> WaveletOp {
+        match (self, forward_dir) {
+            (Kernel::Haar, true) => WaveletOp::HaarForward,
+            (Kernel::Haar, false) => WaveletOp::HaarInverse,
+            (Kernel::Cdf53, true) => WaveletOp::Cdf53Forward,
+            (Kernel::Cdf53, false) => WaveletOp::Cdf53Inverse,
+            (Kernel::Cdf97, true) => WaveletOp::Cdf97Forward,
+            (Kernel::Cdf97, false) => WaveletOp::Cdf97Inverse,
+        }
+    }
+}
+
+/// Length of the maximal run of batchable lanes starting at `lanes[i]`:
+/// same stride and length, starts increasing by exactly 1. For a
+/// non-last axis the lane iterator yields runs of `dims[last]` such
+/// lanes, whose element `k` sits at `start + j + k·stride` — `w`
+/// *contiguous* values per row, which is what the batched kernels eat.
+/// Contiguous (stride-1) lanes never batch — they are already
+/// cache-friendly and their starts are `len` apart anyway.
+///
+/// Runs are capped at the stride: lanes partition the tensor, so a
+/// longer run would alias row 0 of one lane with row 1 of another.
+fn run_width(lanes: &[Lane], i: usize) -> usize {
+    let base = lanes[i];
+    if base.stride <= 1 {
+        return 1;
+    }
+    let mut w = 1;
+    while i + w < lanes.len()
+        && w < base.stride
+        && lanes[i + w].stride == base.stride
+        && lanes[i + w].len == base.len
+        && lanes[i + w].start == base.start + w
+    {
+        w += 1;
+    }
+    w
 }
 
 /// Applies the chosen 1-d kernel along every lane of `axis`, in place.
@@ -72,17 +120,7 @@ fn transform_axis_threaded(
     let len = t.shape().dim(axis)?;
     let workers = ckpt_pool::clamp_workers(threads, lanes.len());
     if workers == 1 {
-        let mut gather = vec![0.0f64; len];
-        let mut result = vec![0.0f64; len];
-        for lane in lanes {
-            t.read_lane(lane, &mut gather);
-            if forward_dir {
-                kernel.forward_lane(&gather, &mut result);
-            } else {
-                kernel.inverse_lane(&gather, &mut result);
-            }
-            t.write_lane(lane, &result);
-        }
+        process_lanes(t.as_mut_slice(), &lanes, len, kernel, forward_dir);
         return Ok(());
     }
     let ranges = ckpt_pool::partition_ranges(lanes.len(), workers);
@@ -90,12 +128,52 @@ fn transform_axis_threaded(
     let buf_len = buf.len();
     let ptr = ckpt_pool::SendPtr::new(buf.as_mut_ptr(), buf_len);
     let lanes = &lanes;
+    let op = kernel.batch_op(forward_dir);
     std::thread::scope(|scope| {
         for range in ranges {
             scope.spawn(move || {
                 let mut gather = vec![0.0f64; len];
                 let mut result = vec![0.0f64; len];
-                for lane in &lanes[range] {
+                let mut batch_in = vec![0.0f64; len * LANE_BATCH];
+                let mut batch_out = vec![0.0f64; len * LANE_BATCH];
+                let my_lanes = &lanes[range];
+                let mut i = 0;
+                while i < my_lanes.len() {
+                    let w = run_width(my_lanes, i).min(LANE_BATCH);
+                    if w >= 2 {
+                        let lane = my_lanes[i];
+                        for k in 0..lane.len {
+                            for (j, slot) in
+                                batch_in[k * w..(k + 1) * w].iter_mut().enumerate()
+                            {
+                                // SAFETY: lanes partition the tensor
+                                // and this worker owns a disjoint lane
+                                // range; start + j + k·stride
+                                // enumerates exactly the elements of
+                                // the w owned lanes starting at
+                                // `lane`, all in bounds.
+                                *slot = unsafe { ptr.read(lane.start + j + k * lane.stride) };
+                            }
+                        }
+                        ckpt_simd::wavelet::apply(
+                            op,
+                            &batch_in[..lane.len * w],
+                            &mut batch_out[..lane.len * w],
+                            lane.len,
+                            w,
+                        );
+                        for k in 0..lane.len {
+                            for (j, &r) in batch_out[k * w..(k + 1) * w].iter().enumerate() {
+                                // SAFETY: same disjoint-lane argument
+                                // as the read above; this worker
+                                // exclusively owns these w lanes.
+                                unsafe { ptr.write(lane.start + j + k * lane.stride, r) };
+                            }
+                        }
+                        i += w;
+                        continue;
+                    }
+                    let lane = my_lanes[i];
                     for (k, g) in gather.iter_mut().enumerate().take(lane.len) {
                         // SAFETY: a lane's index set {start + k·stride,
                         // k < len} lies in bounds of the tensor buffer,
@@ -115,11 +193,71 @@ fn transform_axis_threaded(
                         // every index of this lane.
                         unsafe { ptr.write(lane.start + k * lane.stride, r) };
                     }
+                    i += 1;
                 }
             });
         }
     });
     Ok(())
+}
+
+/// Serial lane walk: maximal runs of batchable lanes go through the
+/// `ckpt-simd` batched kernels (contiguous row reads instead of the
+/// cache-hostile per-element strided gather); stride-1 and isolated
+/// lanes keep the 1-d kernel path. Output is bit-identical to the
+/// per-lane loop for every input — the batched kernels perform the
+/// same per-lane arithmetic in the same order.
+fn process_lanes(buf: &mut [f64], lanes: &[Lane], len: usize, kernel: Kernel, forward_dir: bool) {
+    let op = kernel.batch_op(forward_dir);
+    let mut gather = vec![0.0f64; len];
+    let mut result = vec![0.0f64; len];
+    let mut batch_in = vec![0.0f64; len * LANE_BATCH];
+    let mut batch_out = vec![0.0f64; len * LANE_BATCH];
+    let mut i = 0;
+    while i < lanes.len() {
+        let w = run_width(lanes, i).min(LANE_BATCH);
+        if w >= 2 {
+            let lane = lanes[i];
+            for k in 0..lane.len {
+                let row = lane.start + k * lane.stride;
+                batch_in[k * w..(k + 1) * w].copy_from_slice(&buf[row..row + w]);
+            }
+            ckpt_simd::wavelet::apply(
+                op,
+                &batch_in[..lane.len * w],
+                &mut batch_out[..lane.len * w],
+                lane.len,
+                w,
+            );
+            for k in 0..lane.len {
+                let row = lane.start + k * lane.stride;
+                buf[row..row + w].copy_from_slice(&batch_out[k * w..(k + 1) * w]);
+            }
+            i += w;
+            continue;
+        }
+        let lane = lanes[i];
+        if lane.stride == 1 {
+            gather.copy_from_slice(&buf[lane.start..lane.start + lane.len]);
+        } else {
+            for (k, g) in gather.iter_mut().enumerate().take(lane.len) {
+                *g = buf[lane.start + k * lane.stride];
+            }
+        }
+        if forward_dir {
+            kernel.forward_lane(&gather, &mut result);
+        } else {
+            kernel.inverse_lane(&gather, &mut result);
+        }
+        if lane.stride == 1 {
+            buf[lane.start..lane.start + lane.len].copy_from_slice(&result);
+        } else {
+            for (k, &r) in result.iter().enumerate().take(lane.len) {
+                buf[lane.start + k * lane.stride] = r;
+            }
+        }
+        i += 1;
+    }
 }
 
 /// Single-level forward transform along the given axes with the chosen
